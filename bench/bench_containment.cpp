@@ -1,0 +1,114 @@
+// Constraint-subsumption ablation (§5): the classical canonical-database
+// containment check vs the paper's reduction to fauré-log query
+// evaluation, over generated constraint programs.
+#include <benchmark/benchmark.h>
+
+#include "datalog/containment.hpp"
+#include "util/rng.hpp"
+#include "verify/containment.hpp"
+#include "verify/unfold.hpp"
+
+namespace faure {
+namespace {
+
+/// Generates a family of positive panic constraints over R(a,b,c):
+/// the target is a specialization (constants filled in), the general
+/// constraint leaves positions open — so subsumption always holds, and
+/// both methods do full work to confirm it.
+struct ConstraintPair {
+  verify::Constraint target;
+  verify::Constraint general;
+};
+
+ConstraintPair makePair(CVarRegistry& reg, int bodyAtoms, uint64_t seed) {
+  util::Rng rng(seed);
+  const char* consts[] = {"Mkt", "CS", "GS", "Web"};
+  std::string targetText = "panic :- ";
+  std::string generalText = "panic :- ";
+  for (int i = 0; i < bodyAtoms; ++i) {
+    if (i > 0) {
+      targetText += ", ";
+      generalText += ", ";
+    }
+    std::string v1 = "v" + std::to_string(i) + "a";
+    std::string v2 = "v" + std::to_string(i) + "b";
+    // Target pins the first position to a constant; general keeps a var.
+    targetText += "R" + std::to_string(i) + "(" +
+                  consts[rng.below(4)] + ", " + v1 + ", " + v2 + ")";
+    generalText += "R" + std::to_string(i) + "(" + v1 + "x, " + v1 + ", " +
+                   v2 + ")";
+  }
+  targetText += ".";
+  generalText += ".";
+  return ConstraintPair{
+      verify::Constraint::parse("target", targetText, reg),
+      verify::Constraint::parse("general", generalText, reg)};
+}
+
+void BM_SubsumptionClassicalCanonicalDb(benchmark::State& state) {
+  CVarRegistry reg;
+  auto pair = makePair(reg, static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dl::constraintSubsumedCanonical(
+        pair.target.program, pair.general.program));
+  }
+}
+BENCHMARK(BM_SubsumptionClassicalCanonicalDb)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SubsumptionFaureLogReduction(benchmark::State& state) {
+  CVarRegistry reg;
+  auto pair = makePair(reg, static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto r = verify::subsumes(pair.target, {pair.general}, reg);
+    benchmark::DoNotOptimize(r.subsumed);
+  }
+}
+BENCHMARK(BM_SubsumptionFaureLogReduction)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SubsumptionSection5Scenario(benchmark::State& state) {
+  // The full paper scenario, category (i): T1 against {Clb, Cs}.
+  CVarRegistry reg;
+  reg.declare("y_", ValueType::Sym, {Value::sym("CS"), Value::sym("GS")});
+  auto t1 = verify::Constraint::parse(
+      "T1", "panic :- R(Mkt, CS, p_), !Fw(Mkt, CS).", reg);
+  auto clb = verify::Constraint::parse(
+      "Clb",
+      "panic :- Vt(x, y, p).\n"
+      "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), xt_ != Mkt, xt_ != R&D.\n"
+      "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), !Lb(xt_, CS).\n"
+      "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), pt_ != 7000.\n",
+      reg);
+  auto cs = verify::Constraint::parse(
+      "Cs",
+      "panic :- Vs(x, y, p).\n"
+      "Vs(xs_, ys_, ps_) :- R(xs_, ys_, ps_), !Fw(xs_, ys_).\n"
+      "Vs(xs_, ys_, ps_) :- R(xs_, ys_, ps_), ps_ != 80, ps_ != 344, "
+      "ps_ != 7000.\n",
+      reg);
+  for (auto _ : state) {
+    auto r = verify::subsumes(t1, {clb, cs}, reg);
+    benchmark::DoNotOptimize(r.subsumed);
+  }
+}
+BENCHMARK(BM_SubsumptionSection5Scenario);
+
+void BM_UnfoldClb(benchmark::State& state) {
+  CVarRegistry reg;
+  auto clb = verify::Constraint::parse(
+      "Clb",
+      "panic :- Vt(x, y, p).\n"
+      "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), xt_ != Mkt, xt_ != R&D.\n"
+      "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), !Lb(xt_, CS).\n"
+      "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), pt_ != 7000.\n",
+      reg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verify::unfoldGoalRules(clb.program, "panic").size());
+  }
+}
+BENCHMARK(BM_UnfoldClb);
+
+}  // namespace
+}  // namespace faure
+
+BENCHMARK_MAIN();

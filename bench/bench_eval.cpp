@@ -1,0 +1,150 @@
+// Evaluation-engine ablations (DESIGN.md): naive vs semi-naive fixed
+// point, the solver pruning step on/off, merge subsumption on/off, and
+// the cost of the c-table machinery on ground data (fauré-log vs the
+// pure datalog engine).
+#include <benchmark/benchmark.h>
+
+#include "datalog/parser.hpp"
+#include "datalog/pure_eval.hpp"
+#include "faurelog/eval.hpp"
+#include "net/rib_gen.hpp"
+#include "util/rng.hpp"
+
+namespace faure {
+namespace {
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+const char* kTcProgram =
+    "R(x,y) :- E(x,y).\n"
+    "R(x,y) :- E(x,z), R(z,y).\n";
+
+/// Ground random graph E over `nodes` vertices with ~2 edges per vertex.
+void buildGroundGraph(rel::Database& db, size_t nodes) {
+  util::Rng rng(11);
+  auto& e = db.create(anySchema("E", 2));
+  for (size_t i = 0; i < nodes * 2; ++i) {
+    e.insertConcrete({Value::fromInt(static_cast<int64_t>(rng.below(nodes))),
+                      Value::fromInt(static_cast<int64_t>(rng.below(nodes)))});
+  }
+}
+
+void BM_PureDatalogTransitiveClosure(benchmark::State& state) {
+  rel::Database db;
+  buildGroundGraph(db, static_cast<size_t>(state.range(0)));
+  CVarRegistry reg;
+  dl::Program p = dl::parseProgram(kTcProgram, reg);
+  for (auto _ : state) {
+    auto res = dl::evalPure(p, db);
+    benchmark::DoNotOptimize(res.stats.inserted);
+  }
+}
+BENCHMARK(BM_PureDatalogTransitiveClosure)->Arg(64)->Arg(128);
+
+void BM_PureDatalogNaive(benchmark::State& state) {
+  rel::Database db;
+  buildGroundGraph(db, static_cast<size_t>(state.range(0)));
+  CVarRegistry reg;
+  dl::Program p = dl::parseProgram(kTcProgram, reg);
+  dl::PureEvalOptions opts;
+  opts.semiNaive = false;
+  for (auto _ : state) {
+    auto res = dl::evalPure(p, db, opts);
+    benchmark::DoNotOptimize(res.stats.inserted);
+  }
+}
+BENCHMARK(BM_PureDatalogNaive)->Arg(64)->Arg(128);
+
+void BM_FaureOnGroundData(benchmark::State& state) {
+  // The c-table engine on purely ground data: measures the overhead of
+  // condition plumbing relative to BM_PureDatalogTransitiveClosure.
+  rel::Database db;
+  buildGroundGraph(db, static_cast<size_t>(state.range(0)));
+  dl::Program p = dl::parseProgram(kTcProgram, db.cvars());
+  for (auto _ : state) {
+    smt::NativeSolver solver(db.cvars());
+    auto res = fl::evalFaure(p, db, &solver, fl::EvalOptions{});
+    benchmark::DoNotOptimize(res.stats.inserted);
+  }
+}
+BENCHMARK(BM_FaureOnGroundData)->Arg(64)->Arg(128);
+
+/// Conditional reachability workload from the RIB generator.
+struct CondFixture {
+  rel::Database db;
+  net::RibGenResult rib;
+  dl::Program program;
+
+  explicit CondFixture(size_t prefixes) {
+    net::RibConfig cfg;
+    cfg.numPrefixes = prefixes;
+    rib = net::generateRib(db, cfg);
+    program = dl::parseProgram(
+        "R(f,n1,n2) :- F(f,n1,n2).\n"
+        "R(f,n1,n2) :- F(f,n1,n3), R(f,n3,n2).\n",
+        db.cvars());
+  }
+};
+
+void runConditional(benchmark::State& state, bool semiNaive, bool prune,
+                    bool subsume) {
+  CondFixture fx(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    smt::NativeSolver solver(fx.db.cvars());
+    fl::EvalOptions opts;
+    opts.semiNaive = semiNaive;
+    opts.pruneWithSolver = prune;
+    opts.mergeSubsumption = subsume;
+    auto res = fl::evalFaure(fx.program, fx.db, &solver, opts);
+    state.counters["tuples"] =
+        static_cast<double>(res.relation("R").size());
+    benchmark::DoNotOptimize(res.stats.inserted);
+  }
+}
+
+void BM_CondReachSemiNaive(benchmark::State& state) {
+  runConditional(state, true, true, true);
+}
+BENCHMARK(BM_CondReachSemiNaive)->Arg(100)->Arg(300);
+
+void BM_CondReachNaive(benchmark::State& state) {
+  runConditional(state, false, true, true);
+}
+BENCHMARK(BM_CondReachNaive)->Arg(100)->Arg(300);
+
+void BM_CondReachNoPrune(benchmark::State& state) {
+  // Without the solver step, contradictory tuples survive and inflate
+  // downstream work — the "Z3 step" ablation.
+  runConditional(state, true, false, true);
+}
+BENCHMARK(BM_CondReachNoPrune)->Arg(100)->Arg(300);
+
+void BM_CondReachNoSubsumption(benchmark::State& state) {
+  runConditional(state, true, true, false);
+}
+BENCHMARK(BM_CondReachNoSubsumption)->Arg(100)->Arg(300);
+
+void BM_CondReachSimplifyResults(benchmark::State& state) {
+  // Post-hoc semantic simplification of every result condition
+  // (smt/simplify.hpp): the price of small, canonical outputs.
+  CondFixture fx(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    smt::NativeSolver solver(fx.db.cvars());
+    fl::EvalOptions opts;
+    opts.simplifyResults = true;
+    auto res = fl::evalFaure(fx.program, fx.db, &solver, opts);
+    benchmark::DoNotOptimize(res.stats.inserted);
+  }
+}
+BENCHMARK(BM_CondReachSimplifyResults)->Arg(100);
+
+}  // namespace
+}  // namespace faure
+
+BENCHMARK_MAIN();

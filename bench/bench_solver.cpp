@@ -1,0 +1,141 @@
+// Solver micro-benchmarks: the native decision procedure vs the Z3
+// backend on the condition corpora fauré actually generates (§6 step 3
+// ablation). The gap explains the paper's Table-4 "Z3" columns.
+#include <benchmark/benchmark.h>
+
+#include "smt/solver.hpp"
+#include "smt/z3_solver.hpp"
+#include "util/rng.hpp"
+
+namespace faure::smt {
+namespace {
+
+/// Corpus of reachability-style conditions: conjunctions/disjunctions of
+/// bit equalities plus a linear pattern atom, like the q6 pipeline emits.
+std::vector<Formula> reachabilityCorpus(const CVarRegistry& reg,
+                                        const std::vector<CVarId>& bits,
+                                        size_t n) {
+  (void)reg;
+  util::Rng rng(7);
+  std::vector<Formula> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Formula> guards;
+    size_t paths = 1 + rng.below(3);
+    for (size_t p = 0; p < paths; ++p) {
+      std::vector<Formula> conj;
+      for (size_t b = 0; b < bits.size(); ++b) {
+        if (rng.chance(0.6)) {
+          conj.push_back(Formula::cmp(Value::cvar(bits[b]), CmpOp::Eq,
+                                      Value::fromInt(rng.range(0, 1))));
+        }
+      }
+      guards.push_back(Formula::conj(std::move(conj)));
+    }
+    Formula cond = Formula::disj(std::move(guards));
+    // Failure pattern: x + y + z = 1.
+    cond = Formula::conj2(
+        cond, Formula::lin(LinTerm::make({{bits[0], 1}, {bits[1], 1},
+                                          {bits[2], 1}},
+                                         -1),
+                           CmpOp::Eq));
+    out.push_back(std::move(cond));
+  }
+  return out;
+}
+
+struct Fixture {
+  CVarRegistry reg;
+  std::vector<CVarId> bits;
+  std::vector<Formula> corpus;
+
+  Fixture() {
+    for (int i = 0; i < 4; ++i) {
+      bits.push_back(reg.declareInt("b" + std::to_string(i) + "_", 0, 1));
+    }
+    corpus = reachabilityCorpus(reg, bits, 256);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_NativeSolverReachabilityConditions(benchmark::State& state) {
+  Fixture& f = fixture();
+  NativeSolver solver(f.reg);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.check(f.corpus[i++ % f.corpus.size()]));
+  }
+}
+BENCHMARK(BM_NativeSolverReachabilityConditions);
+
+void BM_Z3SolverReachabilityConditions(benchmark::State& state) {
+  Fixture& f = fixture();
+  auto z3 = makeZ3Solver(f.reg);
+  if (z3 == nullptr) {
+    state.SkipWithError("built without Z3");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z3->check(f.corpus[i++ % f.corpus.size()]));
+  }
+}
+BENCHMARK(BM_Z3SolverReachabilityConditions);
+
+void BM_NativeImplication(benchmark::State& state) {
+  Fixture& f = fixture();
+  NativeSolver solver(f.reg);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Formula& a = f.corpus[i % f.corpus.size()];
+    const Formula& b = f.corpus[(i + 1) % f.corpus.size()];
+    benchmark::DoNotOptimize(solver.implies(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_NativeImplication);
+
+void BM_NativeUnsatConjunction(benchmark::State& state) {
+  // The common pruning case: a guard conjoined with its complement bit.
+  Fixture& f = fixture();
+  NativeSolver solver(f.reg);
+  Formula contradiction = Formula::conj2(
+      Formula::lin(LinTerm::make(
+                       {{f.bits[0], 1}, {f.bits[1], 1}, {f.bits[2], 1}}, -3),
+                   CmpOp::Eq),
+      Formula::cmp(Value::cvar(f.bits[0]), CmpOp::Eq, Value::fromInt(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.check(contradiction));
+  }
+}
+BENCHMARK(BM_NativeUnsatConjunction);
+
+void BM_DnfConversion(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(toDnf(f.corpus[i++ % f.corpus.size()], 4096));
+  }
+}
+BENCHMARK(BM_DnfConversion);
+
+void BM_ModelEnumeration(benchmark::State& state) {
+  Fixture& f = fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t models = 0;
+    forEachModel(f.corpus[i++ % f.corpus.size()], f.reg, f.bits,
+                 [&](const Assignment&) { ++models; });
+    benchmark::DoNotOptimize(models);
+  }
+}
+BENCHMARK(BM_ModelEnumeration);
+
+}  // namespace
+}  // namespace faure::smt
+
+BENCHMARK_MAIN();

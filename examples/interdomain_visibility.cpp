@@ -1,0 +1,111 @@
+// Inter-domain routing with limited visibility (§1's second motivation):
+// "the inability to obtain the BGP configuration inputs from external
+// domains leaves most attempts to verify the global routing behavior
+// futile" — unless the unknowns are modeled explicitly.
+//
+//   $ ./interdomain_visibility
+//
+// AS 1 (ours) originates a prefix. Its neighbors AS 2 and AS 3 have
+// opaque export policies: whether they re-export our prefix to their own
+// neighbors is unknown, encoded as {0,1} c-variables. Instead of giving
+// up, fauré answers reachability questions *relative to* those unknowns,
+// telling the operator exactly which foreign policy facts would decide
+// the question.
+#include <cstdio>
+
+#include "datalog/parser.hpp"
+#include "faurelog/eval.hpp"
+#include "verify/templates.hpp"
+#include "verify/verifier.hpp"
+
+using namespace faure;
+
+int main() {
+  rel::Database db;
+  // Unknown export decisions of the opaque ASes:
+  //   e23_: does AS2 export our routes to AS3?
+  //   e24_: does AS2 export to AS4?     e34_: does AS3 export to AS4?
+  CVarId e23 = db.cvars().declareInt("e23_", 0, 1);
+  CVarId e24 = db.cvars().declareInt("e24_", 0, 1);
+  CVarId e34 = db.cvars().declareInt("e34_", 0, 1);
+
+  auto schema = [](const std::string& name, size_t arity) {
+    std::vector<rel::Attribute> attrs(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+    }
+    return rel::Schema(name, attrs);
+  };
+
+  // Origin(as, prefix): we originate 203.0.113.0/24.
+  auto& origin = db.create(schema("Origin", 2));
+  Value pfx = Value::parsePrefix("203.0.113.0/24");
+  origin.insertConcrete({Value::fromInt(1), pfx});
+
+  // Exports(a, b): a forwards learned routes to b. Our own exports are
+  // known (we export to both neighbors); the foreign ones are partial.
+  auto& exports = db.create(schema("Exports", 2));
+  using smt::CmpOp;
+  using smt::Formula;
+  auto bit = [&](CVarId v) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(1));
+  };
+  exports.insertConcrete({Value::fromInt(1), Value::fromInt(2)});
+  exports.insertConcrete({Value::fromInt(1), Value::fromInt(3)});
+  exports.insert({Value::fromInt(2), Value::fromInt(3)}, bit(e23));
+  exports.insert({Value::fromInt(2), Value::fromInt(4)}, bit(e24));
+  exports.insert({Value::fromInt(3), Value::fromInt(4)}, bit(e34));
+
+  std::printf("== partial inter-domain state ==\n%s\n", db.toString().c_str());
+
+  // Route propagation as recursive fauré-log.
+  smt::NativeSolver solver(db.cvars());
+  auto res = fl::evalFaure(
+      dl::parseProgram("Carry(a, p) :- Origin(a, p).\n"
+                       "Carry(b, p) :- Carry(a, p), Exports(a, b).\n",
+                       db.cvars()),
+      db, &solver, fl::EvalOptions{});
+  db.put(res.relation("Carry"));
+
+  std::printf("== who carries our prefix, and under what ==\n%s\n",
+              res.relation("Carry").toString(&db.cvars()).c_str());
+
+  // Does AS4 learn our prefix? The complete approach must answer "cannot
+  // tell"; the partial approach answers *exactly when*.
+  verify::Constraint reaches4 = verify::Constraint::parse(
+      "AS4 learns our prefix", "panic :- !Carry(4, 203.0.113.0/24).",
+      db.cvars());
+  verify::StateCheck check =
+      verify::RelativeVerifier::checkOnState(reaches4, db, solver);
+  std::printf("constraint \"%s\": %s\n", reaches4.name.c_str(),
+              std::string(verify::verdictText(check.verdict)).c_str());
+  if (check.verdict == verify::Verdict::ConditionallyViolated) {
+    std::printf(
+        "  NOT learned exactly when: %s\n"
+        "  -> to settle the question, learn these foreign export "
+        "policies.\n",
+        check.condition.toString(&db.cvars()).c_str());
+  }
+
+  // A stronger partial fact: suppose we learn (out of band) that AS3
+  // does export to AS4. Re-check with that unknown pinned.
+  db.table("Exports").pruneIf([&](const rel::Row& row) {
+    return row.vals[0] == Value::fromInt(3) &&
+           row.vals[1] == Value::fromInt(4);
+  });
+  db.table("Exports").insertConcrete({Value::fromInt(3), Value::fromInt(4)});
+  auto res2 = fl::evalFaure(
+      dl::parseProgram("Carry2(a, p) :- Origin(a, p).\n"
+                       "Carry2(b, p) :- Carry2(a, p), Exports(a, b).\n",
+                       db.cvars()),
+      db, &solver, fl::EvalOptions{});
+  db.put(res2.relation("Carry2"));
+  verify::Constraint reaches4b = verify::Constraint::parse(
+      "AS4 learns our prefix (after learning AS3 exports)",
+      "panic :- !Carry2(4, 203.0.113.0/24).", db.cvars());
+  verify::StateCheck check2 =
+      verify::RelativeVerifier::checkOnState(reaches4b, db, solver);
+  std::printf("constraint \"%s\": %s\n", reaches4b.name.c_str(),
+              std::string(verify::verdictText(check2.verdict)).c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "datalog/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace faure::dl {
+
+std::vector<std::string> ruleVariables(const Rule& r) {
+  std::vector<std::string> out;
+  auto add = [&](const Term& t) {
+    if (t.isVar() &&
+        std::find(out.begin(), out.end(), t.var) == out.end()) {
+      out.push_back(t.var);
+    }
+  };
+  for (const auto& a : r.head.args) add(a);
+  for (const auto& lit : r.body) {
+    for (const auto& a : lit.atom.args) add(a);
+  }
+  for (const auto& c : r.cmps) {
+    for (const auto& [t, k] : c.lhs.terms) {
+      (void)k;
+      add(t);
+    }
+    for (const auto& [t, k] : c.rhs.terms) {
+      (void)k;
+      add(t);
+    }
+  }
+  return out;
+}
+
+Stratification stratify(const Program& p) {
+  // Collect IDB predicates; everything else is EDB (stratum "-1", treated
+  // as 0 with no constraints).
+  std::set<std::string> idb;
+  for (const auto& r : p.rules) idb.insert(r.head.pred);
+
+  std::unordered_map<std::string, int> stratum;
+  for (const auto& pred : idb) stratum[pred] = 0;
+
+  // Fixpoint of the standard constraints:
+  //   positive dep:  stratum[head] >= stratum[body]
+  //   negative dep:  stratum[head] >= stratum[body] + 1
+  // If a stratum exceeds |IDB| the constraints have a cycle through
+  // negation.
+  const int limit = static_cast<int>(idb.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& r : p.rules) {
+      int& h = stratum[r.head.pred];
+      for (const auto& lit : r.body) {
+        if (idb.count(lit.atom.pred) == 0) continue;
+        int b = stratum[lit.atom.pred];
+        int need = lit.negated ? b + 1 : b;
+        if (h < need) {
+          h = need;
+          if (h > limit) {
+            throw EvalError(
+                "program is not stratifiable (recursion through negation "
+                "involving '" +
+                r.head.pred + "')");
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+
+  Stratification s;
+  s.stratumOf = stratum;
+  int maxStratum = 0;
+  for (const auto& [pred, st] : stratum) maxStratum = std::max(maxStratum, st);
+  s.ruleStrata.assign(static_cast<size_t>(maxStratum) + 1, {});
+  for (size_t i = 0; i < p.rules.size(); ++i) {
+    s.ruleStrata[static_cast<size_t>(stratum[p.rules[i].head.pred])]
+        .push_back(i);
+  }
+  return s;
+}
+
+void checkSafety(const Program& p) {
+  for (const auto& r : p.rules) {
+    std::set<std::string> positive;
+    for (const auto& lit : r.body) {
+      if (lit.negated) continue;
+      for (const auto& t : lit.atom.args) {
+        if (t.isVar()) positive.insert(t.var);
+      }
+    }
+    auto require = [&](const Term& t, const char* where) {
+      if (t.isVar() && positive.count(t.var) == 0) {
+        throw EvalError("unsafe rule (" + r.toString() + "): variable '" +
+                        t.var + "' in " + where +
+                        " is not bound by a positive body literal");
+      }
+    };
+    for (const auto& t : r.head.args) require(t, "the head");
+    for (const auto& lit : r.body) {
+      if (!lit.negated) continue;
+      for (const auto& t : lit.atom.args) require(t, "a negated literal");
+    }
+    for (const auto& c : r.cmps) {
+      for (const auto& [t, k] : c.lhs.terms) {
+        (void)k;
+        require(t, "a comparison");
+      }
+      for (const auto& [t, k] : c.rhs.terms) {
+        (void)k;
+        require(t, "a comparison");
+      }
+    }
+  }
+}
+
+void checkArities(
+    const Program& p,
+    const std::unordered_map<std::string, size_t>& externalArity) {
+  std::unordered_map<std::string, size_t> arity = externalArity;
+  auto use = [&](const Atom& a) {
+    auto [it, inserted] = arity.emplace(a.pred, a.args.size());
+    if (!inserted && it->second != a.args.size()) {
+      throw EvalError("predicate '" + a.pred + "' used with arity " +
+                      std::to_string(a.args.size()) + " and " +
+                      std::to_string(it->second));
+    }
+  };
+  for (const auto& r : p.rules) {
+    use(r.head);
+    for (const auto& lit : r.body) use(lit.atom);
+  }
+}
+
+}  // namespace faure::dl

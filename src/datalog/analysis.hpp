@@ -1,0 +1,46 @@
+// Static analysis of fauré-log programs: safety (range restriction),
+// arity consistency, and stratification for negation + recursion.
+//
+// The paper leans on "static analysis readily available in pure datalog"
+// (§1, §5); these are the checks and decompositions every evaluation and
+// the containment machinery build on.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.hpp"
+
+namespace faure::dl {
+
+/// Result of stratifying a program.
+struct Stratification {
+  /// Stratum of each IDB predicate. EDB predicates are implicitly below
+  /// stratum 0.
+  std::unordered_map<std::string, int> stratumOf;
+  /// Rule indices (into Program::rules) grouped by stratum, in evaluation
+  /// order.
+  std::vector<std::vector<size_t>> ruleStrata;
+};
+
+/// Computes a stratification; throws EvalError when the program has
+/// negation through recursion (not stratifiable).
+Stratification stratify(const Program& p);
+
+/// Range-restriction check: every program variable used in the head, in a
+/// negated literal, or in a comparison must be bound by a positive body
+/// literal; facts must be ground. Throws EvalError on violation.
+void checkSafety(const Program& p);
+
+/// Each predicate must be used with one arity throughout. `externalArity`
+/// supplies arities of EDB relations (e.g. from a Database's schemas).
+/// Throws EvalError on mismatch.
+void checkArities(
+    const Program& p,
+    const std::unordered_map<std::string, size_t>& externalArity = {});
+
+/// All program variables of a rule, in first-occurrence order.
+std::vector<std::string> ruleVariables(const Rule& r);
+
+}  // namespace faure::dl

@@ -1,0 +1,138 @@
+#include "datalog/containment.hpp"
+
+#include <set>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace faure::dl {
+
+namespace {
+
+void requirePositive(const Rule& r, const char* who) {
+  if (!r.cmps.empty()) {
+    throw EvalError(std::string(who) +
+                    ": comparisons are outside the canonical-database "
+                    "method; use the fauré-log reduction");
+  }
+  for (const auto& lit : r.body) {
+    if (lit.negated) {
+      throw EvalError(std::string(who) +
+                      ": negation is outside the canonical-database "
+                      "method; use the fauré-log reduction");
+    }
+  }
+}
+
+/// Maps the rule's variables and c-variables to fresh frozen constants.
+class Freezer {
+ public:
+  Value freeze(const Term& t) {
+    switch (t.kind) {
+      case Term::Kind::Const:
+        return t.constant;
+      case Term::Kind::Var: {
+        auto [it, inserted] = vars_.emplace(t.var, Value());
+        if (inserted) it->second = fresh();
+        return it->second;
+      }
+      case Term::Kind::CVar: {
+        auto [it, inserted] = cvars_.emplace(t.cvar, Value());
+        if (inserted) it->second = fresh();
+        return it->second;
+      }
+    }
+    return t.constant;
+  }
+
+ private:
+  Value fresh() {
+    return Value::sym("@frz" + std::to_string(counter_++));
+  }
+
+  std::unordered_map<std::string, Value> vars_;
+  std::unordered_map<CVarId, Value> cvars_;
+  int counter_ = 0;
+};
+
+rel::Schema anonymousSchema(const std::string& pred, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(pred, std::move(attrs));
+}
+
+/// Builds the canonical database of a rule body under `fz`.
+rel::Database canonicalDb(const Rule& r, Freezer& fz) {
+  rel::Database db;
+  for (const auto& lit : r.body) {
+    std::vector<Value> vals;
+    vals.reserve(lit.atom.args.size());
+    for (const auto& t : lit.atom.args) vals.push_back(fz.freeze(t));
+    if (!db.has(lit.atom.pred)) {
+      db.create(anonymousSchema(lit.atom.pred, lit.atom.args.size()));
+    }
+    db.table(lit.atom.pred).insertConcrete(std::move(vals));
+  }
+  return db;
+}
+
+/// EDB relations `p` reads that are absent from `db` are empty, not
+/// unknown; create them so evaluation does not reject the program.
+void createMissingEdb(rel::Database& db, const Program& p) {
+  std::set<std::string> idb;
+  for (const auto& r : p.rules) idb.insert(r.head.pred);
+  for (const auto& r : p.rules) {
+    for (const auto& lit : r.body) {
+      if (idb.count(lit.atom.pred) == 0 && !db.has(lit.atom.pred)) {
+        db.create(anonymousSchema(lit.atom.pred, lit.atom.args.size()));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool cqContained(const Rule& q1, const Rule& q2) {
+  requirePositive(q1, "cqContained");
+  requirePositive(q2, "cqContained");
+  if (q1.head.pred != q2.head.pred ||
+      q1.head.args.size() != q2.head.args.size()) {
+    throw EvalError("cqContained: incompatible heads");
+  }
+  Freezer fz;
+  rel::Database db = canonicalDb(q1, fz);
+  std::vector<Value> frozenHead;
+  frozenHead.reserve(q1.head.args.size());
+  for (const auto& t : q1.head.args) frozenHead.push_back(fz.freeze(t));
+
+  Program p;
+  p.rules.push_back(q2);
+  createMissingEdb(db, p);
+  PureEvalResult res = evalPure(p, db);
+  return !res.relation(q2.head.pred).conditionOf(frozenHead).isFalse();
+}
+
+bool constraintSubsumedCanonical(const Program& sub, const Program& super,
+                                 const std::string& goal) {
+  for (const auto& r : super.rules) requirePositive(r, "subsumption");
+  bool sawGoal = false;
+  for (const auto& r : sub.rules) {
+    if (r.head.pred != goal) continue;
+    sawGoal = true;
+    requirePositive(r, "subsumption");
+    Freezer fz;
+    rel::Database db = canonicalDb(r, fz);
+    createMissingEdb(db, super);
+    PureEvalResult res = evalPure(super, db);
+    const rel::CTable& panics = res.relation(goal);
+    if (panics.empty()) return false;
+  }
+  if (!sawGoal) {
+    throw EvalError("subsumption: no '" + goal + "' rule in subsumee");
+  }
+  return true;
+}
+
+}  // namespace faure::dl

@@ -1,0 +1,34 @@
+// Classical query/program containment via canonical (frozen) databases.
+//
+// This is the textbook machinery (Chandra–Merlin; Abiteboul–Hull–Vianu
+// ch. 6, the paper's [2, 25]) that the paper's §5 reduction sidesteps:
+// containment of conjunctive queries is decided by freezing the body of
+// the contained query into a canonical database and evaluating the
+// containing query on it. Exposed here both as the baseline comparator
+// for bench_containment and as a differential oracle for the fauré-log
+// reduction (verify/containment.hpp).
+//
+// Scope: positive rules only (no negation); comparisons are rejected —
+// with comparisons one canonical database no longer suffices. The
+// fauré-log reduction handles those by construction.
+#pragma once
+
+#include "datalog/ast.hpp"
+#include "datalog/pure_eval.hpp"
+
+namespace faure::dl {
+
+/// Conjunctive-query containment q1 ⊆ q2 for single positive rules with
+/// identical head predicates: freezes q1's body and head, evaluates q2 on
+/// the canonical database, and checks that the frozen head is derived.
+/// Throws EvalError when a rule uses negation or comparisons.
+bool cqContained(const Rule& q1, const Rule& q2);
+
+/// Program-level test used for constraints (0-ary `goal` heads, §5
+/// category (i)): every rule of `sub` whose head is `goal` must, on its
+/// canonical database, make `super` derive `goal`.
+/// Positive rules only.
+bool constraintSubsumedCanonical(const Program& sub, const Program& super,
+                                 const std::string& goal = "panic");
+
+}  // namespace faure::dl

@@ -1,0 +1,288 @@
+#include "datalog/lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace faure::dl {
+
+std::string_view tokName(Tok t) {
+  switch (t) {
+    case Tok::Ident:
+      return "identifier";
+    case Tok::CVarName:
+      return "c-variable";
+    case Tok::Int:
+      return "integer";
+    case Tok::PrefixLit:
+      return "prefix";
+    case Tok::Str:
+      return "string";
+    case Tok::LParen:
+      return "'('";
+    case Tok::RParen:
+      return "')'";
+    case Tok::LBracket:
+      return "'['";
+    case Tok::RBracket:
+      return "']'";
+    case Tok::LBrace:
+      return "'{'";
+    case Tok::RBrace:
+      return "'}'";
+    case Tok::Pipe:
+      return "'|'";
+    case Tok::Comma:
+      return "','";
+    case Tok::Dot:
+      return "'.'";
+    case Tok::ColonDash:
+      return "':-'";
+    case Tok::Bang:
+      return "'!'";
+    case Tok::Amp:
+      return "'&'";
+    case Tok::Eq:
+      return "'='";
+    case Tok::Ne:
+      return "'!='";
+    case Tok::Lt:
+      return "'<'";
+    case Tok::Le:
+      return "'<='";
+    case Tok::Gt:
+      return "'>'";
+    case Tok::Ge:
+      return "'>='";
+    case Tok::Plus:
+      return "'+'";
+    case Tok::Minus:
+      return "'-'";
+    case Tok::Star:
+      return "'*'";
+    case Tok::End:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool identCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '&';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skipSpaceAndComments();
+      Token t = next();
+      bool end = t.kind == Tok::End;
+      out.push_back(std::move(t));
+      if (end) return out;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError(msg, line_, col_);
+  }
+
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '%' || (c == '/' && peek(1) == '/')) {
+        while (pos_ < text_.size() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.column = col_;
+    return t;
+  }
+
+  Token next() {
+    if (pos_ >= text_.size()) return make(Tok::End);
+    Token t = make(Tok::End);
+    char c = peek();
+    if (identStart(c)) {
+      std::string word;
+      while (pos_ < text_.size() && identCont(peek())) word += advance();
+      if (word == "not") {
+        t.kind = Tok::Bang;
+        return t;
+      }
+      t.kind = word.size() > 1 && word.back() == '_' ? Tok::CVarName
+                                                     : Tok::Ident;
+      t.text = std::move(word);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return lexNumber();
+    advance();
+    switch (c) {
+      case '(':
+        t.kind = Tok::LParen;
+        return t;
+      case ')':
+        t.kind = Tok::RParen;
+        return t;
+      case '[':
+        t.kind = Tok::LBracket;
+        return t;
+      case ']':
+        t.kind = Tok::RBracket;
+        return t;
+      case '{':
+        t.kind = Tok::LBrace;
+        return t;
+      case '}':
+        t.kind = Tok::RBrace;
+        return t;
+      case '|':
+        t.kind = Tok::Pipe;
+        return t;
+      case ',':
+        t.kind = Tok::Comma;
+        return t;
+      case '.':
+        t.kind = Tok::Dot;
+        return t;
+      case '+':
+        t.kind = Tok::Plus;
+        return t;
+      case '-':
+        t.kind = Tok::Minus;
+        return t;
+      case '*':
+        t.kind = Tok::Star;
+        return t;
+      case '&':
+        t.kind = Tok::Amp;
+        return t;
+      case ':':
+        if (peek() == '-') {
+          advance();
+          t.kind = Tok::ColonDash;
+          return t;
+        }
+        fail("expected ':-'");
+      case '!':
+        if (peek() == '=') {
+          advance();
+          t.kind = Tok::Ne;
+          return t;
+        }
+        t.kind = Tok::Bang;
+        return t;
+      case '=':
+        t.kind = Tok::Eq;
+        return t;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          t.kind = Tok::Le;
+          return t;
+        }
+        t.kind = Tok::Lt;
+        return t;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          t.kind = Tok::Ge;
+          return t;
+        }
+        t.kind = Tok::Gt;
+        return t;
+      case '\'':
+      case '"': {
+        std::string word;
+        while (pos_ < text_.size() && peek() != c) word += advance();
+        if (pos_ >= text_.size()) fail("unterminated string literal");
+        advance();  // closing quote
+        t.kind = Tok::Str;
+        t.text = std::move(word);
+        return t;
+      }
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token lexNumber() {
+    Token t = make(Tok::Int);
+    std::string digits;
+    auto scanDigits = [&] {
+      std::string d;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        d += advance();
+      }
+      return d;
+    };
+    digits = scanDigits();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      // IPv4 literal: d.d.d.d[/len]
+      std::string text = digits;
+      for (int i = 0; i < 3; ++i) {
+        if (peek() != '.') fail("malformed IPv4 literal");
+        advance();
+        std::string oct = scanDigits();
+        if (oct.empty()) fail("malformed IPv4 literal");
+        text += "." + oct;
+      }
+      if (peek() == '/') {
+        advance();
+        std::string len = scanDigits();
+        if (len.empty()) fail("malformed prefix length");
+        text += "/" + len;
+      }
+      t.kind = Tok::PrefixLit;
+      t.text = std::move(text);
+      return t;
+    }
+    t.intVal = std::stoll(digits);
+    return t;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view text) { return Lexer(text).run(); }
+
+}  // namespace faure::dl

@@ -1,0 +1,64 @@
+// Tokenizer for the fauré-log text syntax.
+//
+// Surface syntax (ASCII rendering of the paper's notation):
+//
+//   R(f,n1,n2) :- F(f,n1,n3), R(f,n3,n2).          % recursion (q5)
+//   T1(f,n1,n2) :- R(f,n1,n2), x_ + y_ + z_ = 1.   % c-vars end in '_'
+//   panic :- R(Mkt, CS, p_), !Fw(Mkt, CS).         % negation, 0-ary head
+//   Lb2(x_,y_) :- Lb1(x_,y_)[x_ != Mkt].           % per-atom annotation
+//   P(1.2.3.4, [ABC]).                              % prefix & path literals
+//
+// Identifiers may contain '&' ("R&D"). '%' and '//' start line comments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faure::dl {
+
+enum class Tok : uint8_t {
+  Ident,     // predicate / variable / symbol constant
+  CVarName,  // identifier ending in '_'
+  Int,
+  PrefixLit,  // 1.2.3.4 or 10.0.0.0/8 (text in Token::text)
+  Str,        // quoted symbol
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Pipe,  // '|' — used by the textual database format (textio)
+  Comma,
+  Dot,
+  ColonDash,  // :-
+  Bang,       // ! (negation; '!=' lexes as Ne)
+  Amp,        // & (conjunction inside annotations)
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  End,
+};
+
+std::string_view tokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;     // Ident / CVarName / PrefixLit / Str payload
+  int64_t intVal = 0;   // Int payload
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes the whole input; throws ParseError on bad characters.
+std::vector<Token> lex(std::string_view text);
+
+}  // namespace faure::dl

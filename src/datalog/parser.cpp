@@ -1,0 +1,287 @@
+#include "datalog/parser.hpp"
+
+#include <cctype>
+
+#include "datalog/lexer.hpp"
+#include "util/error.hpp"
+
+namespace faure::dl {
+
+namespace {
+
+bool isArithOrCmp(Tok t) {
+  switch (t) {
+    case Tok::Eq:
+    case Tok::Ne:
+    case Tok::Lt:
+    case Tok::Le:
+    case Tok::Gt:
+    case Tok::Ge:
+    case Tok::Plus:
+    case Tok::Minus:
+    case Tok::Star:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, CVarRegistry& reg)
+      : tokens_(lex(text)), reg_(reg) {}
+
+  Program program() {
+    Program p;
+    while (peek().kind != Tok::End) p.rules.push_back(rule());
+    return p;
+  }
+
+  Rule singleRule() {
+    Rule r = rule();
+    expect(Tok::End);
+    return r;
+  }
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    const Token& t = peek();
+    throw ParseError(msg + " (got " + std::string(tokName(t.kind)) + ")",
+                     t.line, t.column);
+  }
+
+  const Token& expect(Tok kind) {
+    if (peek().kind != kind) {
+      fail("expected " + std::string(tokName(kind)));
+    }
+    return advance();
+  }
+
+  bool accept(Tok kind) {
+    if (peek().kind != kind) return false;
+    advance();
+    return true;
+  }
+
+  Rule rule() {
+    Rule r;
+    r.head = atom();
+    if (peek().kind == Tok::LBracket) annotation(r.cmps, /*headDrop=*/true);
+    if (accept(Tok::ColonDash)) {
+      do {
+        bodyItem(r);
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::Dot);
+    return r;
+  }
+
+  void bodyItem(Rule& r) {
+    const Token& t = peek();
+    if (t.kind == Tok::Bang) {
+      advance();
+      Literal lit;
+      lit.negated = true;
+      lit.atom = atom();
+      if (peek().kind == Tok::LBracket) {
+        // `!B(u)[c]` is ambiguous (does c scope under the negation?);
+        // write the condition as a separate comparison instead.
+        fail("condition annotations on negated atoms are not supported");
+      }
+      r.body.push_back(std::move(lit));
+      return;
+    }
+    // An identifier followed by '(' is a positive literal. A bare
+    // identifier NOT followed by an arithmetic/comparison operator is a
+    // 0-ary literal. Everything else is a comparison.
+    if (t.kind == Tok::Ident &&
+        (peek(1).kind == Tok::LParen || !isArithOrCmp(peek(1).kind))) {
+      Literal lit;
+      lit.atom = atom();
+      if (peek().kind == Tok::LBracket) annotation(r.cmps, false);
+      r.body.push_back(std::move(lit));
+      return;
+    }
+    r.cmps.push_back(comparison());
+  }
+
+  Atom atom() {
+    Atom a;
+    a.pred = expect(Tok::Ident).text;
+    if (accept(Tok::LParen)) {
+      if (!accept(Tok::RParen)) {
+        do {
+          a.args.push_back(term());
+        } while (accept(Tok::Comma));
+        expect(Tok::RParen);
+      }
+    }
+    return a;
+  }
+
+  // Parses a `[...]` annotation. Bare identifiers are condition
+  // metavariables (the φ of the paper) and are dropped — the evaluator
+  // propagates tuple conditions implicitly. Everything else must be a
+  // comparison and lands in `cmps`. `headDrop` marks head annotations,
+  // where even comparisons are redundant restatements of the body
+  // condition; we still parse them but drop everything to avoid double
+  // counting.
+  void annotation(std::vector<Comparison>& cmps, bool headDrop) {
+    expect(Tok::LBracket);
+    if (!accept(Tok::RBracket)) {
+      do {
+        if (peek().kind == Tok::Ident && !isArithOrCmp(peek(1).kind) &&
+            peek(1).kind != Tok::LParen) {
+          advance();  // metavariable
+          continue;
+        }
+        Comparison c = comparison();
+        if (!headDrop) cmps.push_back(std::move(c));
+      } while (accept(Tok::Comma) || accept(Tok::Amp));
+    }
+    expect(Tok::RBracket);
+  }
+
+  Comparison comparison() {
+    Comparison c;
+    c.lhs = linExpr();
+    switch (peek().kind) {
+      case Tok::Eq:
+        c.op = smt::CmpOp::Eq;
+        break;
+      case Tok::Ne:
+        c.op = smt::CmpOp::Ne;
+        break;
+      case Tok::Lt:
+        c.op = smt::CmpOp::Lt;
+        break;
+      case Tok::Le:
+        c.op = smt::CmpOp::Le;
+        break;
+      case Tok::Gt:
+        c.op = smt::CmpOp::Gt;
+        break;
+      case Tok::Ge:
+        c.op = smt::CmpOp::Ge;
+        break;
+      default:
+        fail("expected comparison operator");
+    }
+    advance();
+    c.rhs = linExpr();
+    return c;
+  }
+
+  LinExpr linExpr() {
+    LinExpr e;
+    bool negate = accept(Tok::Minus);
+    linTerm(e, negate ? -1 : 1);
+    while (true) {
+      if (accept(Tok::Plus)) {
+        linTerm(e, 1);
+      } else if (accept(Tok::Minus)) {
+        linTerm(e, -1);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  void linTerm(LinExpr& e, int64_t sign) {
+    if (peek().kind == Tok::Int) {
+      int64_t k = advance().intVal;
+      if (accept(Tok::Star)) {
+        Term t = term();
+        e.terms.emplace_back(std::move(t), sign * k);
+      } else {
+        e.cst += sign * k;
+      }
+      return;
+    }
+    Term t = term();
+    e.terms.emplace_back(std::move(t), sign);
+  }
+
+  Term term() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::Int:
+        advance();
+        return Term::constant_(Value::fromInt(t.intVal));
+      case Tok::Minus: {
+        advance();
+        const Token& n = expect(Tok::Int);
+        return Term::constant_(Value::fromInt(-n.intVal));
+      }
+      case Tok::PrefixLit:
+        advance();
+        return Term::constant_(Value::parsePrefix(t.text));
+      case Tok::Str:
+        advance();
+        return Term::constant_(Value::sym(t.text));
+      case Tok::LBracket:
+        return pathLiteral();
+      case Tok::CVarName: {
+        advance();
+        CVarId id = reg_.find(t.text);
+        if (id == CVarRegistry::kNotFound) {
+          id = reg_.declare(t.text, ValueType::Any);
+        }
+        return Term::cvariable(id);
+      }
+      case Tok::Ident: {
+        advance();
+        // Lowercase-initial identifiers are program variables; everything
+        // else is a symbol constant (Mkt, CS, R&D, ...).
+        if (std::islower(static_cast<unsigned char>(t.text[0]))) {
+          return Term::variable(t.text);
+        }
+        return Term::constant_(Value::sym(t.text));
+      }
+      default:
+        fail("expected a term");
+    }
+  }
+
+  Term pathLiteral() {
+    expect(Tok::LBracket);
+    std::vector<std::string> elems;
+    while (!accept(Tok::RBracket)) {
+      const Token& t = peek();
+      if (t.kind == Tok::Ident) {
+        elems.push_back(t.text);
+        advance();
+      } else if (t.kind == Tok::Int) {
+        elems.push_back(std::to_string(t.intVal));
+        advance();
+      } else {
+        fail("expected path element");
+      }
+      accept(Tok::Comma);
+    }
+    return Term::constant_(Value::path(elems));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  CVarRegistry& reg_;
+};
+
+}  // namespace
+
+Program parseProgram(std::string_view text, CVarRegistry& reg) {
+  return Parser(text, reg).program();
+}
+
+Rule parseRule(std::string_view text, CVarRegistry& reg) {
+  return Parser(text, reg).singleRule();
+}
+
+}  // namespace faure::dl

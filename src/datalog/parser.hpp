@@ -1,0 +1,23 @@
+// Recursive-descent parser for fauré-log programs (and plain datalog,
+// which is the c-variable-free special case).
+//
+// C-variables are resolved against — or declared into — the registry given
+// by the caller, so programs can reference variables whose domains were
+// declared programmatically (e.g. link-state bits x_, y_, z_ of §4).
+#pragma once
+
+#include <string_view>
+
+#include "datalog/ast.hpp"
+
+namespace faure::dl {
+
+/// Parses a whole program. Throws ParseError with line/column on bad
+/// syntax. Undeclared c-variables are declared into `reg` with type Any
+/// and an unbounded domain.
+Program parseProgram(std::string_view text, CVarRegistry& reg);
+
+/// Parses a single rule (must consume all input up to the final '.').
+Rule parseRule(std::string_view text, CVarRegistry& reg);
+
+}  // namespace faure::dl

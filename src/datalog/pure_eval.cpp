@@ -1,0 +1,401 @@
+#include "datalog/pure_eval.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "datalog/analysis.hpp"
+#include "util/error.hpp"
+
+namespace faure::dl {
+
+const rel::CTable& PureEvalResult::relation(const std::string& pred) const {
+  static const rel::CTable kEmpty;
+  auto it = idb.find(pred);
+  return it == idb.end() ? kEmpty : it->second;
+}
+
+namespace {
+
+/// A program variable binding frame: slot per variable of the current
+/// rule, with a statically known bound/unbound discipline (slots fill in
+/// literal order, so validity is tracked by the caller).
+using Frame = std::vector<Value>;
+
+class PureEvaluator {
+ public:
+  PureEvaluator(const Program& p, const rel::Database& db,
+                const PureEvalOptions& opts)
+      : p_(p), db_(db), opts_(opts) {}
+
+  PureEvalResult run() {
+    checkSafety(p_);
+    std::unordered_map<std::string, size_t> external;
+    for (const auto& [name, table] : db_.tables()) {
+      external.emplace(name, table.schema().arity());
+    }
+    checkArities(p_, external);
+    Stratification strat = stratify(p_);
+
+    for (size_t s = 0; s < strat.ruleStrata.size(); ++s) {
+      evalStratum(strat, s);
+    }
+    PureEvalResult result;
+    result.idb = std::move(idb_);
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  struct Range {
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+
+  const rel::CTable* findRelation(const std::string& pred) const {
+    auto it = idb_.find(pred);
+    if (it != idb_.end()) return &it->second;
+    const rel::CTable* t = db_.find(pred);
+    if (t != nullptr) checkGround(*t);
+    return t;
+  }
+
+  static void checkGround(const rel::CTable& t) {
+    for (const auto& row : t.rows()) {
+      if (!row.cond.isTrue()) {
+        throw EvalError("pure datalog over conditional table '" +
+                        t.schema().name() + "'; use the fauré-log engine");
+      }
+      for (const auto& v : row.vals) {
+        if (v.isCVar()) {
+          throw EvalError("pure datalog over c-variables in '" +
+                          t.schema().name() + "'; use the fauré-log engine");
+        }
+      }
+    }
+  }
+
+  rel::CTable& idbTable(const std::string& pred, size_t arity) {
+    auto it = idb_.find(pred);
+    if (it != idb_.end()) return it->second;
+    std::vector<rel::Attribute> attrs(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+    }
+    return idb_.emplace(pred, rel::CTable(rel::Schema(pred, attrs)))
+        .first->second;
+  }
+
+  void evalStratum(const Stratification& strat, size_t s) {
+    const auto& ruleIdx = strat.ruleStrata[s];
+    if (ruleIdx.empty()) return;
+    // Recursive predicates: IDB preds of this stratum.
+    std::set<std::string> thisStratum;
+    for (size_t ri : ruleIdx) thisStratum.insert(p_.rules[ri].head.pred);
+    // Make sure result tables exist even if nothing derives.
+    for (size_t ri : ruleIdx) {
+      idbTable(p_.rules[ri].head.pred, p_.rules[ri].head.args.size());
+    }
+
+    std::unordered_map<std::string, size_t> deltaStart;  // per recursive pred
+    for (const auto& pred : thisStratum) {
+      deltaStart[pred] = 0;
+    }
+
+    bool first = true;
+    for (size_t iter = 0; iter < opts_.maxIterations; ++iter) {
+      ++stats_.iterations;
+      // Snapshot sizes: rows appended this round stay invisible until the
+      // next round.
+      std::unordered_map<std::string, size_t> fullEnd;
+      for (const auto& pred : thisStratum) {
+        fullEnd[pred] = idb_.at(pred).size();
+      }
+      bool changed = false;
+      for (size_t ri : ruleIdx) {
+        const Rule& rule = p_.rules[ri];
+        std::vector<size_t> recursivePositions;
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          const Literal& lit = rule.body[i];
+          if (!lit.negated && thisStratum.count(lit.atom.pred) != 0) {
+            recursivePositions.push_back(i);
+          }
+        }
+        if (!first && recursivePositions.empty()) continue;
+        if (first || !opts_.semiNaive || recursivePositions.empty()) {
+          changed |= evalRule(rule, SIZE_MAX, deltaStart, fullEnd,
+                              thisStratum);
+        } else {
+          for (size_t pos : recursivePositions) {
+            changed |=
+                evalRule(rule, pos, deltaStart, fullEnd, thisStratum);
+          }
+        }
+      }
+      for (const auto& pred : thisStratum) deltaStart[pred] = fullEnd[pred];
+      first = false;
+      if (!changed) {
+        // One extra round may still be needed if rows were appended after
+        // their pred's snapshot; converged when no pred grew either.
+        bool grew = false;
+        for (const auto& pred : thisStratum) {
+          if (idb_.at(pred).size() != fullEnd[pred]) grew = true;
+        }
+        if (!grew) return;
+      }
+    }
+    throw EvalError("fixed point did not converge within iteration cap");
+  }
+
+  Range rangeFor(const std::string& pred, size_t litIndex, size_t deltaPos,
+                 size_t thisIndex,
+                 const std::unordered_map<std::string, size_t>& deltaStart,
+                 const std::unordered_map<std::string, size_t>& fullEnd,
+                 const std::set<std::string>& thisStratum,
+                 const rel::CTable& table) const {
+    (void)litIndex;
+    if (thisStratum.count(pred) == 0) return Range{0, table.size()};
+    size_t end = fullEnd.at(pred);
+    if (deltaPos == thisIndex) return Range{deltaStart.at(pred), end};
+    return Range{0, end};
+  }
+
+  // Evaluates one rule; `deltaPos` selects which recursive body literal is
+  // restricted to the last round's delta (SIZE_MAX = none; full ranges).
+  bool evalRule(const Rule& rule, size_t deltaPos,
+                const std::unordered_map<std::string, size_t>& deltaStart,
+                const std::unordered_map<std::string, size_t>& fullEnd,
+                const std::set<std::string>& thisStratum) {
+    std::vector<std::string> vars = ruleVariables(rule);
+    std::unordered_map<std::string, size_t> slotOf;
+    for (size_t i = 0; i < vars.size(); ++i) slotOf[vars[i]] = i;
+
+    std::vector<Frame> frames{Frame(vars.size())};
+    std::vector<bool> bound(vars.size(), false);
+    // Positive literals in written order.
+    for (size_t i = 0; i < rule.body.size() && !frames.empty(); ++i) {
+      const Literal& lit = rule.body[i];
+      if (lit.negated) continue;
+      const rel::CTable* table = findRelation(lit.atom.pred);
+      if (table == nullptr) {
+        throw EvalError("unknown relation '" + lit.atom.pred + "'");
+      }
+      Range range = rangeFor(lit.atom.pred, i, deltaPos, i, deltaStart,
+                             fullEnd, thisStratum, *table);
+      joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
+    }
+    // Comparisons.
+    for (const auto& cmp : rule.cmps) {
+      std::vector<Frame> kept;
+      for (auto& f : frames) {
+        if (evalComparison(cmp, f, slotOf)) kept.push_back(std::move(f));
+      }
+      frames = std::move(kept);
+    }
+    // Negated literals (closed world over fully computed relations).
+    for (const auto& lit : rule.body) {
+      if (!lit.negated) continue;
+      const rel::CTable* table = findRelation(lit.atom.pred);
+      std::vector<Frame> kept;
+      for (auto& f : frames) {
+        std::vector<Value> probe;
+        probe.reserve(lit.atom.args.size());
+        for (const auto& t : lit.atom.args) {
+          probe.push_back(groundTerm(t, f, slotOf));
+        }
+        bool present =
+            table != nullptr && !table->conditionOf(probe).isFalse();
+        if (!present) kept.push_back(std::move(f));
+      }
+      frames = std::move(kept);
+    }
+    // Derive heads.
+    bool changed = false;
+    rel::CTable& out = idbTable(rule.head.pred, rule.head.args.size());
+    for (const auto& f : frames) {
+      std::vector<Value> head;
+      head.reserve(rule.head.args.size());
+      for (const auto& t : rule.head.args) {
+        head.push_back(groundTerm(t, f, slotOf));
+      }
+      ++stats_.derivations;
+      if (out.insertConcrete(std::move(head))) {
+        ++stats_.inserted;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  static Value groundTerm(const Term& t, const Frame& f,
+                          const std::unordered_map<std::string, size_t>&
+                              slotOf) {
+    if (t.isConst()) return t.constant;
+    if (t.isCVar()) {
+      throw EvalError("c-variable in a pure datalog rule; use fauré-log");
+    }
+    return f[slotOf.at(t.var)];
+  }
+
+  // Joins the current frames with one positive literal via a hash index
+  // on the literal's bound positions.
+  void joinLiteral(const Atom& atom, const rel::CTable& table, Range range,
+                   const std::unordered_map<std::string, size_t>& slotOf,
+                   std::vector<Frame>& frames, std::vector<bool>& bound) {
+    // Classify argument positions.
+    struct Pos {
+      size_t arg;
+      enum { Const, BoundVar, FreeVar } kind;
+      size_t slot = 0;  // for vars
+      Value value;      // for consts
+    };
+    std::vector<Pos> positions;
+    positions.reserve(atom.args.size());
+    // First occurrence of a variable within this atom binds it; later
+    // occurrences within the same atom must match (e.g. E(x,x)).
+    std::vector<bool> nowBound = bound;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      Pos pos;
+      pos.arg = i;
+      if (t.isConst()) {
+        pos.kind = Pos::Const;
+        pos.value = t.constant;
+      } else if (t.isCVar()) {
+        throw EvalError("c-variable in a pure datalog rule; use fauré-log");
+      } else {
+        pos.slot = slotOf.at(t.var);
+        if (nowBound[pos.slot]) {
+          pos.kind = Pos::BoundVar;
+        } else {
+          pos.kind = Pos::FreeVar;
+          nowBound[pos.slot] = true;
+        }
+      }
+      positions.push_back(std::move(pos));
+    }
+
+    // Build the probe key layout: constants and variables bound BEFORE
+    // this literal. A repeated variable first bound within this atom is
+    // classified BoundVar for matching, but its frame slot holds no value
+    // yet, so it must not participate in the key.
+    std::vector<size_t> keyArgs;
+    for (const auto& pos : positions) {
+      if (pos.kind == Pos::Const ||
+          (pos.kind == Pos::BoundVar && bound[pos.slot])) {
+        keyArgs.push_back(pos.arg);
+      }
+    }
+
+    const auto& rows = table.rows();
+    std::vector<Frame> out;
+
+    // Attempts to extend frame `f` with one row; pushes the extension.
+    auto extend = [&](const Frame& f, const std::vector<Value>& rowVals) {
+      Frame nf = f;
+      for (const auto& pos : positions) {
+        const Value& v = rowVals[pos.arg];
+        switch (pos.kind) {
+          case Pos::Const:
+            if (!(v == pos.value)) return;
+            break;
+          case Pos::BoundVar:
+            if (!(v == nf[pos.slot])) return;
+            break;
+          case Pos::FreeVar:
+            nf[pos.slot] = v;
+            break;
+        }
+      }
+      // Repeated free variables within the atom (e.g. E(x,x)): the last
+      // assignment wins above, so verify every free position agrees.
+      for (const auto& pos : positions) {
+        if (pos.kind == Pos::FreeVar && !(rowVals[pos.arg] == nf[pos.slot])) {
+          return;
+        }
+      }
+      out.push_back(std::move(nf));
+    };
+
+    if (keyArgs.empty()) {
+      // Cross product with the whole range.
+      for (const auto& f : frames) {
+        for (size_t r = range.lo; r < range.hi; ++r) {
+          extend(f, rows[r].vals);
+        }
+      }
+    } else {
+      // Hash rows in range by key values.
+      std::unordered_map<size_t, std::vector<size_t>> index;
+      for (size_t r = range.lo; r < range.hi; ++r) {
+        size_t h = 0xcbf29ce484222325ULL;
+        for (size_t a : keyArgs) {
+          h = (h ^ rows[r].vals[a].hash()) * 1099511628211ULL;
+        }
+        index[h].push_back(r);
+      }
+      for (const auto& f : frames) {
+        size_t h = 0xcbf29ce484222325ULL;
+        for (size_t a : keyArgs) {
+          const Pos& pos = positions[a];
+          const Value& v =
+              pos.kind == Pos::Const ? pos.value : f[pos.slot];
+          h = (h ^ v.hash()) * 1099511628211ULL;
+        }
+        auto it = index.find(h);
+        if (it == index.end()) continue;
+        for (size_t r : it->second) {
+          extend(f, rows[r].vals);
+        }
+      }
+    }
+    frames = std::move(out);
+    bound = nowBound;
+  }
+
+  bool evalComparison(const Comparison& cmp, const Frame& f,
+                      const std::unordered_map<std::string, size_t>& slotOf) {
+    // Single-term vs single-term: direct value comparison (any type for
+    // =/!=). Otherwise both sides must fold to integers.
+    auto groundSide = [&](const LinExpr& e) -> std::optional<Value> {
+      if (e.isSingleTerm()) return groundTerm(e.terms[0].first, f, slotOf);
+      return std::nullopt;
+    };
+    std::optional<Value> lv = groundSide(cmp.lhs);
+    std::optional<Value> rv = groundSide(cmp.rhs);
+    if (lv && rv && (lv->kind() != Value::Kind::Int ||
+                     rv->kind() != Value::Kind::Int)) {
+      if (cmp.op == smt::CmpOp::Eq) return *lv == *rv;
+      if (cmp.op == smt::CmpOp::Ne) return *lv != *rv;
+      throw EvalError("ordered comparison on non-integer values");
+    }
+    auto intSide = [&](const LinExpr& e) {
+      int64_t acc = e.cst;
+      for (const auto& [t, c] : e.terms) {
+        Value v = groundTerm(t, f, slotOf);
+        if (v.kind() != Value::Kind::Int) {
+          throw EvalError("arithmetic on non-integer value " + v.toString());
+        }
+        acc += c * v.asInt();
+      }
+      return acc;
+    };
+    return smt::evalIntCmp(intSide(cmp.lhs), cmp.op, intSide(cmp.rhs));
+  }
+
+  const Program& p_;
+  const rel::Database& db_;
+  PureEvalOptions opts_;
+  PureEvalStats stats_;
+  std::map<std::string, rel::CTable> idb_;
+};
+
+}  // namespace
+
+PureEvalResult evalPure(const Program& p, const rel::Database& db,
+                        const PureEvalOptions& opts) {
+  return PureEvaluator(p, db, opts).run();
+}
+
+}  // namespace faure::dl

@@ -1,0 +1,53 @@
+// Pure (ground) datalog evaluation — eq. 2 of the paper.
+//
+// This is the classical engine fauré-log extends: relations hold constants
+// only, valuation maps program variables to constants, and negation is
+// closed-world over the computed strata. It serves three roles here:
+//   1. the baseline the paper departs from (benchmarked against the
+//      c-table engine on ground data),
+//   2. the substrate of classical canonical-database containment
+//      (containment.hpp), and
+//   3. a differential-testing oracle: fauré-log on a c-table must agree
+//      with pure datalog run on every possible world.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "datalog/ast.hpp"
+#include "relational/database.hpp"
+
+namespace faure::dl {
+
+struct PureEvalOptions {
+  /// Semi-naive (delta-driven) fixed point; naive re-derives everything
+  /// each round. Exposed to make the ablation measurable.
+  bool semiNaive = true;
+  /// Hard cap on fixed-point rounds (safety net; pure datalog always
+  /// terminates, this guards engine bugs).
+  size_t maxIterations = 1u << 20;
+};
+
+struct PureEvalStats {
+  uint64_t derivations = 0;  // head tuples produced (incl. duplicates)
+  uint64_t inserted = 0;     // distinct tuples added
+  size_t iterations = 0;     // fixed-point rounds across all strata
+};
+
+struct PureEvalResult {
+  /// Computed IDB relations (EDB relations are not copied).
+  std::map<std::string, rel::CTable> idb;
+  PureEvalStats stats;
+
+  /// Rows of a derived predicate (empty table if never derived).
+  const rel::CTable& relation(const std::string& pred) const;
+};
+
+/// Evaluates `p` against the ground EDB in `db`. Throws EvalError if any
+/// referenced EDB tuple contains a c-variable or a non-trivial condition
+/// (use the fauré-log evaluator for those), or if the program is unsafe /
+/// not stratifiable.
+PureEvalResult evalPure(const Program& p, const rel::Database& db,
+                        const PureEvalOptions& opts = {});
+
+}  // namespace faure::dl

@@ -1,0 +1,19 @@
+// Umbrella header: everything a typical user of the library needs.
+#pragma once
+
+#include "datalog/parser.hpp"        // IWYU pragma: export
+#include "faure/session.hpp"         // IWYU pragma: export
+#include "faurelog/answers.hpp"      // IWYU pragma: export
+#include "faurelog/eval.hpp"         // IWYU pragma: export
+#include "faurelog/textio.hpp"       // IWYU pragma: export
+#include "net/frr.hpp"               // IWYU pragma: export
+#include "net/pipeline.hpp"          // IWYU pragma: export
+#include "net/rib_gen.hpp"           // IWYU pragma: export
+#include "net/topology.hpp"          // IWYU pragma: export
+#include "relational/algebra.hpp"    // IWYU pragma: export
+#include "relational/worlds.hpp"     // IWYU pragma: export
+#include "smt/simplify.hpp"          // IWYU pragma: export
+#include "smt/solver.hpp"            // IWYU pragma: export
+#include "smt/z3_solver.hpp"         // IWYU pragma: export
+#include "verify/templates.hpp"      // IWYU pragma: export
+#include "verify/verifier.hpp"       // IWYU pragma: export

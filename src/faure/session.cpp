@@ -1,0 +1,61 @@
+#include "faure/session.hpp"
+
+#include "faurelog/textio.hpp"
+#include "smt/z3_solver.hpp"
+#include "util/error.hpp"
+
+namespace faure {
+
+Session::Session(Backend backend) : backend_(backend) {
+  if (backend_ == Backend::Z3) {
+    solver_ = smt::makeZ3Solver(db_.cvars());
+    if (solver_ == nullptr) {
+      throw EvalError("Session: this build has no Z3 backend");
+    }
+  } else {
+    solver_ = std::make_unique<smt::NativeSolver>(db_.cvars());
+  }
+}
+
+smt::SolverBase& Session::solver() { return *solver_; }
+
+void Session::load(std::string_view databaseText) {
+  fl::parseDatabaseInto(databaseText, db_);
+}
+
+fl::EvalResult Session::run(std::string_view programText) {
+  dl::Program program = dl::parseProgram(programText, db_.cvars());
+  fl::EvalResult res = fl::evalFaure(program, db_, solver_.get(), opts_);
+  for (auto& [pred, table] : res.idb) {
+    db_.put(table);
+  }
+  return res;
+}
+
+verify::StateCheck Session::check(std::string_view constraintText,
+                                  std::string name) {
+  verify::Constraint c =
+      verify::Constraint::parse(std::move(name), constraintText, db_.cvars());
+  return verify::RelativeVerifier::checkOnState(c, db_, *solver_);
+}
+
+verify::Verdict Session::subsumed(
+    const verify::Constraint& target,
+    const std::vector<verify::Constraint>& known) {
+  verify::RelativeVerifier v(db_.cvars());
+  return v.checkSubsumption(target, known);
+}
+
+verify::Verdict Session::subsumedAfterUpdate(
+    const verify::Constraint& target,
+    const std::vector<verify::Constraint>& known, const verify::Update& u) {
+  verify::RelativeVerifier v(db_.cvars());
+  return v.checkWithUpdate(target, known, u);
+}
+
+verify::Constraint Session::constraint(std::string name,
+                                       std::string_view text) {
+  return verify::Constraint::parse(std::move(name), text, db_.cvars());
+}
+
+}  // namespace faure

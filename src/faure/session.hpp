@@ -1,0 +1,75 @@
+// Session: the high-level entry point tying the layers together — a
+// database, a condition solver, and evaluation defaults — so common
+// workflows are one-liners:
+//
+//   faure::Session s;
+//   s.load("var x_ int 0 1\n"
+//          "table F(flow sym, from int, to int)\n"
+//          "row F f0 1 2 | x_ = 1\n");
+//   s.run("R(f,a,b) :- F(f,a,b).\n"
+//         "R(f,a,b) :- F(f,a,c), R(f,c,b).\n");   // IDB lands in the db
+//   auto verdict = s.check("panic :- !R('f0', 1, 2).");
+//
+// For fine-grained control use the layer APIs directly (faurelog/eval.hpp,
+// verify/verifier.hpp); Session is sugar, not a boundary.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "faurelog/eval.hpp"
+#include "verify/verifier.hpp"
+
+namespace faure {
+
+class Session {
+ public:
+  /// Backend for condition satisfiability.
+  enum class Backend { Native, Z3 };
+
+  explicit Session(Backend backend = Backend::Native);
+
+  /// The underlying database (tables + c-variable registry).
+  rel::Database& db() { return db_; }
+  const rel::Database& db() const { return db_; }
+  CVarRegistry& vars() { return db_.cvars(); }
+
+  /// Evaluation defaults applied by run()/check().
+  fl::EvalOptions& options() { return opts_; }
+
+  /// The session solver (rebuilt if you exchange the registry wholesale).
+  smt::SolverBase& solver();
+
+  /// Parses database text (docs/LANGUAGE.md) into the session database.
+  /// Declarations and rows accumulate across calls; table redeclaration
+  /// throws.
+  void load(std::string_view databaseText);
+
+  /// Evaluates a fauré-log program against the database; every derived
+  /// relation is stored back into the database (so later programs can
+  /// build on it) and the result is returned.
+  fl::EvalResult run(std::string_view programText);
+
+  /// Evaluates a constraint (panic program) against the database state —
+  /// the §5 level-(iii) check.
+  verify::StateCheck check(std::string_view constraintText,
+                           std::string name = "constraint");
+
+  /// Category (i)/(ii) tests against this session's registry.
+  verify::Verdict subsumed(const verify::Constraint& target,
+                           const std::vector<verify::Constraint>& known);
+  verify::Verdict subsumedAfterUpdate(
+      const verify::Constraint& target,
+      const std::vector<verify::Constraint>& known, const verify::Update& u);
+
+  /// Parses a constraint in this session's registry.
+  verify::Constraint constraint(std::string name, std::string_view text);
+
+ private:
+  Backend backend_;
+  rel::Database db_;
+  std::unique_ptr<smt::SolverBase> solver_;
+  fl::EvalOptions opts_;
+};
+
+}  // namespace faure

@@ -1,0 +1,53 @@
+#include "faurelog/answers.hpp"
+
+#include <set>
+
+namespace faure::fl {
+
+namespace {
+
+bool groundData(const std::vector<Value>& vals) {
+  for (const auto& v : vals) {
+    if (v.isCVar()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool isCertain(const rel::CTable& table, const std::vector<Value>& vals,
+               smt::SolverBase& solver) {
+  smt::Formula cond = table.conditionOf(vals);
+  if (cond.isFalse()) return false;
+  return solver.implies(smt::Formula::top(), cond);
+}
+
+bool isPossible(const rel::CTable& table, const std::vector<Value>& vals,
+                smt::SolverBase& solver) {
+  smt::Formula cond = table.conditionOf(vals);
+  return solver.check(cond) != smt::Sat::Unsat;
+}
+
+AnswerClasses classifyAnswers(const rel::CTable& table,
+                              smt::SolverBase& solver) {
+  AnswerClasses out;
+  std::set<std::vector<Value>> seen;
+  for (const auto& row : table.rows()) {
+    if (!groundData(row.vals)) {
+      out.open.push_back(row);
+      continue;
+    }
+    // Classify each data part once, against its full recorded condition
+    // (rows may be unconsolidated duplicates).
+    if (!seen.insert(row.vals).second) continue;
+    smt::Formula cond = table.conditionOf(row.vals);
+    if (solver.check(cond) == smt::Sat::Unsat) continue;
+    out.possible.push_back(row.vals);
+    if (solver.implies(smt::Formula::top(), cond)) {
+      out.certain.push_back(row.vals);
+    }
+  }
+  return out;
+}
+
+}  // namespace faure::fl

@@ -1,0 +1,45 @@
+// Certain and possible answers — the classical query semantics for
+// incomplete databases (Imieliński–Lipski), surfaced over fauré-log
+// results:
+//
+//   certain(q)  = tuples in q(I) for EVERY possible world I ∈ rep(T)
+//   possible(q) = tuples in q(I) for SOME  possible world I
+//
+// Over a c-table result these are condition tests: a row is certain when
+// its condition is valid, possible when it is satisfiable. Rows whose
+// data part contains a c-variable denote families of tuples and are
+// reported under `open` (their instantiation differs per world).
+#pragma once
+
+#include "relational/ctable.hpp"
+#include "smt/solver.hpp"
+
+namespace faure::fl {
+
+struct AnswerClasses {
+  /// Ground rows present in every world.
+  std::vector<std::vector<Value>> certain;
+  /// Ground rows present in at least one world (includes the certain
+  /// ones).
+  std::vector<std::vector<Value>> possible;
+  /// Rows whose data part is not ground (c-variables in columns); their
+  /// membership varies by world beyond a yes/no per tuple.
+  std::vector<rel::Row> open;
+};
+
+/// Classifies every row of a (consolidated) result table. Solver Unknown
+/// answers classify conservatively: not certain, but possible.
+AnswerClasses classifyAnswers(const rel::CTable& table,
+                              smt::SolverBase& solver);
+
+/// True when `vals` (a ground tuple) is a certain answer of `table`:
+/// the OR of the conditions recorded for this data part is valid.
+bool isCertain(const rel::CTable& table, const std::vector<Value>& vals,
+               smt::SolverBase& solver);
+
+/// True when `vals` is a possible answer: some recorded condition for
+/// this data part is satisfiable (Unknown counts as possible).
+bool isPossible(const rel::CTable& table, const std::vector<Value>& vals,
+                smt::SolverBase& solver);
+
+}  // namespace faure::fl

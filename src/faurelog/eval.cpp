@@ -1,0 +1,544 @@
+#include "faurelog/eval.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "datalog/analysis.hpp"
+#include "relational/algebra.hpp"
+#include "smt/simplify.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace faure::fl {
+
+const rel::CTable& EvalResult::relation(const std::string& pred) const {
+  static const rel::CTable kEmpty;
+  auto it = idb.find(pred);
+  return it == idb.end() ? kEmpty : it->second;
+}
+
+bool EvalResult::derived(const std::string& goal, smt::Formula* cond) const {
+  const rel::CTable& t = relation(goal);
+  if (cond != nullptr) {
+    std::vector<smt::Formula> conds;
+    for (const auto& row : t.rows()) conds.push_back(row.cond);
+    *cond = smt::Formula::disj(std::move(conds));
+  }
+  return !t.empty();
+}
+
+namespace {
+
+using dl::Program;
+using dl::Rule;
+using dl::Term;
+
+/// A partial c-valuation: values for the rule's program variables (slots
+/// fill in literal order) plus the accumulated condition.
+struct CFrame {
+  std::vector<Value> vals;
+  smt::Formula cond;
+};
+
+class FaureEvaluator {
+ public:
+  FaureEvaluator(const Program& p, const rel::Database& db,
+                 smt::SolverBase* solver, const EvalOptions& opts)
+      : p_(p), db_(db), solver_(solver), opts_(opts) {
+    if (solver_ == nullptr &&
+        (opts_.pruneWithSolver || opts_.mergeSubsumption)) {
+      throw EvalError(
+          "evalFaure: solver required for pruning / merge subsumption");
+    }
+  }
+
+  EvalResult run() {
+    util::Stopwatch total;
+    double solverBefore = solver_ != nullptr ? solver_->stats().seconds : 0.0;
+    uint64_t checksBefore = solver_ != nullptr ? solver_->stats().checks : 0;
+
+    dl::checkSafety(p_);
+    std::unordered_map<std::string, size_t> external;
+    for (const auto& [name, table] : db_.tables()) {
+      external.emplace(name, table.schema().arity());
+    }
+    dl::checkArities(p_, external);
+    dl::Stratification strat = dl::stratify(p_);
+
+    for (size_t s = 0; s < strat.ruleStrata.size(); ++s) {
+      evalStratum(strat, s);
+    }
+    if (opts_.consolidate) {
+      for (auto& [pred, table] : idb_) table.consolidate();
+    }
+    if (opts_.simplifyResults) {
+      if (solver_ == nullptr) {
+        throw EvalError("evalFaure: simplifyResults requires a solver");
+      }
+      for (auto& [pred, table] : idb_) {
+        for (size_t i = 0; i < table.size(); ++i) {
+          table.setCondition(
+              i, smt::simplify(table.rows()[i].cond, *solver_));
+        }
+        table.pruneIf(
+            [](const rel::Row& row) { return row.cond.isFalse(); });
+      }
+    }
+
+    EvalResult result;
+    result.idb = std::move(idb_);
+    result.stats = stats_;
+    if (solver_ != nullptr) {
+      result.stats.solverSeconds = solver_->stats().seconds - solverBefore;
+      result.stats.solverChecks = solver_->stats().checks - checksBefore;
+    }
+    result.stats.sqlSeconds = total.elapsed() - result.stats.solverSeconds;
+    return result;
+  }
+
+ private:
+  struct Range {
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+
+  const rel::CTable* findRelation(const std::string& pred) const {
+    auto it = idb_.find(pred);
+    if (it != idb_.end()) return &it->second;
+    return db_.find(pred);
+  }
+
+  // IDB table for `pred`; if an EDB relation with the same name exists its
+  // rows seed the table (the paper's q19 appends a fact to the EDB Lb).
+  rel::CTable& idbTable(const std::string& pred, size_t arity) {
+    auto it = idb_.find(pred);
+    if (it != idb_.end()) return it->second;
+    const rel::CTable* edb = db_.find(pred);
+    if (edb != nullptr) {
+      if (edb->schema().arity() != arity) {
+        throw EvalError("arity mismatch redefining '" + pred + "'");
+      }
+      return idb_.emplace(pred, *edb).first->second;
+    }
+    std::vector<rel::Attribute> attrs(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+    }
+    return idb_.emplace(pred, rel::CTable(rel::Schema(pred, attrs)))
+        .first->second;
+  }
+
+  void evalStratum(const dl::Stratification& strat, size_t s) {
+    const auto& ruleIdx = strat.ruleStrata[s];
+    if (ruleIdx.empty()) return;
+    std::set<std::string> thisStratum;
+    for (size_t ri : ruleIdx) thisStratum.insert(p_.rules[ri].head.pred);
+    for (size_t ri : ruleIdx) {
+      idbTable(p_.rules[ri].head.pred, p_.rules[ri].head.args.size());
+    }
+
+    std::unordered_map<std::string, size_t> deltaStart;
+    for (const auto& pred : thisStratum) deltaStart[pred] = 0;
+
+    bool first = true;
+    for (size_t iter = 0; iter < opts_.maxIterations; ++iter) {
+      ++stats_.iterations;
+      std::unordered_map<std::string, size_t> fullEnd;
+      for (const auto& pred : thisStratum) {
+        fullEnd[pred] = idb_.at(pred).size();
+      }
+      bool changed = false;
+      for (size_t ri : ruleIdx) {
+        const Rule& rule = p_.rules[ri];
+        std::vector<size_t> recursivePositions;
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          const dl::Literal& lit = rule.body[i];
+          if (!lit.negated && thisStratum.count(lit.atom.pred) != 0) {
+            recursivePositions.push_back(i);
+          }
+        }
+        if (!first && recursivePositions.empty()) continue;
+        if (first || !opts_.semiNaive || recursivePositions.empty()) {
+          changed |= evalRule(rule, SIZE_MAX, deltaStart, fullEnd,
+                              thisStratum);
+        } else {
+          for (size_t pos : recursivePositions) {
+            changed |= evalRule(rule, pos, deltaStart, fullEnd, thisStratum);
+          }
+        }
+      }
+      for (const auto& pred : thisStratum) deltaStart[pred] = fullEnd[pred];
+      first = false;
+      if (!changed) {
+        bool grew = false;
+        for (const auto& pred : thisStratum) {
+          if (idb_.at(pred).size() != fullEnd[pred]) grew = true;
+        }
+        if (!grew) return;
+      }
+    }
+    throw EvalError("fauré-log fixed point did not converge (cap reached)");
+  }
+
+  Range rangeFor(const std::string& pred, size_t deltaPos, size_t thisIndex,
+                 const std::unordered_map<std::string, size_t>& deltaStart,
+                 const std::unordered_map<std::string, size_t>& fullEnd,
+                 const std::set<std::string>& thisStratum,
+                 const rel::CTable& table) const {
+    if (thisStratum.count(pred) == 0) return Range{0, table.size()};
+    size_t end = fullEnd.at(pred);
+    if (deltaPos == thisIndex) return Range{deltaStart.at(pred), end};
+    return Range{0, end};
+  }
+
+  bool evalRule(const Rule& rule, size_t deltaPos,
+                const std::unordered_map<std::string, size_t>& deltaStart,
+                const std::unordered_map<std::string, size_t>& fullEnd,
+                const std::set<std::string>& thisStratum) {
+    std::vector<std::string> vars = dl::ruleVariables(rule);
+    std::unordered_map<std::string, size_t> slotOf;
+    for (size_t i = 0; i < vars.size(); ++i) slotOf[vars[i]] = i;
+
+    std::vector<CFrame> frames{CFrame{std::vector<Value>(vars.size()),
+                                      smt::Formula::top()}};
+    std::vector<bool> bound(vars.size(), false);
+
+    for (size_t i = 0; i < rule.body.size() && !frames.empty(); ++i) {
+      const dl::Literal& lit = rule.body[i];
+      if (lit.negated) continue;
+      const rel::CTable* table = findRelation(lit.atom.pred);
+      if (table == nullptr) {
+        throw EvalError("unknown relation '" + lit.atom.pred + "'");
+      }
+      Range range = rangeFor(lit.atom.pred, deltaPos, i, deltaStart, fullEnd,
+                             thisStratum, *table);
+      joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
+    }
+    // Explicit comparisons become condition atoms.
+    for (const auto& cmp : rule.cmps) {
+      std::vector<CFrame> kept;
+      for (auto& f : frames) {
+        smt::Formula c = comparisonFormula(cmp, f, slotOf);
+        smt::Formula cond = smt::Formula::conj2(f.cond, c);
+        if (cond.isFalse()) continue;
+        f.cond = std::move(cond);
+        kept.push_back(std::move(f));
+      }
+      frames = std::move(kept);
+    }
+    // Negated literals.
+    for (const auto& lit : rule.body) {
+      if (!lit.negated) continue;
+      applyNegation(lit.atom, slotOf, frames);
+    }
+    // Derive heads.
+    bool changed = false;
+    rel::CTable& out = idbTable(rule.head.pred, rule.head.args.size());
+    for (const auto& f : frames) {
+      std::vector<Value> head;
+      head.reserve(rule.head.args.size());
+      for (const auto& t : rule.head.args) {
+        head.push_back(groundTerm(t, f, slotOf));
+      }
+      changed |= derive(out, std::move(head), f.cond);
+    }
+    return changed;
+  }
+
+  bool derive(rel::CTable& out, std::vector<Value> vals, smt::Formula cond) {
+    if (cond.isFalse()) return false;
+    ++stats_.derivations;
+    // Syntactic subsumption first: most re-derivations repeat a condition
+    // (or a weaker conjunction of one) already recorded for the data part.
+    smt::Formula existing = out.conditionOf(vals);
+    if (smt::impliesSyntactically(cond, existing)) {
+      ++stats_.subsumed;
+      return false;
+    }
+    if (opts_.pruneWithSolver &&
+        solver_->check(cond) == smt::Sat::Unsat) {
+      ++stats_.prunedUnsat;
+      return false;
+    }
+    bool smallEnough =
+        existing.kind() != smt::Formula::Kind::Or ||
+        existing.node().kids.size() <= opts_.maxSubsumptionDisjuncts;
+    if (opts_.mergeSubsumption && !existing.isFalse() && smallEnough &&
+        solver_->implies(cond, existing)) {
+      ++stats_.subsumed;
+      return false;
+    }
+    bool appended = out.append(std::move(vals), std::move(cond));
+    if (appended) ++stats_.inserted;
+    return appended;
+  }
+
+  static Value groundTerm(const Term& t, const CFrame& f,
+                          const std::unordered_map<std::string, size_t>&
+                              slotOf) {
+    switch (t.kind) {
+      case Term::Kind::Const:
+        return t.constant;
+      case Term::Kind::CVar:
+        return Value::cvar(t.cvar);
+      case Term::Kind::Var:
+        return f.vals[slotOf.at(t.var)];
+    }
+    return t.constant;
+  }
+
+  // The c-domain match of two values: the condition under which they are
+  // equal (True for equal constants, False for distinct constants, an
+  // equality atom when a c-variable is involved).
+  static smt::Formula matchValues(const Value& a, const Value& b) {
+    return smt::Formula::cmp(a, smt::CmpOp::Eq, b);
+  }
+
+  void joinLiteral(const dl::Atom& atom, const rel::CTable& table,
+                   Range range,
+                   const std::unordered_map<std::string, size_t>& slotOf,
+                   std::vector<CFrame>& frames, std::vector<bool>& bound) {
+    struct Pos {
+      size_t arg;
+      enum Kind { Fixed, BoundVar, FreeVar } kind;
+      size_t slot = 0;   // vars
+      Value value;       // Fixed: constant or c-variable from the rule
+    };
+    std::vector<Pos> positions;
+    positions.reserve(atom.args.size());
+    std::vector<bool> nowBound = bound;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      Pos pos;
+      pos.arg = i;
+      if (t.isVar()) {
+        pos.slot = slotOf.at(t.var);
+        if (nowBound[pos.slot]) {
+          pos.kind = Pos::BoundVar;
+        } else {
+          pos.kind = Pos::FreeVar;
+          nowBound[pos.slot] = true;
+        }
+      } else {
+        pos.kind = Pos::Fixed;
+        pos.value = t.asValue();
+      }
+      positions.push_back(std::move(pos));
+    }
+
+    // Key positions: Fixed constants and variables bound BEFORE this
+    // literal. A Fixed position holding a rule c-variable matches any row
+    // value, and a variable first bound within this atom has no frame
+    // value yet — neither can key the index.
+    std::vector<size_t> keyArgs;
+    for (const auto& pos : positions) {
+      if ((pos.kind == Pos::Fixed && pos.value.isConstant()) ||
+          (pos.kind == Pos::BoundVar && bound[pos.slot])) {
+        keyArgs.push_back(pos.arg);
+      }
+    }
+
+    const auto& rows = table.rows();
+    std::vector<CFrame> out;
+
+    auto extend = [&](const CFrame& f, const rel::Row& row) {
+      smt::Formula cond = smt::Formula::conj2(f.cond, row.cond);
+      if (cond.isFalse()) return;
+      CFrame nf{f.vals, smt::Formula()};
+      for (const auto& pos : positions) {
+        const Value& v = row.vals[pos.arg];
+        Value lhs;
+        switch (pos.kind) {
+          case Pos::Fixed:
+            lhs = pos.value;
+            break;
+          case Pos::BoundVar:
+            lhs = nf.vals[pos.slot];
+            break;
+          case Pos::FreeVar:
+            nf.vals[pos.slot] = v;
+            continue;
+        }
+        smt::Formula eq = matchValues(lhs, v);
+        if (eq.isFalse()) return;
+        cond = smt::Formula::conj2(cond, eq);
+        if (cond.isFalse()) return;
+      }
+      nf.cond = std::move(cond);
+      out.push_back(std::move(nf));
+    };
+
+    if (keyArgs.empty()) {
+      for (const auto& f : frames) {
+        for (size_t r = range.lo; r < range.hi; ++r) extend(f, rows[r]);
+      }
+    } else {
+      // Rows with a c-variable in any key position match any probe; keep
+      // them aside and hash the rest.
+      std::unordered_map<size_t, std::vector<size_t>> index;
+      std::vector<size_t> wildRows;
+      for (size_t r = range.lo; r < range.hi; ++r) {
+        bool wild = false;
+        size_t h = 0xcbf29ce484222325ULL;
+        for (size_t a : keyArgs) {
+          const Value& v = rows[r].vals[a];
+          if (v.isCVar()) {
+            wild = true;
+            break;
+          }
+          h = (h ^ v.hash()) * 1099511628211ULL;
+        }
+        if (wild) {
+          wildRows.push_back(r);
+        } else {
+          index[h].push_back(r);
+        }
+      }
+      for (const auto& f : frames) {
+        // A probe value that is itself a c-variable matches any row value,
+        // so the index cannot be used for this frame.
+        bool probeWild = false;
+        size_t h = 0xcbf29ce484222325ULL;
+        for (size_t a : keyArgs) {
+          const Pos& pos = positions[a];
+          const Value& v =
+              pos.kind == Pos::Fixed ? pos.value : f.vals[pos.slot];
+          if (v.isCVar()) {
+            probeWild = true;
+            break;
+          }
+          h = (h ^ v.hash()) * 1099511628211ULL;
+        }
+        if (probeWild) {
+          for (size_t r = range.lo; r < range.hi; ++r) extend(f, rows[r]);
+          continue;
+        }
+        auto it = index.find(h);
+        if (it != index.end()) {
+          for (size_t r : it->second) extend(f, rows[r]);
+        }
+        for (size_t r : wildRows) extend(f, rows[r]);
+      }
+    }
+    frames = std::move(out);
+    bound = nowBound;
+  }
+
+  smt::Formula comparisonFormula(
+      const dl::Comparison& cmp, const CFrame& f,
+      const std::unordered_map<std::string, size_t>& slotOf) {
+    auto single = [&](const dl::LinExpr& e) -> std::optional<Value> {
+      if (e.isSingleTerm()) return groundTerm(e.terms[0].first, f, slotOf);
+      return std::nullopt;
+    };
+    std::optional<Value> lv = single(cmp.lhs);
+    std::optional<Value> rv = single(cmp.rhs);
+    if (lv && rv) return smt::Formula::cmp(*lv, cmp.op, *rv);
+    // Arithmetic comparison: lhs - rhs  op  0 over integer values and
+    // integer-typed c-variables.
+    smt::LinTerm diff;
+    auto accumulate = [&](const dl::LinExpr& e, int64_t sign) {
+      diff.cst += sign * e.cst;
+      std::vector<std::pair<CVarId, int64_t>> entries = diff.coefs;
+      for (const auto& [t, c] : e.terms) {
+        Value v = groundTerm(t, f, slotOf);
+        if (v.isCVar()) {
+          entries.emplace_back(v.asCVar(), sign * c);
+        } else if (v.kind() == Value::Kind::Int) {
+          diff.cst += sign * c * v.asInt();
+        } else {
+          throw TypeError("arithmetic on non-integer value " + v.toString());
+        }
+      }
+      diff = smt::LinTerm::make(std::move(entries), diff.cst);
+    };
+    accumulate(cmp.lhs, 1);
+    accumulate(cmp.rhs, -1);
+    return smt::Formula::lin(std::move(diff), cmp.op);
+  }
+
+  void applyNegation(const dl::Atom& atom,
+                     const std::unordered_map<std::string, size_t>& slotOf,
+                     std::vector<CFrame>& frames) {
+    if (opts_.openWorldNegation != nullptr) {
+      applyOpenWorldNegation(atom, slotOf, frames);
+      return;
+    }
+    const rel::CTable* table = findRelation(atom.pred);
+    std::vector<CFrame> kept;
+    for (auto& f : frames) {
+      std::vector<Value> probe;
+      probe.reserve(atom.args.size());
+      for (const auto& t : atom.args) probe.push_back(groundTerm(t, f, slotOf));
+      smt::Formula cond = f.cond;
+      if (table != nullptr) {
+        for (const auto& row : table->rows()) {
+          smt::Formula eq = rel::tupleEquality(probe, row.vals);
+          if (eq.isFalse()) continue;
+          cond = smt::Formula::conj2(
+              cond, smt::Formula::neg(smt::Formula::conj2(row.cond, eq)));
+          if (cond.isFalse()) break;
+        }
+      }
+      if (cond.isFalse()) continue;
+      f.cond = std::move(cond);
+      kept.push_back(std::move(f));
+    }
+    frames = std::move(kept);
+  }
+
+  // Open-world negation (containment reduction, §5): ¬B(u) holds exactly
+  // when u coincides with a listed negative fact of B.
+  void applyOpenWorldNegation(
+      const dl::Atom& atom,
+      const std::unordered_map<std::string, size_t>& slotOf,
+      std::vector<CFrame>& frames) {
+    const auto& facts = opts_.openWorldNegation->facts;
+    auto it = facts.find(atom.pred);
+    std::vector<CFrame> kept;
+    for (auto& f : frames) {
+      if (it == facts.end()) continue;  // nothing known absent: frame dies
+      std::vector<Value> probe;
+      probe.reserve(atom.args.size());
+      for (const auto& t : atom.args) probe.push_back(groundTerm(t, f, slotOf));
+      std::vector<smt::Formula> matches;
+      for (const auto& fact : it->second) {
+        if (fact.size() != probe.size()) {
+          throw EvalError("negative fact arity mismatch for '" + atom.pred +
+                          "'");
+        }
+        smt::Formula eq = rel::tupleEquality(probe, fact);
+        if (!eq.isFalse()) matches.push_back(std::move(eq));
+      }
+      smt::Formula cond =
+          smt::Formula::conj2(f.cond, smt::Formula::disj(std::move(matches)));
+      if (cond.isFalse()) continue;
+      f.cond = std::move(cond);
+      kept.push_back(std::move(f));
+    }
+    frames = std::move(kept);
+  }
+
+  const Program& p_;
+  const rel::Database& db_;
+  smt::SolverBase* solver_;
+  EvalOptions opts_;
+  EvalStats stats_;
+  std::map<std::string, rel::CTable> idb_;
+};
+
+}  // namespace
+
+EvalResult evalFaure(const dl::Program& p, const rel::Database& db,
+                     smt::SolverBase* solver, const EvalOptions& opts) {
+  return FaureEvaluator(p, db, solver, opts).run();
+}
+
+EvalResult evalFaure(const dl::Program& p, const rel::Database& db) {
+  smt::NativeSolver solver(db.cvars());
+  return evalFaure(p, db, &solver, EvalOptions{});
+}
+
+}  // namespace faure::fl

@@ -1,0 +1,100 @@
+// Fauré-log evaluation over c-tables — the paper's core contribution (§3).
+//
+// The evaluator implements the c-valuation v^C: program variables range
+// over the c-domain (constants ∪ c-variables); a constant in a rule
+// matches an equal constant outright and matches a c-variable by
+// conjoining the equality into the derived tuple's condition; explicit
+// comparisons become condition atoms. Recursion uses a stratified
+// semi-naive fixed point; negation is closed-world over the (fully
+// computed) lower stratum, contributing the conjunction of the negated
+// matches' complements — exactly the c-table difference semantics.
+//
+// The optional "solver step" mirrors the paper's pipeline (§6): every
+// derived condition can be checked and contradictory tuples discarded;
+// stats report relational ("sql") time and solver time separately so the
+// Table-4 harness can print the same columns as the paper.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.hpp"
+#include "relational/database.hpp"
+#include "smt/solver.hpp"
+
+namespace faure::fl {
+
+/// Explicitly-known-absent tuples, used by the containment reduction
+/// (§5): in open-world mode a negated literal matches only these.
+struct NegativeFacts {
+  /// pred -> list of data parts (over the c-domain) known absent.
+  std::map<std::string, std::vector<std::vector<Value>>> facts;
+
+  bool empty() const { return facts.empty(); }
+};
+
+struct EvalOptions {
+  /// Delta-driven fixed point (ablation: naive re-derivation when false).
+  bool semiNaive = true;
+  /// Check each derived condition for satisfiability and drop
+  /// contradictory tuples (the paper's Z3 step). Soundness does not
+  /// depend on it; result size and downstream cost do.
+  bool pruneWithSolver = true;
+  /// Skip a derived tuple when its condition is semantically implied by
+  /// what is already recorded for the same data part. Needed for
+  /// termination on condition-growing cycles; syntactic dedup alone
+  /// handles the common case.
+  bool mergeSubsumption = true;
+  /// Skip the *semantic* subsumption check once the recorded condition
+  /// has grown past this many disjuncts: against a large disjunction the
+  /// check rarely succeeds and its refutation is expensive. The syntactic
+  /// check still applies, so termination on finite atom sets is kept.
+  size_t maxSubsumptionDisjuncts = 32;
+  /// Consolidate rows with equal data parts (OR their conditions) in the
+  /// final result.
+  bool consolidate = true;
+  /// Semantically simplify every result condition (smt/simplify.hpp):
+  /// smaller outputs at the cost of extra solver calls. Off by default.
+  bool simplifyResults = false;
+  /// Open-world negation for the containment reduction: when set, a
+  /// negated literal matches only the listed negative facts instead of
+  /// complementing the computed relation.
+  const NegativeFacts* openWorldNegation = nullptr;
+  /// Safety cap on fixed-point rounds.
+  size_t maxIterations = 1u << 20;
+};
+
+struct EvalStats {
+  uint64_t derivations = 0;   // candidate head tuples (pre-prune)
+  uint64_t inserted = 0;      // rows appended
+  uint64_t prunedUnsat = 0;   // dropped by the solver step
+  uint64_t subsumed = 0;      // dropped by the merge-subsumption check
+  size_t iterations = 0;
+  double sqlSeconds = 0.0;     // relational work (matching, joining)
+  double solverSeconds = 0.0;  // condition satisfiability checks
+  uint64_t solverChecks = 0;
+};
+
+struct EvalResult {
+  std::map<std::string, rel::CTable> idb;
+  EvalStats stats;
+
+  const rel::CTable& relation(const std::string& pred) const;
+
+  /// True when the 0-ary predicate `goal` was derived; `cond` (optional)
+  /// receives the disjunction of its derivation conditions.
+  bool derived(const std::string& goal, smt::Formula* cond = nullptr) const;
+};
+
+/// Evaluates a fauré-log program against `db`. `solver` decides condition
+/// satisfiability (pass a NativeSolver over db.cvars(), or a Z3 backend);
+/// it may be null only when both pruneWithSolver and mergeSubsumption are
+/// disabled.
+EvalResult evalFaure(const dl::Program& p, const rel::Database& db,
+                     smt::SolverBase* solver, const EvalOptions& opts = {});
+
+/// Convenience: evaluates with a fresh NativeSolver and default options.
+EvalResult evalFaure(const dl::Program& p, const rel::Database& db);
+
+}  // namespace faure::fl

@@ -1,0 +1,46 @@
+// Textual database format: declare c-variables, schemas, and conditional
+// rows in a plain file, so fauré can be driven without writing C++
+// (used by the `faure` CLI and by tests).
+//
+// Syntax (one statement per line; '%' and '//' start comments):
+//
+//   var x_ int 0 1                 % integer c-variable with domain [0,1]
+//   var p_ int                     % unbounded integer
+//   var s_ sym { Mkt, R&D }        % symbol with finite domain
+//   var d_ prefix                  % IPv4-prefix-valued unknown
+//   var q_ any                     % untyped
+//
+//   table F(flow sym, from int, to int)
+//   table R(a any, b any)          % `any` columns accept every type
+//
+//   row F f0 1 2 | x_ = 1          % condition after '|': & (and),
+//   row F f0 1 3 | x_ = 0 & p_ != 80   %   | (or), parentheses
+//   row F f0 4 5                   % no condition = regular tuple
+//   row P 1.2.3.4 [A B C]          % prefix and path literals
+//   row P 1.2.3.5 s_               % c-variables as data entries
+//
+// Rows are ground: identifiers denote symbol constants (regardless of
+// case), `x_`-style names denote c-variables; there are no program
+// variables in this format.
+#pragma once
+
+#include <string_view>
+
+#include "relational/database.hpp"
+
+namespace faure::fl {
+
+/// Parses the textual format into a fresh database. Throws ParseError
+/// (with position info) on malformed input, TypeError/EvalError on
+/// inconsistent declarations.
+rel::Database parseDatabase(std::string_view text);
+
+/// Parses into an existing database: declarations and rows accumulate
+/// (existing c-variables may be referenced; redeclaring a name throws).
+void parseDatabaseInto(std::string_view text, rel::Database& db);
+
+/// Serializes a database back into the textual format (modulo comments
+/// and ordering); parseDatabase(formatDatabase(db)) reproduces db.
+std::string formatDatabase(const rel::Database& db);
+
+}  // namespace faure::fl

@@ -1,0 +1,48 @@
+#include "net/frr.hpp"
+
+#include "smt/formula.hpp"
+
+namespace faure::net {
+
+CVarId FrrNetwork::declareBit(rel::Database& db, const std::string& name) {
+  CVarId id = db.cvars().find(name);
+  if (id != CVarRegistry::kNotFound) return id;
+  return db.cvars().declareInt(name, 0, 1);
+}
+
+rel::CTable& FrrNetwork::buildForwarding(rel::Database& db,
+                                         const std::string& tableName) const {
+  rel::CTable& f = db.has(tableName)
+                       ? db.table(tableName)
+                       : db.create(rel::Schema(
+                             tableName, {{"flow", ValueType::Sym},
+                                         {"from", ValueType::Int},
+                                         {"to", ValueType::Int}}));
+  for (const auto& [flow, rule] : rules_) {
+    smt::Formula cond = smt::Formula::top();
+    if (!rule.bit.empty()) {
+      CVarId bit = declareBit(db, rule.bit);
+      cond = smt::Formula::cmp(Value::cvar(bit), smt::CmpOp::Eq,
+                               Value::fromInt(rule.whenBitIs));
+    }
+    f.insert({Value::sym(flow), Value::fromInt(rule.from),
+              Value::fromInt(rule.to)},
+             std::move(cond));
+  }
+  return f;
+}
+
+FrrNetwork FrrNetwork::figure1() {
+  FrrNetwork net;
+  const std::string f = "f0";
+  net.add(f, {1, 2, "x_", 1});
+  net.add(f, {1, 3, "x_", 0});
+  net.add(f, {2, 3, "y_", 1});
+  net.add(f, {2, 4, "y_", 0});
+  net.add(f, {3, 5, "z_", 1});
+  net.add(f, {3, 4, "z_", 0});
+  net.add(f, {4, 5, "", 1});
+  return net;
+}
+
+}  // namespace faure::net

@@ -1,0 +1,55 @@
+// Fast-reroute network modeling (§4, Figure 1).
+//
+// A FrrNetwork describes a set of forwarding rules in which some links are
+// "protected": each protected link carries a failure bit (a {0,1}-domain
+// c-variable; 1 = link up) and a backup next hop used when the bit is 0.
+// buildForwarding() emits the single c-table F(flow, from, to) that —
+// exactly as the paper argues — captures every failure combination at
+// once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/database.hpp"
+
+namespace faure::net {
+
+/// One forwarding decision at a node for a flow.
+struct ForwardingRule {
+  int64_t from = 0;
+  int64_t to = 0;
+  /// Name of the failure bit guarding this hop; empty = unconditional.
+  std::string bit;
+  /// Hop is used when the bit equals this value (1 = primary on a
+  /// protected link, 0 = backup detour).
+  int64_t whenBitIs = 1;
+};
+
+/// A fast-reroute configuration for a set of flows.
+class FrrNetwork {
+ public:
+  /// Declares a protected link's failure bit in `db` (domain {0,1}).
+  /// Returns its id. Idempotent per name.
+  static CVarId declareBit(rel::Database& db, const std::string& name);
+
+  /// Adds a rule for `flow`.
+  void add(const std::string& flow, ForwardingRule rule) {
+    rules_.emplace_back(flow, std::move(rule));
+  }
+
+  /// Materializes F(flow, from, to) into `db`, declaring any referenced
+  /// bits. Table name defaults to "F".
+  rel::CTable& buildForwarding(rel::Database& db,
+                               const std::string& tableName = "F") const;
+
+  /// The paper's Figure 1 network: nodes 1..5, protected links (1,2),
+  /// (2,3), (3,5) with bits x_, y_, z_ and backups 1->3, 2->4, 3->4;
+  /// (4,5) unprotected. One flow "f0".
+  static FrrNetwork figure1();
+
+ private:
+  std::vector<std::pair<std::string, ForwardingRule>> rules_;
+};
+
+}  // namespace faure::net

@@ -1,0 +1,38 @@
+// The Table-4 experiment pipeline (§6): all-pairs reachability by
+// recursion (q4-q5) followed by the three failure-pattern queries
+// (q6-q8) of Listing 2, with per-query relational ("sql") and solver
+// timing — the same columns the paper reports.
+#pragma once
+
+#include "faurelog/eval.hpp"
+#include "net/rib_gen.hpp"
+
+namespace faure::net {
+
+struct QueryTiming {
+  double sqlSeconds = 0.0;
+  double solverSeconds = 0.0;
+  uint64_t tuples = 0;
+};
+
+struct Table4Result {
+  QueryTiming q45;  // recursion (all pairs, per flow)
+  QueryTiming q6;   // reachability under 2-link failure
+  QueryTiming q7;   // hubA -> hubB under 2-link failure incl. (2,3) down
+  QueryTiming q8;   // reachability from hubA with at least 1 failure
+};
+
+/// Runs the pipeline on a database holding the forwarding table F
+/// produced by generateRib/loadRibText. Derived relations R, T1, T2, T3
+/// are left in `db` for inspection. `opts` applies to every query.
+Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
+                       smt::SolverBase& solver,
+                       const fl::EvalOptions& opts = {});
+
+/// Formats a Table4Result row like the paper's Table 4.
+std::string formatTable4Row(size_t numPrefixes, const Table4Result& r);
+
+/// The paper's Table-4 header.
+std::string table4Header();
+
+}  // namespace faure::net

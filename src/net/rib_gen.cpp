@@ -1,0 +1,147 @@
+#include "net/rib_gen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "smt/formula.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace faure::net {
+
+namespace {
+
+const char* kBitNames[] = {"x_", "y_", "z_"};
+
+std::vector<CVarId> declareBits(rel::Database& db, size_t count) {
+  std::vector<CVarId> bits;
+  for (size_t i = 0; i < count; ++i) {
+    std::string name = i < 3 ? kBitNames[i] : "b" + std::to_string(i) + "_";
+    CVarId id = db.cvars().find(name);
+    if (id == CVarRegistry::kNotFound) {
+      id = db.cvars().declareInt(name, 0, 1);
+    }
+    bits.push_back(id);
+  }
+  return bits;
+}
+
+rel::CTable& forwardingTable(rel::Database& db, const std::string& name) {
+  if (db.has(name)) return db.table(name);
+  return db.create(rel::Schema(name, {{"flow", ValueType::Prefix},
+                                      {"from", ValueType::Int},
+                                      {"to", ValueType::Int}}));
+}
+
+/// Guard for the path at preference position `rank` among `total` paths:
+/// the primary (rank 0) needs bit0 = 1; backup k needs bits 0..k-1 = 0
+/// and bit k = 1; the least-preferred path is the last resort, used when
+/// all bits are 0.
+smt::Formula pathGuard(const std::vector<CVarId>& bits, size_t rank,
+                       size_t total) {
+  std::vector<smt::Formula> parts;
+  for (size_t i = 0; i < rank; ++i) {
+    parts.push_back(smt::Formula::cmp(Value::cvar(bits[i]), smt::CmpOp::Eq,
+                                      Value::fromInt(0)));
+  }
+  if (rank + 1 < total) {
+    parts.push_back(smt::Formula::cmp(Value::cvar(bits[rank]),
+                                      smt::CmpOp::Eq, Value::fromInt(1)));
+  }
+  return smt::Formula::conj(std::move(parts));
+}
+
+void emitPath(rel::CTable& f, const Value& flow,
+              const std::vector<int64_t>& path, const smt::Formula& guard) {
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    f.insert({flow, Value::fromInt(path[i]), Value::fromInt(path[i + 1])},
+             guard);
+  }
+}
+
+}  // namespace
+
+RibGenResult generateRib(rel::Database& db, const RibConfig& cfg,
+                         const std::string& tableName) {
+  if (cfg.pathsPerPrefix < 2) {
+    throw EvalError("RibConfig: need at least a primary and one backup");
+  }
+  util::Rng rng(cfg.seed);
+  RibGenResult result;
+  result.bits = declareBits(db, cfg.pathsPerPrefix - 1);
+  rel::CTable& f = forwardingTable(db, tableName);
+
+  for (size_t p = 0; p < cfg.numPrefixes; ++p) {
+    // Prefix 10.a.b.0/24 — unique per p.
+    uint32_t addr = (10u << 24) | (static_cast<uint32_t>(p) << 8);
+    Value flow = Value::prefix(addr, 24);
+    // A per-prefix destination AS shared by all its paths.
+    int64_t dst = 3 + static_cast<int64_t>(rng.below(cfg.asPoolSize));
+    for (size_t rank = 0; rank < cfg.pathsPerPrefix; ++rank) {
+      size_t len = static_cast<size_t>(
+          rng.range(static_cast<int64_t>(cfg.minPathLen),
+                    static_cast<int64_t>(cfg.maxPathLen)));
+      std::vector<int64_t> path;
+      if (rng.chance(cfg.hubProbability)) {
+        path.push_back(result.hubA);
+        path.push_back(result.hubB);
+      }
+      while (path.size() + 1 < len) {
+        int64_t as = 3 + static_cast<int64_t>(rng.below(cfg.asPoolSize));
+        if (!path.empty() && path.back() == as) continue;
+        if (as == dst) continue;
+        path.push_back(as);
+      }
+      path.push_back(dst);
+      if (path.size() < 2) path.insert(path.begin(), result.hubA);
+      emitPath(f, flow, path, pathGuard(result.bits, rank,
+                                        cfg.pathsPerPrefix));
+    }
+  }
+  result.forwardingRows = f.size();
+  return result;
+}
+
+RibGenResult loadRibText(rel::Database& db, const std::string& text,
+                         const std::string& tableName) {
+  // First pass: group routes per prefix to learn the backup count.
+  std::map<std::string, std::vector<std::vector<int64_t>>> routes;
+  size_t maxPaths = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string prefix;
+    fields >> prefix;
+    std::vector<int64_t> path;
+    int64_t as = 0;
+    while (fields >> as) path.push_back(as);
+    if (path.size() < 2) {
+      throw EvalError("RIB line needs a prefix and at least two ASes: " +
+                      line);
+    }
+    auto& list = routes[prefix];
+    list.push_back(std::move(path));
+    maxPaths = std::max(maxPaths, list.size());
+  }
+  if (routes.empty()) throw EvalError("empty RIB input");
+
+  RibGenResult result;
+  result.bits = declareBits(db, std::max<size_t>(maxPaths, 2) - 1);
+  rel::CTable& f = forwardingTable(db, tableName);
+  for (const auto& [prefix, paths] : routes) {
+    Value flow = Value::parsePrefix(prefix);
+    for (size_t rank = 0; rank < paths.size(); ++rank) {
+      emitPath(f, flow, paths[rank],
+               pathGuard(result.bits, rank, paths.size()));
+    }
+  }
+  result.forwardingRows = f.size();
+  return result;
+}
+
+}  // namespace faure::net

@@ -1,0 +1,59 @@
+// Synthetic BGP-RIB workload generator — substitute for the
+// route-views2.oregon-ix.net RIB used in §6 (see DESIGN.md).
+//
+// The paper's methodology, reproduced here: for each prefix, pick several
+// AS paths; one is the primary, the rest are backups ordered by
+// preference, and backup k is used exactly when the primary and all
+// higher-preference backups have failed. Failure state is encoded by
+// shared {0,1} c-variables; the first three are named x_, y_, z_ so that
+// Listing 2's failure-pattern queries (q6-q8) apply verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/database.hpp"
+
+namespace faure::net {
+
+struct RibConfig {
+  /// Number of prefixes (the sweep variable of Table 4).
+  size_t numPrefixes = 1000;
+  /// AS paths per prefix: 1 primary + (pathsPerPrefix-1) backups. The
+  /// generator declares pathsPerPrefix-1 failure bits.
+  size_t pathsPerPrefix = 5;
+  /// AS numbers are drawn from [3, asPoolSize+2] (1 and 2 are hubs).
+  size_t asPoolSize = 1000;
+  /// AS-path length range (number of nodes).
+  size_t minPathLen = 3;
+  size_t maxPathLen = 5;
+  /// Probability that a generated path is routed through hub ASes 1->2,
+  /// making the q7-style point-to-point query meaningful.
+  double hubProbability = 0.3;
+  uint64_t seed = 42;
+};
+
+struct RibGenResult {
+  /// Failure-bit variables, preference order (bits[0] is "x_").
+  std::vector<CVarId> bits;
+  /// Designated hub ASes (always 1 and 2).
+  int64_t hubA = 1;
+  int64_t hubB = 2;
+  /// Rows materialized into F.
+  size_t forwardingRows = 0;
+};
+
+/// Generates the forwarding c-table F(flow, from, to) for `cfg` into `db`
+/// (flow = the prefix). Deterministic in cfg.seed.
+RibGenResult generateRib(rel::Database& db, const RibConfig& cfg,
+                         const std::string& tableName = "F");
+
+/// Loads a RIB-like text file: one line per route,
+/// `<prefix> <AS> <AS> ...` (first line per prefix = primary, later lines
+/// = backups in preference order). Plug-in point for real RIB dumps.
+/// Returns the same structure as generateRib.
+RibGenResult loadRibText(rel::Database& db, const std::string& text,
+                         const std::string& tableName = "F");
+
+}  // namespace faure::net

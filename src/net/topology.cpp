@@ -1,0 +1,123 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace faure::net {
+
+std::vector<int64_t> Topology::neighbors(int64_t n) const {
+  std::vector<int64_t> out;
+  for (const auto& l : links) {
+    if (l.a == n) out.push_back(l.b);
+    if (l.b == n) out.push_back(l.a);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Topology makeLine(int64_t n) {
+  if (n < 1) throw EvalError("makeLine: need at least one node");
+  Topology t;
+  t.nodeCount = n;
+  for (int64_t i = 1; i < n; ++i) t.links.push_back({i, i + 1});
+  return t;
+}
+
+Topology makeRing(int64_t n) {
+  if (n < 3) throw EvalError("makeRing: need at least three nodes");
+  Topology t = makeLine(n);
+  t.links.push_back({n, 1});
+  return t;
+}
+
+Topology makeStar(int64_t n) {
+  if (n < 2) throw EvalError("makeStar: need at least two nodes");
+  Topology t;
+  t.nodeCount = n;
+  for (int64_t i = 2; i <= n; ++i) t.links.push_back({1, i});
+  return t;
+}
+
+Topology makeClos(int64_t spines, int64_t leaves, int64_t hostsPerLeaf) {
+  if (spines < 1 || leaves < 1 || hostsPerLeaf < 0) {
+    throw EvalError("makeClos: bad shape");
+  }
+  Topology t;
+  t.nodeCount = spines + leaves + leaves * hostsPerLeaf;
+  for (int64_t s = 1; s <= spines; ++s) {
+    for (int64_t l = 0; l < leaves; ++l) {
+      t.links.push_back({s, spines + 1 + l});
+    }
+  }
+  int64_t host = spines + leaves + 1;
+  for (int64_t l = 0; l < leaves; ++l) {
+    for (int64_t h = 0; h < hostsPerLeaf; ++h) {
+      t.links.push_back({spines + 1 + l, host++});
+    }
+  }
+  return t;
+}
+
+Topology makeRandom(int64_t n, double p, uint64_t seed) {
+  Topology t = makeLine(n);  // spanning line keeps the graph connected
+  util::Rng rng(seed);
+  for (int64_t a = 1; a <= n; ++a) {
+    for (int64_t b = a + 2; b <= n; ++b) {  // +2: line already has (i,i+1)
+      if (rng.chance(p)) t.links.push_back({a, b});
+    }
+  }
+  return t;
+}
+
+FrrDerivation deriveFrrTowards(const Topology& topo, int64_t dst,
+                               const FrrFromTopologyOptions& opts) {
+  if (dst < 1 || dst > topo.nodeCount) {
+    throw EvalError("deriveFrrTowards: destination outside the topology");
+  }
+  // BFS distances from dst.
+  std::vector<int64_t> dist(static_cast<size_t>(topo.nodeCount) + 1, -1);
+  std::deque<int64_t> queue{dst};
+  dist[static_cast<size_t>(dst)] = 0;
+  while (!queue.empty()) {
+    int64_t n = queue.front();
+    queue.pop_front();
+    for (int64_t nb : topo.neighbors(n)) {
+      if (dist[static_cast<size_t>(nb)] == -1) {
+        dist[static_cast<size_t>(nb)] = dist[static_cast<size_t>(n)] + 1;
+        queue.push_back(nb);
+      }
+    }
+  }
+
+  util::Rng rng(opts.seed);
+  FrrDerivation out;
+  for (int64_t n = 1; n <= topo.nodeCount; ++n) {
+    if (n == dst || dist[static_cast<size_t>(n)] == -1) continue;
+    // Downhill neighbors (closer to dst), in id order for determinism.
+    std::vector<int64_t> downhill;
+    for (int64_t nb : topo.neighbors(n)) {
+      if (dist[static_cast<size_t>(nb)] ==
+          dist[static_cast<size_t>(n)] - 1) {
+        downhill.push_back(nb);
+      }
+    }
+    int64_t primary = downhill.front();
+    bool isProtected =
+        downhill.size() > 1 && rng.chance(opts.protectedFraction);
+    if (!isProtected) {
+      out.network.add(opts.flow, {n, primary, "", 1});
+      continue;
+    }
+    std::string bit = "l" + std::to_string(n) + "_";
+    out.bits.push_back(bit);
+    out.network.add(opts.flow, {n, primary, bit, 1});
+    out.network.add(opts.flow, {n, downhill[1], bit, 0});
+  }
+  return out;
+}
+
+}  // namespace faure::net

@@ -1,0 +1,69 @@
+// Topology generators: structured networks with protected links, feeding
+// the FRR builder. These provide the workloads the paper's introduction
+// motivates (enterprise / datacenter fabrics) beyond the Figure-1 toy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frr.hpp"
+
+namespace faure::net {
+
+/// An undirected link in a generated topology.
+struct Link {
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+/// A generated topology: nodes are dense ids starting at 1.
+struct Topology {
+  int64_t nodeCount = 0;
+  std::vector<Link> links;
+
+  /// Neighbors of `n` (both directions of the undirected links).
+  std::vector<int64_t> neighbors(int64_t n) const;
+};
+
+/// Line 1 - 2 - ... - n.
+Topology makeLine(int64_t n);
+
+/// Ring over n nodes.
+Topology makeRing(int64_t n);
+
+/// Star: hub 1 connected to 2..n.
+Topology makeStar(int64_t n);
+
+/// 3-stage folded-Clos ("fat-tree-lite"): `spines` spine nodes each
+/// connected to every one of `leaves` leaf nodes; hosts attach per leaf.
+/// Node ids: spines first (1..spines), then leaves, then `hostsPerLeaf`
+/// hosts per leaf.
+Topology makeClos(int64_t spines, int64_t leaves, int64_t hostsPerLeaf);
+
+/// Erdős–Rényi random graph: each pair linked with probability p
+/// (deterministic in seed); guaranteed connected by a spanning line.
+Topology makeRandom(int64_t n, double p, uint64_t seed);
+
+struct FrrFromTopologyOptions {
+  /// A link is protected (gets a failure bit + detour) with this
+  /// probability (deterministic in seed).
+  double protectedFraction = 0.5;
+  uint64_t seed = 1;
+  /// Flow name used for all rules.
+  std::string flow = "f0";
+};
+
+/// Derives a fast-reroute configuration from a topology: shortest-path
+/// forwarding towards `dst` (BFS), where each protected link on the tree
+/// is guarded by a fresh bit and detours through an alternative neighbor
+/// when failed (if one exists on a path to dst). Returns the network and
+/// the names of the bits it declared.
+struct FrrDerivation {
+  FrrNetwork network;
+  std::vector<std::string> bits;
+};
+FrrDerivation deriveFrrTowards(const Topology& topo, int64_t dst,
+                               const FrrFromTopologyOptions& opts = {});
+
+}  // namespace faure::net

@@ -1,0 +1,131 @@
+#include "relational/algebra.hpp"
+
+#include "util/error.hpp"
+
+namespace faure::rel {
+
+CTable select(const CTable& in, size_t col, smt::CmpOp op, const Value& rhs) {
+  if (col >= in.schema().arity()) throw EvalError("select: bad column");
+  CTable out(in.schema());
+  for (const auto& row : in.rows()) {
+    smt::Formula c = smt::Formula::cmp(row.vals[col], op, rhs);
+    smt::Formula cond = smt::Formula::conj2(row.cond, c);
+    if (!cond.isFalse()) out.insert(row.vals, std::move(cond));
+  }
+  return out;
+}
+
+CTable selectCols(const CTable& in, size_t colA, smt::CmpOp op, size_t colB) {
+  if (colA >= in.schema().arity() || colB >= in.schema().arity()) {
+    throw EvalError("selectCols: bad column");
+  }
+  CTable out(in.schema());
+  for (const auto& row : in.rows()) {
+    smt::Formula c = smt::Formula::cmp(row.vals[colA], op, row.vals[colB]);
+    smt::Formula cond = smt::Formula::conj2(row.cond, c);
+    if (!cond.isFalse()) out.insert(row.vals, std::move(cond));
+  }
+  return out;
+}
+
+CTable project(const CTable& in, const std::vector<size_t>& cols,
+               std::string resultName) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(cols.size());
+  for (size_t c : cols) {
+    if (c >= in.schema().arity()) throw EvalError("project: bad column");
+    attrs.push_back(in.schema().attribute(c));
+  }
+  CTable out(Schema(std::move(resultName), std::move(attrs)));
+  for (const auto& row : in.rows()) {
+    std::vector<Value> vals;
+    vals.reserve(cols.size());
+    for (size_t c : cols) vals.push_back(row.vals[c]);
+    out.insert(std::move(vals), row.cond);
+  }
+  return out;
+}
+
+CTable join(const CTable& lhs, const CTable& rhs,
+            const std::vector<std::pair<size_t, size_t>>& on,
+            std::string resultName) {
+  std::vector<Attribute> attrs = lhs.schema().attributes();
+  for (const auto& a : rhs.schema().attributes()) {
+    Attribute copy = a;
+    if (lhs.schema().indexOf(copy.name) != SIZE_MAX) {
+      copy.name = rhs.schema().name() + "." + copy.name;
+    }
+    attrs.push_back(std::move(copy));
+  }
+  CTable out(Schema(std::move(resultName), std::move(attrs)));
+  for (const auto& r1 : lhs.rows()) {
+    for (const auto& r2 : rhs.rows()) {
+      smt::Formula cond = smt::Formula::conj2(r1.cond, r2.cond);
+      bool dead = cond.isFalse();
+      for (const auto& [a, b] : on) {
+        if (dead) break;
+        cond = smt::Formula::conj2(
+            cond, smt::Formula::cmp(r1.vals.at(a), smt::CmpOp::Eq,
+                                    r2.vals.at(b)));
+        dead = cond.isFalse();
+      }
+      if (dead) continue;
+      std::vector<Value> vals = r1.vals;
+      vals.insert(vals.end(), r2.vals.begin(), r2.vals.end());
+      out.insert(std::move(vals), std::move(cond));
+    }
+  }
+  return out;
+}
+
+CTable unionAll(const CTable& a, const CTable& b, std::string resultName) {
+  if (a.schema().arity() != b.schema().arity()) {
+    throw EvalError("union: arity mismatch");
+  }
+  CTable out(a.schema().renamed(std::move(resultName)));
+  for (const auto& row : a.rows()) out.insert(row.vals, row.cond);
+  for (const auto& row : b.rows()) out.insert(row.vals, row.cond);
+  return out;
+}
+
+CTable rename(const CTable& in, std::string newName) {
+  CTable out(in.schema().renamed(std::move(newName)));
+  for (const auto& row : in.rows()) out.insert(row.vals, row.cond);
+  return out;
+}
+
+smt::Formula tupleEquality(const std::vector<Value>& a,
+                           const std::vector<Value>& b) {
+  std::vector<smt::Formula> eqs;
+  eqs.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    eqs.push_back(smt::Formula::cmp(a[i], smt::CmpOp::Eq, b[i]));
+  }
+  return smt::Formula::conj(std::move(eqs));
+}
+
+CTable difference(const CTable& a, const CTable& b, std::string resultName) {
+  if (a.schema().arity() != b.schema().arity()) {
+    throw EvalError("difference: arity mismatch");
+  }
+  CTable out(a.schema().renamed(std::move(resultName)));
+  for (const auto& r1 : a.rows()) {
+    smt::Formula cond = r1.cond;
+    for (const auto& r2 : b.rows()) {
+      if (cond.isFalse()) break;
+      smt::Formula present =
+          smt::Formula::conj2(r2.cond, tupleEquality(r1.vals, r2.vals));
+      cond = smt::Formula::conj2(cond, smt::Formula::neg(present));
+    }
+    if (!cond.isFalse()) out.insert(r1.vals, std::move(cond));
+  }
+  return out;
+}
+
+size_t pruneUnsat(CTable& table, smt::SolverBase& solver) {
+  return table.pruneIf([&](const Row& row) {
+    return solver.check(row.cond) == smt::Sat::Unsat;
+  });
+}
+
+}  // namespace faure::rel

@@ -1,0 +1,55 @@
+// Extended relational algebra over c-tables (§3, "C-table and Why
+// SQL/pure-datalog Fall Short").
+//
+// Each operator follows Imieliński–Lipski: the data part is manipulated
+// like ordinary relational algebra while conditions are conjoined with the
+// (in)equality constraints the operator introduces. Rows whose condition
+// folds to `false` syntactically are dropped eagerly; semantic pruning of
+// contradictory-but-unfolded conditions is a separate solver pass
+// (pruneUnsat).
+#pragma once
+
+#include "relational/ctable.hpp"
+#include "smt/solver.hpp"
+
+namespace faure::rel {
+
+/// σ — keeps rows where `attribute(col) op constant` can hold, conjoining
+/// the comparison into the row condition when the entry is a c-variable.
+CTable select(const CTable& in, size_t col, smt::CmpOp op, const Value& rhs);
+
+/// σ over two columns of the same table.
+CTable selectCols(const CTable& in, size_t colA, smt::CmpOp op, size_t colB);
+
+/// π — projects to `cols` (in the given order); rows that collapse to the
+/// same data part have their conditions OR-ed.
+CTable project(const CTable& in, const std::vector<size_t>& cols,
+               std::string resultName);
+
+/// ⋈ — joins on equality of the given column pairs. The result schema is
+/// the concatenation of both schemas (right-hand attribute names get the
+/// relation name as prefix when they collide).
+CTable join(const CTable& lhs, const CTable& rhs,
+            const std::vector<std::pair<size_t, size_t>>& on,
+            std::string resultName);
+
+/// ∪ — schema-compatible union; conditions of equal data parts merge.
+CTable unionAll(const CTable& a, const CTable& b, std::string resultName);
+
+/// Relation rename.
+CTable rename(const CTable& in, std::string newName);
+
+/// Difference a − b under c-table semantics: each row of `a` survives with
+/// its condition conjoined with the negation of every matching row of `b`.
+CTable difference(const CTable& a, const CTable& b, std::string resultName);
+
+/// Condition stating the component-wise equality of two data parts (folds
+/// to `false` when two distinct constants align).
+smt::Formula tupleEquality(const std::vector<Value>& a,
+                           const std::vector<Value>& b);
+
+/// The "Z3 step" of the paper's pipeline: removes rows whose condition is
+/// definitely unsatisfiable. Returns the number of rows removed.
+size_t pruneUnsat(CTable& table, smt::SolverBase& solver);
+
+}  // namespace faure::rel

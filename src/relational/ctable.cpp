@@ -1,0 +1,146 @@
+#include "relational/ctable.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace faure::rel {
+
+size_t Schema::indexOf(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+void CTable::checkRow(const std::vector<Value>& vals) const {
+  if (vals.size() != schema_.arity()) {
+    throw EvalError("arity mismatch inserting into '" + schema_.name() +
+                    "': got " + std::to_string(vals.size()) + ", want " +
+                    std::to_string(schema_.arity()));
+  }
+  for (size_t i = 0; i < vals.size(); ++i) {
+    ValueType want = schema_.attribute(i).type;
+    if (want == ValueType::Any || vals[i].isCVar()) continue;
+    if (vals[i].constantType() != want) {
+      throw TypeError("attribute '" + schema_.attribute(i).name + "' of '" +
+                      schema_.name() + "' expects " +
+                      std::string(typeName(want)) + ", got " +
+                      vals[i].toString());
+    }
+  }
+}
+
+bool CTable::insert(std::vector<Value> vals, smt::Formula cond) {
+  checkRow(vals);
+  if (cond.isFalse()) return false;
+  size_t h = hashValues(vals);
+  auto& bucket = index_[h];
+  for (size_t idx : bucket) {
+    if (rows_[idx].vals == vals) {
+      smt::Formula merged = smt::Formula::disj2(rows_[idx].cond, cond);
+      if (merged == rows_[idx].cond) return false;
+      rows_[idx].cond = std::move(merged);
+      return true;
+    }
+  }
+  bucket.push_back(rows_.size());
+  rows_.emplace_back(std::move(vals), std::move(cond));
+  return true;
+}
+
+bool CTable::append(std::vector<Value> vals, smt::Formula cond) {
+  checkRow(vals);
+  if (cond.isFalse()) return false;
+  index_[hashValues(vals)].push_back(rows_.size());
+  rows_.emplace_back(std::move(vals), std::move(cond));
+  return true;
+}
+
+std::vector<size_t> CTable::rowsWithData(const std::vector<Value>& vals) const {
+  std::vector<size_t> out;
+  auto it = index_.find(hashValues(vals));
+  if (it == index_.end()) return out;
+  for (size_t idx : it->second) {
+    if (rows_[idx].vals == vals) out.push_back(idx);
+  }
+  return out;
+}
+
+void CTable::consolidate() {
+  CTable merged(schema_);
+  for (auto& row : rows_) {
+    merged.insert(std::move(row.vals), std::move(row.cond));
+  }
+  *this = std::move(merged);
+}
+
+smt::Formula CTable::conditionOf(const std::vector<Value>& vals) const {
+  auto it = index_.find(hashValues(vals));
+  if (it == index_.end()) return smt::Formula::bottom();
+  std::vector<smt::Formula> conds;
+  for (size_t idx : it->second) {
+    if (rows_[idx].vals == vals) conds.push_back(rows_[idx].cond);
+  }
+  return smt::Formula::disj(std::move(conds));
+}
+
+size_t CTable::pruneIf(const std::function<bool(const Row&)>& pred) {
+  std::vector<Row> kept;
+  kept.reserve(rows_.size());
+  size_t removed = 0;
+  for (auto& row : rows_) {
+    if (pred(row)) {
+      ++removed;
+    } else {
+      kept.push_back(std::move(row));
+    }
+  }
+  // Rows were moved into `kept` either way; put them back before any
+  // early return or the table is left holding moved-from husks.
+  rows_ = std::move(kept);
+  if (removed == 0) return 0;
+  index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index_[hashValues(rows_[i].vals)].push_back(i);
+  }
+  return removed;
+}
+
+void CTable::setCondition(size_t rowIndex, smt::Formula cond) {
+  rows_.at(rowIndex).cond = std::move(cond);
+}
+
+std::vector<CVarId> CTable::collectVars() const {
+  std::vector<CVarId> vars;
+  for (const auto& row : rows_) {
+    for (const auto& v : row.vals) {
+      if (v.isCVar()) vars.push_back(v.asCVar());
+    }
+    row.cond.collectVars(vars);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+std::string CTable::toString(const CVarRegistry* reg) const {
+  std::string out = schema_.name() + "(";
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_.attribute(i).name;
+  }
+  out += ")\n";
+  for (const auto& row : rows_) {
+    out += "  ";
+    for (size_t i = 0; i < row.vals.size(); ++i) {
+      if (i > 0) out += "\t";
+      out += row.vals[i].toString(reg);
+    }
+    if (!row.cond.isTrue()) out += "\t| " + row.cond.toString(reg);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace faure::rel

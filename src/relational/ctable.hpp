@@ -1,0 +1,126 @@
+// Conditional tables (c-tables) — the data model of fauré (§3, Table 2).
+//
+// A c-table is a relation whose tuples may contain c-variables and carry a
+// boolean condition (smt::Formula) over those variables. It represents the
+// set of regular relations ("possible worlds") obtained by instantiating
+// every c-variable with a constant from its domain and keeping exactly the
+// tuples whose condition holds.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/formula.hpp"
+#include "value/value.hpp"
+
+namespace faure::rel {
+
+/// A named, typed attribute.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::Any;
+};
+
+/// Relation schema: name + attributes.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<Attribute> attrs)
+      : name_(std::move(name)), attrs_(std::move(attrs)) {}
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attrs_.size(); }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+  const Attribute& attribute(size_t i) const { return attrs_.at(i); }
+
+  /// Index of the attribute named `name`, or SIZE_MAX.
+  size_t indexOf(std::string_view name) const;
+
+  /// A copy with a different relation name (algebra `rename`).
+  Schema renamed(std::string newName) const {
+    return Schema(std::move(newName), attrs_);
+  }
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+};
+
+/// One conditional tuple: the data part plus its condition.
+struct Row {
+  std::vector<Value> vals;
+  smt::Formula cond;  // defaults to `true` (a regular tuple)
+
+  Row() = default;
+  Row(std::vector<Value> v, smt::Formula c)
+      : vals(std::move(v)), cond(std::move(c)) {}
+};
+
+/// A conditional table.
+///
+/// Rows with identical data parts are merged on insertion by OR-ing their
+/// conditions, so the table is a function {data part} -> condition. Rows
+/// whose condition folds to `false` are dropped.
+class CTable {
+ public:
+  CTable() = default;
+  explicit CTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts (or merges) a conditional tuple. Returns true if the table
+  /// changed — a new data part appeared or an existing row's condition
+  /// grew (syntactically). Throws EvalError on arity mismatch and
+  /// TypeError when a constant value contradicts the attribute type.
+  bool insert(std::vector<Value> vals, smt::Formula cond = smt::Formula());
+
+  /// Convenience: inserts a tuple of constants with condition `true`.
+  bool insertConcrete(std::vector<Value> vals) {
+    return insert(std::move(vals), smt::Formula::top());
+  }
+
+  /// Appends a row without merging: the fixed-point evaluator needs
+  /// append-only row storage (duplicate data parts denote the OR of their
+  /// conditions). Rows with a `false` condition are still skipped.
+  /// Returns true if a row was appended.
+  bool append(std::vector<Value> vals, smt::Formula cond);
+
+  /// Indices of all rows sharing this exact data part.
+  std::vector<size_t> rowsWithData(const std::vector<Value>& vals) const;
+
+  /// Merges duplicate data parts by OR-ing their conditions (undoes
+  /// append-mode duplication). Row order is not preserved.
+  void consolidate();
+
+  /// The condition of the data part: OR over all rows carrying it, or
+  /// `false` when absent. (Raw identity on c-variables, as in rows().)
+  smt::Formula conditionOf(const std::vector<Value>& vals) const;
+
+  /// Removes rows whose condition `pred` maps to false (used by the
+  /// solver-pruning step). Returns the number of removed rows.
+  size_t pruneIf(const std::function<bool(const Row&)>& pred);
+
+  /// Replaces a row's condition in place (index into rows()).
+  void setCondition(size_t rowIndex, smt::Formula cond);
+
+  /// Collects all c-variables appearing in data parts or conditions.
+  std::vector<CVarId> collectVars() const;
+
+  /// Multi-line rendering in the paper's layout: values then condition.
+  std::string toString(const CVarRegistry* reg = nullptr) const;
+
+ private:
+  void checkRow(const std::vector<Value>& vals) const;
+
+  Schema schema_;
+  std::vector<Row> rows_;
+  // data-part hash -> row indices (open chain), for O(1) merge on insert.
+  std::unordered_map<size_t, std::vector<size_t>> index_;
+};
+
+}  // namespace faure::rel

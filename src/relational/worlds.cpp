@@ -1,0 +1,99 @@
+#include "relational/worlds.hpp"
+
+#include "util/error.hpp"
+
+namespace faure::rel {
+
+GroundRelation instantiate(const CTable& table, const smt::Assignment& a) {
+  GroundRelation out;
+  for (const auto& row : table.rows()) {
+    smt::Formula cond = smt::substitute(row.cond, a);
+    if (cond.isFalse()) continue;
+    if (!cond.isTrue()) {
+      throw EvalError("instantiate: condition not ground under assignment: " +
+                      row.cond.toString());
+    }
+    std::vector<Value> vals;
+    vals.reserve(row.vals.size());
+    for (const Value& v : row.vals) {
+      if (v.isCVar()) {
+        auto it = a.find(v.asCVar());
+        if (it == a.end()) {
+          throw EvalError("instantiate: data entry not ground");
+        }
+        vals.push_back(it->second);
+      } else {
+        vals.push_back(v);
+      }
+    }
+    out.insert(std::move(vals));
+  }
+  return out;
+}
+
+namespace {
+
+void worldRec(
+    const Database& db, const std::vector<CVarId>& vars, size_t i,
+    smt::Assignment& acc,
+    const std::function<void(const smt::Assignment&, const World&)>& fn) {
+  if (i == vars.size()) {
+    World w;
+    for (const auto& [name, table] : db.tables()) {
+      w.emplace(name, instantiate(table, acc));
+    }
+    fn(acc, w);
+    return;
+  }
+  CVarId v = vars[i];
+  for (const Value& val : db.cvars().info(v).domain) {
+    acc[v] = val;
+    worldRec(db, vars, i + 1, acc, fn);
+  }
+  acc.erase(v);
+}
+
+}  // namespace
+
+bool forEachWorld(
+    const Database& db, uint64_t cap,
+    const std::function<void(const smt::Assignment&, const World&)>& fn) {
+  const CVarRegistry& reg = db.cvars();
+  if (!reg.allFinite()) return false;
+  if (reg.worldCount(cap) >= cap && reg.worldCount(cap) == cap) return false;
+  std::vector<CVarId> vars;
+  vars.reserve(reg.size());
+  for (CVarId v = 0; v < reg.size(); ++v) vars.push_back(v);
+  smt::Assignment acc;
+  worldRec(db, vars, 0, acc, fn);
+  return true;
+}
+
+std::set<GroundRelation> repOfTable(const CTable& table,
+                                    const CVarRegistry& reg, uint64_t cap) {
+  if (!reg.allFinite() || reg.worldCount(cap) == cap) {
+    throw EvalError("repOfTable: world space not enumerable");
+  }
+  std::vector<CVarId> vars;
+  for (CVarId v = 0; v < reg.size(); ++v) vars.push_back(v);
+  std::set<GroundRelation> rep;
+  // Reuse the recursive enumeration by viewing the table as a one-table
+  // database sharing `reg`.
+  std::function<void(size_t, smt::Assignment&)> rec =
+      [&](size_t i, smt::Assignment& acc) {
+        if (i == vars.size()) {
+          rep.insert(instantiate(table, acc));
+          return;
+        }
+        for (const Value& val : reg.info(vars[i]).domain) {
+          acc[vars[i]] = val;
+          rec(i + 1, acc);
+        }
+        acc.erase(vars[i]);
+      };
+  smt::Assignment acc;
+  rec(0, acc);
+  return rep;
+}
+
+}  // namespace faure::rel

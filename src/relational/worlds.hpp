@@ -1,0 +1,44 @@
+// Possible-world semantics: rep(T) — the set of regular databases a
+// c-table database stands for (§3). Used to validate the paper's central
+// loss-less claim: fauré-log answers on the c-table coincide with the
+// per-world answers over rep(T).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "relational/database.hpp"
+#include "smt/transform.hpp"
+
+namespace faure::rel {
+
+/// A fully instantiated relation: ground tuples only.
+using GroundRelation = std::set<std::vector<Value>>;
+
+/// A possible world: relation name -> ground relation.
+using World = std::map<std::string, GroundRelation>;
+
+/// Instantiates one table under a total assignment: substitutes data-part
+/// c-variables and keeps exactly the rows whose condition evaluates to
+/// true. Throws EvalError if the assignment leaves a condition or a data
+/// entry non-ground.
+GroundRelation instantiate(const CTable& table, const smt::Assignment& a);
+
+/// Enumerates every total assignment of the database's c-variables (all
+/// domains must be finite and the world count must not exceed `cap`) and
+/// invokes `fn` with the assignment and the instantiated world.
+/// Returns false — without calling `fn` — when enumeration is infeasible.
+bool forEachWorld(
+    const Database& db, uint64_t cap,
+    const std::function<void(const smt::Assignment&, const World&)>& fn);
+
+/// rep() of a single table: the set of distinct ground relations it can
+/// denote. Enumeration is over the variables of the owning database's
+/// registry, so pass the database the table came from (or a derived one
+/// that shares its registry).
+std::set<GroundRelation> repOfTable(const CTable& table,
+                                    const CVarRegistry& reg,
+                                    uint64_t cap = 1u << 20);
+
+}  // namespace faure::rel

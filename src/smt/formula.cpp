@@ -1,0 +1,525 @@
+#include "smt/formula.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace faure::smt {
+
+CmpOp negateOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq:
+      return CmpOp::Ne;
+    case CmpOp::Ne:
+      return CmpOp::Eq;
+    case CmpOp::Lt:
+      return CmpOp::Ge;
+    case CmpOp::Le:
+      return CmpOp::Gt;
+    case CmpOp::Gt:
+      return CmpOp::Le;
+    case CmpOp::Ge:
+      return CmpOp::Lt;
+  }
+  return CmpOp::Eq;
+}
+
+CmpOp flipOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq:
+      return CmpOp::Eq;
+    case CmpOp::Ne:
+      return CmpOp::Ne;
+    case CmpOp::Lt:
+      return CmpOp::Gt;
+    case CmpOp::Le:
+      return CmpOp::Ge;
+    case CmpOp::Gt:
+      return CmpOp::Lt;
+    case CmpOp::Ge:
+      return CmpOp::Le;
+  }
+  return CmpOp::Eq;
+}
+
+std::string_view opText(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq:
+      return "=";
+    case CmpOp::Ne:
+      return "!=";
+    case CmpOp::Lt:
+      return "<";
+    case CmpOp::Le:
+      return "<=";
+    case CmpOp::Gt:
+      return ">";
+    case CmpOp::Ge:
+      return ">=";
+  }
+  return "?";
+}
+
+bool evalIntCmp(int64_t a, CmpOp op, int64_t b) {
+  switch (op) {
+    case CmpOp::Eq:
+      return a == b;
+    case CmpOp::Ne:
+      return a != b;
+    case CmpOp::Lt:
+      return a < b;
+    case CmpOp::Le:
+      return a <= b;
+    case CmpOp::Gt:
+      return a > b;
+    case CmpOp::Ge:
+      return a >= b;
+  }
+  return false;
+}
+
+LinTerm LinTerm::make(std::vector<std::pair<CVarId, int64_t>> entries,
+                      int64_t cst) {
+  std::map<CVarId, int64_t> acc;
+  for (const auto& [v, c] : entries) acc[v] += c;
+  LinTerm t;
+  t.cst = cst;
+  for (const auto& [v, c] : acc) {
+    if (c != 0) t.coefs.emplace_back(v, c);
+  }
+  return t;
+}
+
+LinTerm LinTerm::plus(const LinTerm& other) const {
+  std::vector<std::pair<CVarId, int64_t>> entries = coefs;
+  entries.insert(entries.end(), other.coefs.begin(), other.coefs.end());
+  return make(std::move(entries), cst + other.cst);
+}
+
+LinTerm LinTerm::minus(const LinTerm& other) const {
+  return plus(other.scaled(-1));
+}
+
+LinTerm LinTerm::scaled(int64_t k) const {
+  LinTerm t;
+  if (k == 0) return t;
+  t.cst = cst * k;
+  t.coefs.reserve(coefs.size());
+  for (const auto& [v, c] : coefs) t.coefs.emplace_back(v, c * k);
+  return t;
+}
+
+size_t LinTerm::hash() const {
+  uint64_t h = 0x100001b3ULL ^ static_cast<uint64_t>(cst);
+  for (const auto& [v, c] : coefs) {
+    h = (h * 1099511628211ULL) ^ (static_cast<uint64_t>(v) << 17) ^
+        static_cast<uint64_t>(c);
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string LinTerm::toString(const CVarRegistry* reg) const {
+  std::string out;
+  for (size_t i = 0; i < coefs.size(); ++i) {
+    const auto& [v, c] = coefs[i];
+    if (i == 0) {
+      if (c == -1) out += "-";
+      else if (c != 1) out += std::to_string(c) + "*";
+    } else {
+      out += c < 0 ? " - " : " + ";
+      int64_t a = c < 0 ? -c : c;
+      if (a != 1) out += std::to_string(a) + "*";
+    }
+    out += Value::cvar(v).toString(reg);
+  }
+  if (coefs.empty()) return std::to_string(cst);
+  if (cst != 0) {
+    out += cst < 0 ? " - " : " + ";
+    out += std::to_string(cst < 0 ? -cst : cst);
+  }
+  return out;
+}
+
+namespace {
+
+size_t combineHash(size_t a, size_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+size_t nodeHash(const FormulaNode& n) {
+  size_t h = static_cast<size_t>(n.kind) * 0x9e3779b97f4a7c15ULL;
+  switch (n.kind) {
+    case FormulaNode::Kind::True:
+    case FormulaNode::Kind::False:
+      return h;
+    case FormulaNode::Kind::Cmp:
+      h = combineHash(h, static_cast<size_t>(n.op));
+      h = combineHash(h, n.lhs.hash());
+      h = combineHash(h, n.rhs.hash());
+      return h;
+    case FormulaNode::Kind::Lin:
+      h = combineHash(h, static_cast<size_t>(n.op));
+      h = combineHash(h, n.lin.hash());
+      return h;
+    case FormulaNode::Kind::And:
+    case FormulaNode::Kind::Or:
+    case FormulaNode::Kind::Not:
+      for (const auto& k : n.kids) h = combineHash(h, k.hash());
+      return h;
+  }
+  return h;
+}
+
+const std::shared_ptr<const FormulaNode>& trueNode() {
+  static const std::shared_ptr<const FormulaNode> node = [] {
+    auto n = std::make_shared<FormulaNode>();
+    n->kind = FormulaNode::Kind::True;
+    n->hash = nodeHash(*n);
+    return n;
+  }();
+  return node;
+}
+
+const std::shared_ptr<const FormulaNode>& falseNode() {
+  static const std::shared_ptr<const FormulaNode> node = [] {
+    auto n = std::make_shared<FormulaNode>();
+    n->kind = FormulaNode::Kind::False;
+    n->hash = nodeHash(*n);
+    return n;
+  }();
+  return node;
+}
+
+}  // namespace
+
+Formula::Formula() : node_(trueNode()) {}
+
+Formula Formula::top() { return Formula(trueNode()); }
+
+Formula Formula::bottom() { return Formula(falseNode()); }
+
+Formula Formula::makeNode(FormulaNode node) {
+  node.hash = nodeHash(node);
+  return Formula(std::make_shared<const FormulaNode>(std::move(node)));
+}
+
+bool Formula::structuralEq(const FormulaNode& a, const FormulaNode& b) {
+  if (a.kind != b.kind || a.hash != b.hash) return false;
+  switch (a.kind) {
+    case FormulaNode::Kind::True:
+    case FormulaNode::Kind::False:
+      return true;
+    case FormulaNode::Kind::Cmp:
+      return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
+    case FormulaNode::Kind::Lin:
+      return a.op == b.op && a.lin == b.lin;
+    case FormulaNode::Kind::And:
+    case FormulaNode::Kind::Or:
+    case FormulaNode::Kind::Not:
+      if (a.kids.size() != b.kids.size()) return false;
+      for (size_t i = 0; i < a.kids.size(); ++i) {
+        if (a.kids[i] != b.kids[i]) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+Formula Formula::cmp(Value lhs, CmpOp op, Value rhs) {
+  // Both constants: fold.
+  if (lhs.isConstant() && rhs.isConstant()) {
+    if (op == CmpOp::Eq) return boolean(lhs == rhs);
+    if (op == CmpOp::Ne) return boolean(lhs != rhs);
+    if (lhs.kind() != Value::Kind::Int || rhs.kind() != Value::Kind::Int) {
+      throw TypeError("ordered comparison on non-integer constants");
+    }
+    return boolean(evalIntCmp(lhs.asInt(), op, rhs.asInt()));
+  }
+  // Identical sides (same c-variable).
+  if (lhs == rhs) {
+    switch (op) {
+      case CmpOp::Eq:
+      case CmpOp::Le:
+      case CmpOp::Ge:
+        return top();
+      case CmpOp::Ne:
+      case CmpOp::Lt:
+      case CmpOp::Gt:
+        return bottom();
+    }
+  }
+  // Normalize: constant (or larger var id) on the right.
+  bool flip = false;
+  if (lhs.isConstant() && rhs.isCVar()) {
+    flip = true;
+  } else if (lhs.isCVar() && rhs.isCVar() && rhs.asCVar() < lhs.asCVar()) {
+    flip = true;
+  }
+  if (flip) {
+    std::swap(lhs, rhs);
+    op = flipOp(op);
+  }
+  FormulaNode n;
+  n.kind = FormulaNode::Kind::Cmp;
+  n.op = op;
+  n.lhs = lhs;
+  n.rhs = rhs;
+  return makeNode(std::move(n));
+}
+
+Formula Formula::lin(LinTerm term, CmpOp op) {
+  if (term.isConstant()) return boolean(evalIntCmp(term.cst, op, 0));
+  if (term.coefs.size() == 1) {
+    auto [v, c] = term.coefs[0];
+    // c*v + cst op 0. For |c| == 1 this is exactly v op' (-cst/c).
+    if (c == 1) return cmp(Value::cvar(v), op, Value::fromInt(-term.cst));
+    if (c == -1) {
+      return cmp(Value::cvar(v), flipOp(op), Value::fromInt(term.cst));
+    }
+  }
+  // Normalize sign: make the leading coefficient positive for Eq/Ne so that
+  // syntactically mirrored atoms compare equal.
+  if ((op == CmpOp::Eq || op == CmpOp::Ne) && term.coefs[0].second < 0) {
+    term = term.scaled(-1);
+  }
+  FormulaNode n;
+  n.kind = FormulaNode::Kind::Lin;
+  n.op = op;
+  n.lin = std::move(term);
+  return makeNode(std::move(n));
+}
+
+Formula Formula::conj(std::vector<Formula> parts) {
+  std::vector<Formula> kids;
+  auto add = [&](const Formula& f) {
+    for (const auto& k : kids) {
+      if (k == f) return;  // syntactic dedup
+    }
+    kids.push_back(f);
+  };
+  // Flatten one level of nested And (constructors keep the tree flat, so
+  // one level is all that can occur).
+  for (const auto& p : parts) {
+    if (p.isFalse()) return bottom();
+    if (p.isTrue()) continue;
+    if (p.kind() == Kind::And) {
+      for (const auto& k : p.node().kids) {
+        if (k.isFalse()) return bottom();
+        if (!k.isTrue()) add(k);
+      }
+    } else {
+      add(p);
+    }
+  }
+  if (kids.empty()) return top();
+  if (kids.size() == 1) return kids[0];
+  // a AND NOT a  (exact structural complement) => false.
+  for (const auto& k : kids) {
+    Formula nk = neg(k);
+    for (const auto& other : kids) {
+      if (other == nk) return bottom();
+    }
+  }
+  // Canonical child order so that equal sets of conjuncts produce equal
+  // formulas regardless of derivation order; fixed-point evaluation relies
+  // on this for syntactic dedup (and hence termination).
+  std::stable_sort(kids.begin(), kids.end(),
+                   [](const Formula& a, const Formula& b) {
+                     return a.hash() < b.hash();
+                   });
+  FormulaNode n;
+  n.kind = FormulaNode::Kind::And;
+  n.kids = std::move(kids);
+  return makeNode(std::move(n));
+}
+
+Formula Formula::disj(std::vector<Formula> parts) {
+  std::vector<Formula> kids;
+  auto add = [&](const Formula& f) {
+    for (const auto& k : kids) {
+      if (k == f) return;
+    }
+    kids.push_back(f);
+  };
+  for (const auto& p : parts) {
+    if (p.isTrue()) return top();
+    if (p.isFalse()) continue;
+    if (p.kind() == Kind::Or) {
+      for (const auto& k : p.node().kids) {
+        if (k.isTrue()) return top();
+        if (!k.isFalse()) add(k);
+      }
+    } else {
+      add(p);
+    }
+  }
+  if (kids.empty()) return bottom();
+  if (kids.size() == 1) return kids[0];
+  for (const auto& k : kids) {
+    Formula nk = neg(k);
+    for (const auto& other : kids) {
+      if (other == nk) return top();
+    }
+  }
+  std::stable_sort(kids.begin(), kids.end(),
+                   [](const Formula& a, const Formula& b) {
+                     return a.hash() < b.hash();
+                   });
+  FormulaNode n;
+  n.kind = FormulaNode::Kind::Or;
+  n.kids = std::move(kids);
+  return makeNode(std::move(n));
+}
+
+Formula Formula::neg(const Formula& f) {
+  switch (f.kind()) {
+    case Kind::True:
+      return bottom();
+    case Kind::False:
+      return top();
+    case Kind::Cmp: {
+      const auto& n = f.node();
+      return cmp(n.lhs, negateOp(n.op), n.rhs);
+    }
+    case Kind::Lin: {
+      const auto& n = f.node();
+      return lin(n.lin, negateOp(n.op));
+    }
+    case Kind::Not:
+      return f.node().kids[0];
+    case Kind::And:
+    case Kind::Or: {
+      // De Morgan keeps formulas in negation normal form, which both the
+      // printer and the DNF conversion rely on.
+      std::vector<Formula> negKids;
+      negKids.reserve(f.node().kids.size());
+      for (const auto& k : f.node().kids) negKids.push_back(neg(k));
+      return f.kind() == Kind::And ? disj(std::move(negKids))
+                                   : conj(std::move(negKids));
+    }
+  }
+  return f;
+}
+
+std::string Formula::toString(const CVarRegistry* reg) const {
+  const auto& n = node();
+  switch (n.kind) {
+    case Kind::True:
+      return "true";
+    case Kind::False:
+      return "false";
+    case Kind::Cmp:
+      return n.lhs.toString(reg) + " " + std::string(opText(n.op)) + " " +
+             n.rhs.toString(reg);
+    case Kind::Lin:
+      return n.lin.toString(reg) + " " + std::string(opText(n.op)) + " 0";
+    case Kind::Not:
+      return "!(" + n.kids[0].toString(reg) + ")";
+    case Kind::And:
+    case Kind::Or: {
+      std::string sep = n.kind == Kind::And ? " & " : " | ";
+      std::string out;
+      for (size_t i = 0; i < n.kids.size(); ++i) {
+        if (i > 0) out += sep;
+        const auto& k = n.kids[i];
+        bool paren = k.kind() == Kind::And || k.kind() == Kind::Or;
+        out += paren ? "(" + k.toString(reg) + ")" : k.toString(reg);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+/// Conjunct list of a formula: its children for And, itself otherwise.
+void conjuncts(const Formula& f, std::vector<Formula>& out) {
+  if (f.kind() == Formula::Kind::And) {
+    out = f.node().kids;
+  } else {
+    out = {f};
+  }
+}
+
+/// a's conjunct set ⊇ b's conjunct set (so a ⇒ b).
+bool conjunctsInclude(const std::vector<Formula>& a,
+                      const std::vector<Formula>& b) {
+  for (const auto& need : b) {
+    bool found = false;
+    for (const auto& have : a) {
+      if (have == need) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool impliesSyntactically(const Formula& a, const Formula& b) {
+  if (a.isFalse() || b.isTrue()) return true;
+  if (a == b) return true;
+  if (b.isFalse() || a.isTrue()) return false;
+  // a ⇒ (c1 | c2 | ...) if a ⇒ some ci (checking each ci structurally).
+  if (b.kind() == Formula::Kind::Or) {
+    std::vector<Formula> ac;
+    conjuncts(a, ac);
+    for (const auto& kid : b.node().kids) {
+      if (kid == a) return true;
+      std::vector<Formula> kc;
+      conjuncts(kid, kc);
+      if (conjunctsInclude(ac, kc)) return true;
+    }
+    // (a1 | a2) ⇒ b needs every disjunct of a to imply b.
+    if (a.kind() == Formula::Kind::Or) {
+      for (const auto& kid : a.node().kids) {
+        if (!impliesSyntactically(kid, b)) return false;
+      }
+      return true;
+    }
+    return false;
+  }
+  if (a.kind() == Formula::Kind::Or) {
+    for (const auto& kid : a.node().kids) {
+      if (!impliesSyntactically(kid, b)) return false;
+    }
+    return true;
+  }
+  std::vector<Formula> ac;
+  std::vector<Formula> bc;
+  conjuncts(a, ac);
+  conjuncts(b, bc);
+  return conjunctsInclude(ac, bc);
+}
+
+void Formula::collectVars(std::vector<CVarId>& out) const {
+  const auto& n = node();
+  switch (n.kind) {
+    case Kind::True:
+    case Kind::False:
+      return;
+    case Kind::Cmp:
+      if (n.lhs.isCVar()) out.push_back(n.lhs.asCVar());
+      if (n.rhs.isCVar()) out.push_back(n.rhs.asCVar());
+      return;
+    case Kind::Lin:
+      for (const auto& [v, c] : n.lin.coefs) {
+        (void)c;
+        out.push_back(v);
+      }
+      return;
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Not:
+      for (const auto& k : n.kids) k.collectVars(out);
+      return;
+  }
+}
+
+}  // namespace faure::smt

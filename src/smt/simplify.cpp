@@ -1,0 +1,144 @@
+#include "smt/simplify.hpp"
+
+#include "smt/transform.hpp"
+
+namespace faure::smt {
+
+namespace {
+
+/// Conjunct list of a cube formula (children of And, or the atom itself).
+void conjunctsOf(const Formula& f, Cube& out) {
+  if (f.kind() == Formula::Kind::And) {
+    out = f.node().kids;
+  } else {
+    out = {f};
+  }
+}
+
+/// Drops atoms implied by the remaining atoms of the cube.
+Cube minimizeCube(const Cube& cube, SolverBase& solver) {
+  Cube current = cube;
+  // Try removing one atom at a time; keep the removal when the shrunk
+  // cube still implies the removed atom.
+  for (size_t i = 0; i < current.size();) {
+    Cube without;
+    without.reserve(current.size() - 1);
+    for (size_t j = 0; j < current.size(); ++j) {
+      if (j != i) without.push_back(current[j]);
+    }
+    if (solver.implies(Formula::conj(without), current[i])) {
+      current = std::move(without);
+      // Do not advance: position i now holds the next atom.
+    } else {
+      ++i;
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+Formula simplify(const Formula& f, SolverBase& solver,
+                 const SimplifyOptions& opts) {
+  if (f.isTrue() || f.isFalse() || f.isAtom()) return f;
+  auto dnf = toDnf(f, opts.maxCubes);
+  if (!dnf.has_value()) return f;
+
+  // 1. Drop unsatisfiable cubes.
+  std::vector<Formula> cubes;
+  cubes.reserve(dnf->size());
+  for (const Cube& cube : *dnf) {
+    Formula c = Formula::conj(cube);
+    if (solver.check(c) != Sat::Unsat) cubes.push_back(std::move(c));
+  }
+  if (cubes.empty()) return Formula::bottom();
+
+  // 2. Drop cubes implied by another cube (keep the first of an
+  //    equivalent pair). Quadratic in solver calls, so only attempted on
+  //    small disjunctions.
+  std::vector<Formula> kept;
+  constexpr size_t kPairwiseCap = 64;
+  if (cubes.size() <= kPairwiseCap) {
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      bool subsumed = false;
+      for (size_t j = 0; j < cubes.size() && !subsumed; ++j) {
+        if (i == j) continue;
+        // cube_i ⇒ cube_j makes cube_i redundant; break ties by index.
+        if (solver.implies(cubes[i], cubes[j]) &&
+            (!solver.implies(cubes[j], cubes[i]) || j < i)) {
+          subsumed = true;
+        }
+      }
+      if (!subsumed) kept.push_back(cubes[i]);
+    }
+  } else {
+    kept = std::move(cubes);
+  }
+
+  // 3. Consensus merge: cubes S∧a and S∧b collapse to S when a∨b is
+  //    valid (e.g. y=0 | y=1 over a {0,1} domain). Repeat to fixpoint.
+  if (kept.size() <= kPairwiseCap) {
+    bool merged = true;
+    while (merged && kept.size() > 1) {
+      merged = false;
+      for (size_t i = 0; i < kept.size() && !merged; ++i) {
+        for (size_t j = i + 1; j < kept.size() && !merged; ++j) {
+          Cube a;
+          Cube b;
+          conjunctsOf(kept[i], a);
+          conjunctsOf(kept[j], b);
+          if (a.size() != b.size() || a.empty()) continue;
+          // Find the single differing atom pair.
+          Cube shared;
+          std::vector<Formula> onlyA;
+          for (const auto& atom : a) {
+            bool inB = false;
+            for (const auto& other : b) {
+              if (atom == other) inB = true;
+            }
+            (inB ? shared : onlyA).push_back(atom);
+          }
+          if (onlyA.size() != 1) continue;
+          std::vector<Formula> onlyB;
+          for (const auto& atom : b) {
+            bool inA = false;
+            for (const auto& other : a) {
+              if (atom == other) inA = true;
+            }
+            if (!inA) onlyB.push_back(atom);
+          }
+          if (onlyB.size() != 1) continue;
+          if (!solver.implies(Formula::top(),
+                              Formula::disj2(onlyA[0], onlyB[0]))) {
+            continue;
+          }
+          kept[i] = Formula::conj(shared);
+          kept.erase(kept.begin() + static_cast<ptrdiff_t>(j));
+          merged = true;
+        }
+      }
+    }
+  }
+
+  // 4. Minimize each surviving cube.
+  if (opts.minimizeCubes && kept.size() <= kPairwiseCap) {
+    for (Formula& c : kept) {
+      if (c.kind() == Formula::Kind::And) {
+        c = Formula::conj(minimizeCube(c.node().kids, solver));
+      }
+    }
+  }
+
+  Formula result = Formula::disj(kept);
+
+  // 5. Validity collapse.
+  if (opts.detectValidity && !result.isTrue() &&
+      solver.implies(Formula::top(), result)) {
+    return Formula::top();
+  }
+  // Keep the smaller of the original and the rebuilt formula (rebuilding
+  // can in principle duplicate shared subterms).
+  return result;
+}
+
+}  // namespace faure::smt

@@ -1,0 +1,32 @@
+// Semantic condition simplification.
+//
+// Fixed-point evaluation accumulates conditions as they derive —
+// disjunctions of per-derivation cubes, often redundant (subsumed cubes,
+// unsatisfiable cubes, validity in disguise). Simplification normalizes a
+// condition to an equivalent but smaller form; it is optional (soundness
+// never depends on it) and pays off when results are stored, printed, or
+// queried repeatedly.
+#pragma once
+
+#include "smt/solver.hpp"
+
+namespace faure::smt {
+
+struct SimplifyOptions {
+  /// DNF budget; formulas that exceed it are returned unchanged.
+  size_t maxCubes = 1024;
+  /// Remove atoms within a cube that are implied by the rest of the cube
+  /// (solver-backed; quadratic in cube size).
+  bool minimizeCubes = true;
+  /// Detect that the whole condition is valid and collapse it to `true`
+  /// (needs finite domains to be decidable by the native solver).
+  bool detectValidity = true;
+};
+
+/// Returns a formula equivalent to `f` under the registry's domains,
+/// no larger than `f` in cube count. Uses `solver` for satisfiability /
+/// implication; Unknown answers leave the affected part untouched.
+Formula simplify(const Formula& f, SolverBase& solver,
+                 const SimplifyOptions& opts = {});
+
+}  // namespace faure::smt

@@ -1,0 +1,104 @@
+// Satisfiability for c-table conditions.
+//
+// The paper's implementation ships every tuple condition to Z3 to discard
+// contradictory tuples (§6, step 3). This module provides:
+//
+//   * NativeSolver — a built-in decision procedure for the condition
+//     fragment fauré actually generates: equalities/disequalities over the
+//     c-domain, ordered comparisons on integers, and linear integer atoms
+//     (x_ + y_ + z_ = 1). It is complete whenever every variable involved
+//     in the residual arithmetic has a finite domain (link-state bits,
+//     enumerated subnets/servers/ports — all of the paper's workloads);
+//     otherwise it falls back to interval propagation and may answer
+//     Unknown.
+//   * Z3Solver (z3_solver.hpp, optional) — the paper-faithful backend.
+//
+// Answers are three-valued. Tuple pruning treats Unknown as "keep", so an
+// incomplete answer can cost performance but never soundness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "smt/formula.hpp"
+#include "smt/transform.hpp"
+#include "value/value.hpp"
+
+namespace faure::smt {
+
+enum class Sat : uint8_t { Unsat, Sat, Unknown };
+
+std::string_view satText(Sat s);
+
+struct SolverStats {
+  uint64_t checks = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+  uint64_t enumerations = 0;
+  double seconds = 0.0;
+};
+
+/// Interface shared by the native and Z3 backends.
+class SolverBase {
+ public:
+  explicit SolverBase(const CVarRegistry& reg) : reg_(reg) {}
+  virtual ~SolverBase() = default;
+
+  SolverBase(const SolverBase&) = delete;
+  SolverBase& operator=(const SolverBase&) = delete;
+
+  /// Three-valued satisfiability of `f` under the registry's domains.
+  virtual Sat check(const Formula& f) = 0;
+
+  /// True only when `f` is certainly unsatisfiable.
+  bool definitelyUnsat(const Formula& f) { return check(f) == Sat::Unsat; }
+
+  /// True when a ⇒ b is certain (i.e. a ∧ ¬b is Unsat). Unknown answers
+  /// conservatively report "no".
+  bool implies(const Formula& a, const Formula& b);
+
+  /// True when a ⟺ b is certain.
+  bool equivalent(const Formula& a, const Formula& b);
+
+  const CVarRegistry& registry() const { return reg_; }
+  const SolverStats& stats() const { return stats_; }
+  void resetStats() { stats_ = SolverStats{}; }
+
+ protected:
+  const CVarRegistry& reg_;
+  SolverStats stats_;
+};
+
+/// Built-in backend. See file comment for the completeness envelope.
+class NativeSolver : public SolverBase {
+ public:
+  struct Options {
+    /// DNF conversion budget before falling back to model enumeration.
+    size_t maxDnfCubes = 4096;
+    /// Assignment budget for finite-domain enumeration.
+    uint64_t maxEnum = 1u << 16;
+  };
+
+  explicit NativeSolver(const CVarRegistry& reg)
+      : NativeSolver(reg, Options{}) {}
+  NativeSolver(const CVarRegistry& reg, Options opts)
+      : SolverBase(reg), opts_(opts) {}
+
+  Sat check(const Formula& f) override;
+
+ private:
+  Sat checkCube(const Cube& cube);
+  Sat enumerate(const Formula& f);
+
+  Options opts_;
+};
+
+/// Enumerates every total assignment of `vars` (all must have finite
+/// domains) under which `f` does not fold to false, invoking `fn` with the
+/// assignment. Used for possible-world expansion in the loss-less property
+/// tests. Returns false if some variable has no finite domain.
+bool forEachModel(const Formula& f, const CVarRegistry& reg,
+                  const std::vector<CVarId>& vars,
+                  const std::function<void(const Assignment&)>& fn);
+
+}  // namespace faure::smt

@@ -1,0 +1,49 @@
+// Formula transformations: substitution, DNF conversion.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/formula.hpp"
+
+namespace faure::smt {
+
+/// A (partial) assignment of c-variables to constants.
+using Assignment = std::unordered_map<CVarId, Value>;
+
+/// Substitutes assigned c-variables by their constants and folds the
+/// result. Unassigned variables are left in place.
+Formula substitute(const Formula& f, const Assignment& a);
+
+/// A conjunction of atoms (each Formula here is Cmp/Lin/True/False — never
+/// And/Or/Not).
+using Cube = std::vector<Formula>;
+
+/// Converts to disjunctive normal form: the result represents
+/// OR over cubes of AND over atoms. Formulas built through the Formula
+/// factories are already in negation normal form, so no NOT nodes occur.
+///
+/// Returns std::nullopt if the DNF would exceed `maxCubes` (callers fall
+/// back to enumeration or an external solver).
+std::optional<std::vector<Cube>> toDnf(const Formula& f, size_t maxCubes);
+
+/// Rebuilds a Formula from a DNF.
+Formula fromDnf(const std::vector<Cube>& dnf);
+
+/// Sound under-approximation of ∃ vars . f — used by the §5 containment
+/// reduction, where c-variables of the *subsuming* constraint program are
+/// rule-scoped existentials.
+///
+/// Per DNF cube: equalities binding an existential variable are
+/// eliminated by substitution; residual disequalities `v != c` over an
+/// unbounded-domain existential are dropped (a witness always exists).
+/// A cube whose existential part cannot be eliminated soundly is dropped
+/// entirely, so
+/// the result R always satisfies R ⇒ ∃vars.f (callers testing
+/// `premise ⇒ ∃vars.f` via R stay sound and may only lose completeness).
+Formula projectExistentials(const Formula& f, const std::vector<CVarId>& vars,
+                            const CVarRegistry& reg,
+                            size_t maxCubes = 4096);
+
+}  // namespace faure::smt

@@ -1,0 +1,11 @@
+#include "smt/z3_solver.hpp"
+
+namespace faure::smt {
+
+bool z3Available() { return false; }
+
+std::unique_ptr<SolverBase> makeZ3Solver(const CVarRegistry&) {
+  return nullptr;
+}
+
+}  // namespace faure::smt

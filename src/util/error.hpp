@@ -1,0 +1,50 @@
+// Error hierarchy for the faure library.
+//
+// All recoverable failures surface as subclasses of faure::Error so that
+// callers can catch either the specific class (ParseError while loading a
+// program from text) or the whole family at an API boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace faure {
+
+/// Base class for all errors raised by the faure library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the fauré-log / datalog front end on malformed input text.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + what),
+        line_(line),
+        column_(column) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Raised when values or schemas are combined at incompatible types,
+/// e.g. joining an Int attribute with a Path attribute.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error("type error: " + what) {}
+};
+
+/// Raised during rule evaluation: unknown relation, unsafe rule,
+/// non-stratifiable program, arity mismatch, ...
+class EvalError : public Error {
+ public:
+  explicit EvalError(const std::string& what) : Error("eval error: " + what) {}
+};
+
+}  // namespace faure

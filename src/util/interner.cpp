@@ -1,0 +1,57 @@
+#include "util/interner.hpp"
+
+#include <cassert>
+
+namespace faure::util {
+
+SymbolTable& SymbolTable::instance() {
+  static SymbolTable table;
+  return table;
+}
+
+SymbolId SymbolTable::intern(std::string_view text) {
+  auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(strings_.size());
+  strings_.emplace_back(text);
+  // The key view points into the deque element, whose address is stable.
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+const std::string& SymbolTable::text(SymbolId id) const {
+  assert(id < strings_.size());
+  return strings_[id];
+}
+
+PathTable& PathTable::instance() {
+  static PathTable table;
+  return table;
+}
+
+PathId PathTable::intern(const std::vector<SymbolId>& elems) {
+  auto it = index_.find(elems);
+  if (it != index_.end()) return it->second;
+  PathId id = static_cast<PathId>(paths_.size());
+  paths_.push_back(elems);
+  index_.emplace(paths_.back(), id);
+  return id;
+}
+
+const std::vector<SymbolId>& PathTable::elems(PathId id) const {
+  assert(id < paths_.size());
+  return paths_[id];
+}
+
+std::string PathTable::text(PathId id) const {
+  std::string out = "[";
+  const auto& es = elems(id);
+  for (size_t i = 0; i < es.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += SymbolTable::instance().text(es[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace faure::util

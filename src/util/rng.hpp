@@ -1,0 +1,46 @@
+// Deterministic pseudo-random generator for workload synthesis.
+//
+// Benchmarks and the synthetic RIB generator must be reproducible across
+// runs and machines, so we use a fixed SplitMix64 rather than
+// std::random_device-seeded engines.
+#pragma once
+
+#include <cstdint>
+
+namespace faure::util {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload
+/// generation (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace faure::util

@@ -1,0 +1,26 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faure::util {
+
+/// Splits `s` on the single character `sep`. Empty fields are kept, so
+/// split(",a,", ',') yields {"", "a", ""}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a duration given in seconds with a sensible unit (us/ms/s).
+std::string formatSeconds(double seconds);
+
+}  // namespace faure::util

@@ -1,0 +1,27 @@
+// Monotonic stopwatch used by benchmarks and the Table-4 harness.
+#pragma once
+
+#include <chrono>
+
+namespace faure::util {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+/// Starts running on construction; elapsed() can be sampled repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace faure::util

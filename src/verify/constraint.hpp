@@ -1,0 +1,30 @@
+// Constraints as 0-ary fauré-log queries (§5, Listing 3).
+//
+// A constraint is a program deriving the nullary predicate `panic`: the
+// constraint HOLDS on a state exactly when evaluating the program yields
+// no (satisfiable) panic derivation.
+#pragma once
+
+#include <string>
+
+#include "datalog/ast.hpp"
+#include "datalog/parser.hpp"
+
+namespace faure::verify {
+
+struct Constraint {
+  std::string name;
+  dl::Program program;
+
+  /// The violation predicate; `panic` throughout the paper.
+  static constexpr const char* kGoal = "panic";
+
+  /// Parses a constraint from fauré-log text, resolving / declaring
+  /// c-variables in `reg`.
+  static Constraint parse(std::string name, std::string_view text,
+                          CVarRegistry& reg) {
+    return Constraint{std::move(name), dl::parseProgram(text, reg)};
+  }
+};
+
+}  // namespace faure::verify

@@ -1,0 +1,49 @@
+// Constraint subsumption via the paper's reduction of program containment
+// to fauré-log query evaluation (§5, category (i)).
+//
+// To decide whether known constraints {C1..Ck} subsume a target T (i.e.
+// any state violating T violates some Ci), each goal rule of T is:
+//   1. unfolded to an EDB-only body,
+//   2. frozen: program variables become fresh c-variables (the paper's
+//      "substitute the variables with c-variables"); its positive body
+//      atoms become a canonical c-table database, its negated atoms a
+//      list of explicit negative facts, and its comparisons the premise Δ,
+//   3. the union of the Ci programs is evaluated on that canonical
+//      database with open-world negation,
+//   4. the rule is covered when panic derives with a condition φ such
+//      that Δ ⇒ ∃(constraint-local c-vars). φ.
+// T is subsumed when every goal rule is covered.
+#pragma once
+
+#include <vector>
+
+#include "relational/database.hpp"
+#include "smt/solver.hpp"
+#include "verify/constraint.hpp"
+
+namespace faure::verify {
+
+struct SubsumptionOptions {
+  size_t maxUnfoldRules = 1024;
+  /// Build the per-check solver with these options.
+  smt::NativeSolver::Options solverOptions = {};
+};
+
+struct SubsumptionResult {
+  bool subsumed = false;
+  /// Index (into the unfolded rule list) of the first uncovered rule;
+  /// meaningful when !subsumed.
+  size_t uncoveredRule = 0;
+  /// The uncovered rule itself, for diagnostics.
+  dl::Rule witness;
+};
+
+/// Does {constraints} subsume `target`? `srcReg` is the registry the
+/// programs were parsed with (domains and types of their c-variables are
+/// preserved in the canonical databases).
+SubsumptionResult subsumes(const Constraint& target,
+                           const std::vector<Constraint>& constraints,
+                           const CVarRegistry& srcReg,
+                           const SubsumptionOptions& opts = {});
+
+}  // namespace faure::verify

@@ -1,0 +1,86 @@
+#include "verify/templates.hpp"
+
+namespace faure::verify {
+
+namespace {
+
+std::string num(int64_t v) { return std::to_string(v); }
+
+/// Declares a fresh unknown usable in generated rule text and returns its
+/// name. The name must both be unused in `reg` and lex as a c-variable
+/// (letters/digits with a trailing underscore).
+std::string freshUnknown(CVarRegistry& reg, const std::string& stem,
+                         ValueType type) {
+  for (int i = 0;; ++i) {
+    std::string name = stem + std::to_string(i) + "_";
+    if (reg.find(name) == CVarRegistry::kNotFound) {
+      reg.declare(name, type);
+      return name;
+    }
+  }
+}
+
+}  // namespace
+
+Constraint mustReach(CVarRegistry& reg, const std::string& flow,
+                     int64_t from, int64_t to, const std::string& relation) {
+  std::string text = "panic :- !" + relation + "('" + flow + "', " +
+                     num(from) + ", " + num(to) + ").";
+  return Constraint::parse(
+      "mustReach(" + flow + "," + num(from) + "," + num(to) + ")", text,
+      reg);
+}
+
+Constraint mustNotReach(CVarRegistry& reg, const std::string& flow,
+                        int64_t from, int64_t to,
+                        const std::string& relation) {
+  std::string text = "panic :- " + relation + "('" + flow + "', " + num(from) +
+                     ", " + num(to) + ").";
+  return Constraint::parse(
+      "mustNotReach(" + flow + "," + num(from) + "," + num(to) + ")", text,
+      reg);
+}
+
+Constraint waypoint(CVarRegistry& reg, const std::string& flow, int64_t from,
+                    int64_t to, int64_t waypointNode,
+                    const std::string& relation) {
+  // Violated when the end-to-end path exists but either waypoint leg is
+  // missing.
+  auto leg = [&](int64_t a, int64_t b) {
+    return relation + "('" + flow + "', " + num(a) + ", " + num(b) + ")";
+  };
+  std::string text =
+      "panic :- " + leg(from, to) + ", !" + leg(from, waypointNode) + ".\n" +
+      "panic :- " + leg(from, to) + ", !" + leg(waypointNode, to) + ".\n";
+  return Constraint::parse("waypoint(" + flow + "," + num(from) + "," +
+                               num(to) + " via " + num(waypointNode) + ")",
+                           text, reg);
+}
+
+Constraint requireMiddlebox(CVarRegistry& reg, const std::string& subnet,
+                            const std::string& server,
+                            const std::string& deployedRel,
+                            const std::string& trafficRel) {
+  std::string port = freshUnknown(reg, "port", ValueType::Int);
+  std::string text = "panic :- " + trafficRel + "('" + subnet + "', '" +
+                     server + "', " + port + "), !" + deployedRel + "('" +
+                     subnet + "', '" + server + "').";
+  return Constraint::parse(
+      "requireMiddlebox(" + subnet + "->" + server + " via " + deployedRel +
+          ")",
+      text, reg);
+}
+
+Constraint allowedPorts(CVarRegistry& reg, const std::vector<int64_t>& ports,
+                        const std::string& trafficRel) {
+  std::string subnet = freshUnknown(reg, "subnet", ValueType::Any);
+  std::string server = freshUnknown(reg, "server", ValueType::Any);
+  std::string port = freshUnknown(reg, "port", ValueType::Int);
+  std::string text = "panic :- " + trafficRel + "(" + subnet + ", " + server +
+                     ", " + port + ")";
+  for (int64_t p : ports) text += ", " + port + " != " + num(p);
+  text += ".";
+  return Constraint::parse("allowedPorts", text, reg);
+}
+
+}  // namespace faure::verify

@@ -1,0 +1,49 @@
+// Constraint templates: the network policies that §5-style verification
+// is run against, expressed as panic programs over conventional relation
+// shapes. These are convenience builders; anything they produce can also
+// be written directly in fauré-log text.
+//
+// Relation conventions (matching net/ and the paper's examples):
+//   R(flow, from, to)    computed reachability (q4-q5 output)
+//   F(flow, from, to)    forwarding
+//   Fw(subnet, server)   firewall deployment      (§5)
+//   Lb(subnet, server)   load-balancer deployment (§5)
+#pragma once
+
+#include "verify/constraint.hpp"
+
+namespace faure::verify {
+
+/// "flow must reach `to` from `from`": panics when R(flow, from, to) is
+/// NOT derivable.
+Constraint mustReach(CVarRegistry& reg, const std::string& flow,
+                     int64_t from, int64_t to,
+                     const std::string& relation = "R");
+
+/// "flow must NOT reach `to` from `from`" (isolation): panics when
+/// R(flow, from, to) is derivable.
+Constraint mustNotReach(CVarRegistry& reg, const std::string& flow,
+                        int64_t from, int64_t to,
+                        const std::string& relation = "R");
+
+/// "traffic of `flow` from `from` to `to` must traverse `waypoint`":
+/// panics when `to` is reachable while the waypoint leg is broken, i.e.
+/// R(f,from,to) holds but not (R(f,from,w) and R(f,w,to)).
+Constraint waypoint(CVarRegistry& reg, const std::string& flow,
+                    int64_t from, int64_t to, int64_t waypointNode,
+                    const std::string& relation = "R");
+
+/// The paper's T1 shape: traffic from `subnet` to `server` must pass a
+/// middlebox recorded in `deployedRel` (Fw or Lb). The port is left as a
+/// fresh unknown (the constraint applies to every port).
+Constraint requireMiddlebox(CVarRegistry& reg, const std::string& subnet,
+                            const std::string& server,
+                            const std::string& deployedRel,
+                            const std::string& trafficRel = "R");
+
+/// Port allow-list (the Cs q18 shape): any traffic row whose port is
+/// outside `ports` panics.
+Constraint allowedPorts(CVarRegistry& reg, const std::vector<int64_t>& ports,
+                        const std::string& trafficRel = "R");
+
+}  // namespace faure::verify

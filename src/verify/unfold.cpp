@@ -1,0 +1,205 @@
+#include "verify/unfold.hpp"
+
+#include <set>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace faure::verify {
+
+namespace {
+
+using dl::Atom;
+using dl::Comparison;
+using dl::LinExpr;
+using dl::Literal;
+using dl::Program;
+using dl::Rule;
+using dl::Term;
+
+/// Substitution over program variables.
+using Subst = std::unordered_map<std::string, Term>;
+
+Term resolve(const Term& t, const Subst& s) {
+  if (!t.isVar()) return t;
+  auto it = s.find(t.var);
+  if (it == s.end()) return t;
+  // Chains are short (one level per unification step) but resolve fully.
+  return resolve(it->second, s);
+}
+
+/// Unifies two terms; equalities between distinct c-domain values that
+/// may still coincide (c-var vs constant / other c-var) are recorded as
+/// comparisons, mirroring c-valuation.
+bool unify(const Term& a, const Term& b, Subst& s,
+           std::vector<Comparison>& eqs) {
+  Term x = resolve(a, s);
+  Term y = resolve(b, s);
+  if (x.isVar()) {
+    if (y.isVar() && y.var == x.var) return true;
+    s.emplace(x.var, y);
+    return true;
+  }
+  if (y.isVar()) {
+    s.emplace(y.var, x);
+    return true;
+  }
+  // Both are c-domain values.
+  if (x == y) return true;
+  if (x.isConst() && y.isConst()) return false;  // distinct constants
+  Comparison c;
+  c.op = smt::CmpOp::Eq;
+  c.lhs = LinExpr::of(x);
+  c.rhs = LinExpr::of(y);
+  eqs.push_back(std::move(c));
+  return true;
+}
+
+Term applyTerm(const Term& t, const Subst& s) { return resolve(t, s); }
+
+Atom applyAtom(const Atom& a, const Subst& s) {
+  Atom out;
+  out.pred = a.pred;
+  out.args.reserve(a.args.size());
+  for (const auto& t : a.args) out.args.push_back(applyTerm(t, s));
+  return out;
+}
+
+LinExpr applyLin(const LinExpr& e, const Subst& s) {
+  LinExpr out;
+  out.cst = e.cst;
+  for (const auto& [t, c] : e.terms) {
+    Term r = applyTerm(t, s);
+    if (r.isConst() && r.constant.kind() == Value::Kind::Int) {
+      out.cst += c * r.constant.asInt();
+    } else {
+      out.terms.emplace_back(std::move(r), c);
+    }
+  }
+  return out;
+}
+
+Comparison applyCmp(const Comparison& c, const Subst& s) {
+  Comparison out;
+  out.op = c.op;
+  out.lhs = applyLin(c.lhs, s);
+  out.rhs = applyLin(c.rhs, s);
+  return out;
+}
+
+Rule applyRule(const Rule& r, const Subst& s) {
+  Rule out;
+  out.head = applyAtom(r.head, s);
+  for (const auto& lit : r.body) {
+    out.body.push_back(Literal{applyAtom(lit.atom, s), lit.negated});
+  }
+  for (const auto& c : r.cmps) out.cmps.push_back(applyCmp(c, s));
+  return out;
+}
+
+/// Renames all program variables of a rule with a unique suffix so that
+/// repeated expansions of the same auxiliary rule do not collide.
+Rule freshen(const Rule& r, int serial) {
+  Subst s;
+  std::string suffix = "$" + std::to_string(serial);
+  auto renameIn = [&](const Term& t) {
+    if (t.isVar() && s.count(t.var) == 0) {
+      s.emplace(t.var, Term::variable(t.var + suffix));
+    }
+  };
+  for (const auto& t : r.head.args) renameIn(t);
+  for (const auto& lit : r.body) {
+    for (const auto& t : lit.atom.args) renameIn(t);
+  }
+  for (const auto& c : r.cmps) {
+    for (const auto& [t, k] : c.lhs.terms) {
+      (void)k;
+      renameIn(t);
+    }
+    for (const auto& [t, k] : c.rhs.terms) {
+      (void)k;
+      renameIn(t);
+    }
+  }
+  return applyRule(r, s);
+}
+
+}  // namespace
+
+std::vector<dl::Rule> unfoldGoalRules(const Program& p,
+                                      const std::string& goal,
+                                      size_t maxRules) {
+  std::set<std::string> idb;
+  for (const auto& r : p.rules) idb.insert(r.head.pred);
+
+  std::vector<Rule> work;
+  for (const auto& r : p.rules) {
+    if (r.head.pred == goal) work.push_back(r);
+  }
+  if (work.empty()) {
+    throw EvalError("unfold: no rule derives '" + goal + "'");
+  }
+
+  std::vector<Rule> done;
+  int serial = 0;
+  while (!work.empty()) {
+    if (done.size() + work.size() > maxRules) {
+      throw EvalError("unfold: expansion exceeds " +
+                      std::to_string(maxRules) + " rules");
+    }
+    Rule r = std::move(work.back());
+    work.pop_back();
+    // Find the first IDB literal.
+    size_t pos = r.body.size();
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      if (idb.count(r.body[i].atom.pred) != 0) {
+        if (r.body[i].negated) {
+          throw EvalError("unfold: negated IDB literal '" +
+                          r.body[i].atom.pred +
+                          "' cannot be flattened; rewrite the constraint");
+        }
+        pos = i;
+        break;
+      }
+    }
+    if (pos == r.body.size()) {
+      done.push_back(std::move(r));
+      continue;
+    }
+    const Atom call = r.body[pos].atom;
+    for (const auto& defRule : p.rules) {
+      if (defRule.head.pred != call.pred) continue;
+      if (defRule.head.args.size() != call.args.size()) {
+        throw EvalError("unfold: arity mismatch on '" + call.pred + "'");
+      }
+      Rule def = freshen(defRule, serial++);
+      Subst s;
+      std::vector<Comparison> eqs;
+      bool ok = true;
+      for (size_t i = 0; i < call.args.size() && ok; ++i) {
+        ok = unify(call.args[i], def.head.args[i], s, eqs);
+      }
+      if (!ok) continue;
+      Rule expanded;
+      expanded.head = applyAtom(r.head, s);
+      for (size_t i = 0; i < r.body.size(); ++i) {
+        if (i == pos) {
+          for (const auto& lit : def.body) {
+            expanded.body.push_back(
+                Literal{applyAtom(lit.atom, s), lit.negated});
+          }
+        } else {
+          expanded.body.push_back(
+              Literal{applyAtom(r.body[i].atom, s), r.body[i].negated});
+        }
+      }
+      for (const auto& c : r.cmps) expanded.cmps.push_back(applyCmp(c, s));
+      for (const auto& c : def.cmps) expanded.cmps.push_back(applyCmp(c, s));
+      for (const auto& c : eqs) expanded.cmps.push_back(applyCmp(c, s));
+      work.push_back(std::move(expanded));
+    }
+  }
+  return done;
+}
+
+}  // namespace faure::verify

@@ -1,0 +1,21 @@
+// Rule unfolding: flattens a constraint program's goal rules into rules
+// whose bodies reference only EDB predicates, by resolving auxiliary IDB
+// literals against their defining rules (the Vt/Vs pattern of Listing 3).
+//
+// Needed by the §5 containment reduction, which freezes the body of each
+// goal rule into a canonical database — that body must be EDB-only.
+#pragma once
+
+#include "datalog/ast.hpp"
+
+namespace faure::verify {
+
+/// All EDB-only unfoldings of the rules deriving `goal`. C-variables in
+/// auxiliary heads unify with call-site constants by emitting equality
+/// comparisons (mirroring fauré-log's c-valuation). Throws EvalError on a
+/// negated IDB literal or when the expansion exceeds `maxRules`.
+std::vector<dl::Rule> unfoldGoalRules(const dl::Program& p,
+                                      const std::string& goal,
+                                      size_t maxRules = 1024);
+
+}  // namespace faure::verify

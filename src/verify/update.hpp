@@ -1,0 +1,56 @@
+// Network updates and the constraint rewrite of §5 category (ii).
+//
+// An Update is an ordered list of tuple insertions/deletions on EDB
+// relations (the TE team's "remove load balancing between Mkt and CS, add
+// load balancing for R&D and GS"). rewriteForUpdate(C, U) produces the
+// constraint C' such that C' holds on the pre-update state exactly when C
+// holds on the post-update state — Listing 4's construction, flattened:
+// instead of chaining auxiliary predicates (q19-q22), each literal over an
+// updated relation is expanded in place:
+//
+//   positive P(u) after insert t:   P(u)  ∨  u = t     (extra rule)
+//   positive P(u) after delete t:   P(u)  ∧  u ≠ t     (one rule per
+//                                                       differing column)
+//   negated ¬P(u) after insert t:   ¬P(u) ∧  u ≠ t
+//   negated ¬P(u) after delete t:   ¬P(u) ∨  u = t
+//
+// which keeps the rewritten constraint EDB-only (no negated IDB literal),
+// so the category (i) machinery applies unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/constraint.hpp"
+
+namespace faure::verify {
+
+struct UpdateOp {
+  enum class Kind { Insert, Delete };
+  Kind kind = Kind::Insert;
+  std::string pred;
+  /// Ground tuple over the c-domain (constants / c-variables only).
+  std::vector<dl::Term> tuple;
+};
+
+struct Update {
+  std::vector<UpdateOp> ops;
+
+  Update& insert(std::string pred, std::vector<dl::Term> tuple) {
+    ops.push_back(
+        {UpdateOp::Kind::Insert, std::move(pred), std::move(tuple)});
+    return *this;
+  }
+  Update& remove(std::string pred, std::vector<dl::Term> tuple) {
+    ops.push_back(
+        {UpdateOp::Kind::Delete, std::move(pred), std::move(tuple)});
+    return *this;
+  }
+};
+
+/// Rewrites `c` to reflect `u` (see file comment). Throws EvalError if an
+/// update tuple contains a program variable or its arity mismatches the
+/// constraint's use of the relation.
+Constraint rewriteForUpdate(const Constraint& c, const Update& u);
+
+}  // namespace faure::verify

@@ -1,0 +1,96 @@
+#include "verify/verifier.hpp"
+
+#include "faurelog/eval.hpp"
+#include "smt/simplify.hpp"
+
+namespace faure::verify {
+
+std::string_view verdictText(Verdict v) {
+  switch (v) {
+    case Verdict::Holds:
+      return "holds";
+    case Verdict::Unknown:
+      return "unknown";
+    case Verdict::Violated:
+      return "violated";
+    case Verdict::ConditionallyViolated:
+      return "conditionally-violated";
+  }
+  return "?";
+}
+
+Verdict RelativeVerifier::checkSubsumption(
+    const Constraint& target, const std::vector<Constraint>& known) const {
+  SubsumptionResult r = subsumes(target, known, reg_, opts_);
+  if (r.subsumed) {
+    witness_.reset();
+    return Verdict::Holds;
+  }
+  witness_ = r.witness;
+  return Verdict::Unknown;
+}
+
+Verdict RelativeVerifier::checkWithUpdate(const Constraint& target,
+                                          const std::vector<Constraint>& known,
+                                          const Update& u) const {
+  Constraint rewritten = rewriteForUpdate(target, u);
+  return checkSubsumption(rewritten, known);
+}
+
+StateCheck RelativeVerifier::checkOnState(const Constraint& target,
+                                          const rel::Database& db,
+                                          smt::SolverBase& solver) {
+  StateCheck out;
+  auto res = fl::evalFaure(target.program, db, &solver, fl::EvalOptions{});
+  smt::Formula cond;
+  if (!res.derived(Constraint::kGoal, &cond)) {
+    out.verdict = Verdict::Holds;
+    return out;
+  }
+  // The verdict is parameterized by the *state's* c-variables; c-variables
+  // local to the constraint ("traffic on some port p_") are existential
+  // and projected out.
+  std::vector<CVarId> stateVars;
+  for (const auto& [name, table] : db.tables()) {
+    (void)name;
+    for (CVarId v : table.collectVars()) stateVars.push_back(v);
+  }
+  std::vector<CVarId> condVars;
+  cond.collectVars(condVars);
+  std::vector<CVarId> existential;
+  for (CVarId v : condVars) {
+    bool inState = false;
+    for (CVarId s : stateVars) {
+      if (s == v) inState = true;
+    }
+    if (!inState) existential.push_back(v);
+  }
+  smt::Formula projected =
+      smt::projectExistentials(cond, existential, db.cvars());
+  // Projection is a sound under-approximation: fall back to the raw
+  // condition when it collapses but the raw condition is satisfiable.
+  if (!projected.isFalse() || solver.check(cond) == smt::Sat::Unsat) {
+    cond = projected;
+  }
+  cond = smt::simplify(cond, solver);
+  out.condition = cond;
+  switch (solver.check(cond)) {
+    case smt::Sat::Unsat:
+      out.verdict = Verdict::Holds;  // panic never realizable
+      return out;
+    case smt::Sat::Unknown:
+      out.verdict = Verdict::Unknown;
+      return out;
+    case smt::Sat::Sat:
+      break;
+  }
+  // Violated in every world iff the condition is valid.
+  if (solver.implies(smt::Formula::top(), cond)) {
+    out.verdict = Verdict::Violated;
+  } else {
+    out.verdict = Verdict::ConditionallyViolated;
+  }
+  return out;
+}
+
+}  // namespace faure::verify

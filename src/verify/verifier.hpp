@@ -1,0 +1,68 @@
+// The relative-complete verifier (§2, §5): a cascade of tests, each
+// complete relative to the information available, answering UNKNOWN only
+// when more information is genuinely needed.
+//
+//   level (i)   constraint definitions only      -> subsumption test
+//   level (ii)  definitions + the update         -> rewrite, then (i)
+//   level (iii) the (partial) network state      -> direct evaluation
+#pragma once
+
+#include <optional>
+
+#include "relational/database.hpp"
+#include "verify/containment.hpp"
+#include "verify/update.hpp"
+
+namespace faure::verify {
+
+enum class Verdict {
+  Holds,                  // certain, with the information used
+  Unknown,                // more information needed (never "wrong")
+  Violated,               // violated in every possible world
+  ConditionallyViolated,  // violated in some worlds; condition available
+};
+
+std::string_view verdictText(Verdict v);
+
+/// Outcome of a state-level (level iii) check.
+struct StateCheck {
+  Verdict verdict = Verdict::Holds;
+  /// When ConditionallyViolated/Violated: the violation condition over
+  /// the state's c-variables.
+  smt::Formula condition;
+};
+
+class RelativeVerifier {
+ public:
+  /// `srcReg` is the registry the constraint programs were parsed with.
+  explicit RelativeVerifier(const CVarRegistry& srcReg,
+                            SubsumptionOptions opts = {})
+      : reg_(srcReg), opts_(std::move(opts)) {}
+
+  /// Category (i): is `target` guaranteed by constraints known to hold?
+  /// Holds or Unknown.
+  Verdict checkSubsumption(const Constraint& target,
+                           const std::vector<Constraint>& known) const;
+
+  /// Category (ii): also use the update — verify that `target` still
+  /// holds after `u`, given constraints maintained across the update.
+  /// Holds or Unknown.
+  Verdict checkWithUpdate(const Constraint& target,
+                          const std::vector<Constraint>& known,
+                          const Update& u) const;
+
+  /// Level (iii): evaluate the constraint on a (possibly partial) state.
+  static StateCheck checkOnState(const Constraint& target,
+                                 const rel::Database& db,
+                                 smt::SolverBase& solver);
+
+  /// Diagnostics from the last failed subsumption (the uncovered rule).
+  const std::optional<dl::Rule>& lastWitness() const { return witness_; }
+
+ private:
+  const CVarRegistry& reg_;
+  SubsumptionOptions opts_;
+  mutable std::optional<dl::Rule> witness_;
+};
+
+}  // namespace faure::verify

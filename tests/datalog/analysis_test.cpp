@@ -1,0 +1,117 @@
+// Tests for safety, arity checking, and stratification
+// (datalog/analysis.hpp).
+#include "datalog/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "util/error.hpp"
+
+namespace faure::dl {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  Program parse(const char* text) { return parseProgram(text, reg_); }
+};
+
+TEST_F(AnalysisTest, SafeProgramPasses) {
+  Program p = parse(
+      "R(x,y) :- E(x,y).\n"
+      "R(x,y) :- E(x,z), R(z,y).\n");
+  EXPECT_NO_THROW(checkSafety(p));
+}
+
+TEST_F(AnalysisTest, UnboundHeadVariableRejected) {
+  Program p = parse("R(x,y) :- E(x,x).\n");
+  EXPECT_THROW(checkSafety(p), EvalError);
+}
+
+TEST_F(AnalysisTest, UnboundNegatedVariableRejected) {
+  Program p = parse("R(x) :- E(x), !F(y).\n");
+  EXPECT_THROW(checkSafety(p), EvalError);
+}
+
+TEST_F(AnalysisTest, UnboundComparisonVariableRejected) {
+  Program p = parse("R(x) :- E(x), y > 3.\n");
+  EXPECT_THROW(checkSafety(p), EvalError);
+}
+
+TEST_F(AnalysisTest, CVarsAreAlwaysSafe) {
+  // c-variables are domain elements, not valuation variables.
+  Program p = parse("R(x_) :- E(y_), x_ != y_.\n");
+  EXPECT_NO_THROW(checkSafety(p));
+}
+
+TEST_F(AnalysisTest, NonGroundFactRejected) {
+  Program p = parse("R(x).\n");
+  EXPECT_THROW(checkSafety(p), EvalError);
+}
+
+TEST_F(AnalysisTest, ArityMismatchRejected) {
+  Program p = parse(
+      "R(x) :- E(x).\n"
+      "S(x) :- E(x, x).\n");
+  EXPECT_THROW(checkArities(p), EvalError);
+}
+
+TEST_F(AnalysisTest, ExternalArityRespected) {
+  Program p = parse("R(x) :- E(x).\n");
+  EXPECT_THROW(checkArities(p, {{"E", 2}}), EvalError);
+  EXPECT_NO_THROW(checkArities(p, {{"E", 1}}));
+}
+
+TEST_F(AnalysisTest, StratifiesPositiveRecursion) {
+  Program p = parse(
+      "R(x,y) :- E(x,y).\n"
+      "R(x,y) :- E(x,z), R(z,y).\n");
+  Stratification s = stratify(p);
+  EXPECT_EQ(s.ruleStrata.size(), 1u);
+  EXPECT_EQ(s.ruleStrata[0].size(), 2u);
+}
+
+TEST_F(AnalysisTest, NegationForcesHigherStratum) {
+  Program p = parse(
+      "R(x) :- E(x).\n"
+      "S(x) :- E(x), !R(x).\n");
+  Stratification s = stratify(p);
+  EXPECT_EQ(s.stratumOf.at("R"), 0);
+  EXPECT_EQ(s.stratumOf.at("S"), 1);
+  ASSERT_EQ(s.ruleStrata.size(), 2u);
+  EXPECT_EQ(s.ruleStrata[0], std::vector<size_t>{0});
+  EXPECT_EQ(s.ruleStrata[1], std::vector<size_t>{1});
+}
+
+TEST_F(AnalysisTest, NegationThroughRecursionRejected) {
+  Program p = parse(
+      "Win(x) :- Move(x,y), !Win(y).\n");
+  EXPECT_THROW(stratify(p), EvalError);
+}
+
+TEST_F(AnalysisTest, MutualRecursionThroughNegationRejected) {
+  Program p = parse(
+      "A(x) :- E(x), !B(x).\n"
+      "B(x) :- E(x), !A(x).\n");
+  EXPECT_THROW(stratify(p), EvalError);
+}
+
+TEST_F(AnalysisTest, DeepStrataChain) {
+  Program p = parse(
+      "A(x) :- E(x).\n"
+      "B(x) :- E(x), !A(x).\n"
+      "C(x) :- E(x), !B(x).\n"
+      "D(x) :- E(x), !C(x).\n");
+  Stratification s = stratify(p);
+  EXPECT_EQ(s.stratumOf.at("D"), 3);
+  EXPECT_EQ(s.ruleStrata.size(), 4u);
+}
+
+TEST_F(AnalysisTest, RuleVariablesFirstOccurrenceOrder) {
+  Program p = parse("R(y,x) :- E(x,y), F(y,z).\n");
+  auto vars = ruleVariables(p.rules[0]);
+  EXPECT_EQ(vars, (std::vector<std::string>{"y", "x", "z"}));
+}
+
+}  // namespace
+}  // namespace faure::dl

@@ -1,0 +1,108 @@
+// Classical canonical-database containment tests (datalog/containment.hpp).
+#include "datalog/containment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "util/error.hpp"
+
+namespace faure::dl {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  Rule rule(const char* text) { return parseRule(text, reg_); }
+  Program prog(const char* text) { return parseProgram(text, reg_); }
+};
+
+TEST_F(ContainmentTest, IdenticalQueriesContained) {
+  Rule q = rule("Q(x) :- E(x,y).");
+  EXPECT_TRUE(cqContained(q, q));
+}
+
+TEST_F(ContainmentTest, MoreConstrainedIsContained) {
+  // q1 asks for a 2-path; q2 asks for any edge source: q1 ⊆ q2.
+  Rule q1 = rule("Q(x) :- E(x,y), E(y,z).");
+  Rule q2 = rule("Q(x) :- E(x,y).");
+  EXPECT_TRUE(cqContained(q1, q2));
+  EXPECT_FALSE(cqContained(q2, q1));
+}
+
+TEST_F(ContainmentTest, ConstantsBlockContainment) {
+  Rule q1 = rule("Q(x) :- E(x, 5).");
+  Rule q2 = rule("Q(x) :- E(x, y).");
+  EXPECT_TRUE(cqContained(q1, q2));   // specific ⊆ general
+  EXPECT_FALSE(cqContained(q2, q1));  // general ⊄ specific
+}
+
+TEST_F(ContainmentTest, TriangleVsPath) {
+  // Triangle ⊆ 2-path-with-endpoints (classic homomorphism example).
+  Rule tri = rule("Q() :- E(x,y), E(y,z), E(z,x).");
+  Rule path = rule("Q() :- E(x,y), E(y,z).");
+  EXPECT_TRUE(cqContained(tri, path));
+  EXPECT_FALSE(cqContained(path, tri));
+}
+
+TEST_F(ContainmentTest, SelfJoinFolding) {
+  // E(x,x) maps into E(x,y),E(y,x)? A homomorphism q2 -> q1 sends both
+  // atoms onto the loop: yes.
+  Rule loop = rule("Q() :- E(x,x).");
+  Rule twoCycle = rule("Q() :- E(x,y), E(y,x).");
+  EXPECT_TRUE(cqContained(loop, twoCycle));
+  EXPECT_FALSE(cqContained(twoCycle, loop));
+}
+
+TEST_F(ContainmentTest, IncompatibleHeadsThrow) {
+  Rule q1 = rule("Q(x) :- E(x,y).");
+  Rule q2 = rule("R(x) :- E(x,y).");
+  EXPECT_THROW(cqContained(q1, q2), EvalError);
+}
+
+TEST_F(ContainmentTest, NegationRejected) {
+  Rule q1 = rule("Q(x) :- E(x,y), !F(x).");
+  Rule q2 = rule("Q(x) :- E(x,y).");
+  EXPECT_THROW(cqContained(q1, q2), EvalError);
+}
+
+TEST_F(ContainmentTest, ComparisonRejected) {
+  Rule q1 = rule("Q(x) :- E(x,y), y > 3.");
+  Rule q2 = rule("Q(x) :- E(x,y).");
+  EXPECT_THROW(cqContained(q1, q2), EvalError);
+}
+
+TEST_F(ContainmentTest, ConstraintSubsumptionPositive) {
+  // T: Mkt traffic to CS exists. C: any traffic to CS exists -> T ⊆ C.
+  Program t = prog("panic :- R(Mkt, CS, p).");
+  Program c = prog("panic :- R(x, CS, p).");
+  EXPECT_TRUE(constraintSubsumedCanonical(t, c));
+  EXPECT_FALSE(constraintSubsumedCanonical(c, t));
+}
+
+TEST_F(ContainmentTest, SubsumptionThroughAuxPredicates) {
+  Program t = prog("panic :- R(Mkt, CS, p).");
+  Program c = prog(
+      "panic :- V(x,y,p).\n"
+      "V(x,y,p) :- R(x,y,p).\n");
+  EXPECT_TRUE(constraintSubsumedCanonical(t, c));
+}
+
+TEST_F(ContainmentTest, MultiRuleSubsumee) {
+  Program t = prog(
+      "panic :- R(Mkt, CS, p).\n"
+      "panic :- R(R&D, GS, p).\n");
+  Program cAll = prog("panic :- R(x, y, p).");
+  Program cCsOnly = prog("panic :- R(x, CS, p).");
+  EXPECT_TRUE(constraintSubsumedCanonical(t, cAll));
+  // The R&D->GS rule is not covered by a CS-only constraint.
+  EXPECT_FALSE(constraintSubsumedCanonical(t, cCsOnly));
+}
+
+TEST_F(ContainmentTest, MissingGoalThrows) {
+  Program t = prog("alarm :- R(x,y,p).");
+  Program c = prog("panic :- R(x,y,p).");
+  EXPECT_THROW(constraintSubsumedCanonical(t, c), EvalError);
+}
+
+}  // namespace
+}  // namespace faure::dl

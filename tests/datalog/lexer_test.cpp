@@ -1,0 +1,102 @@
+// Tokenizer tests (datalog/lexer.hpp).
+#include "datalog/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace faure::dl {
+namespace {
+
+std::vector<Tok> kinds(std::string_view text) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(text)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, SimpleRule) {
+  auto ks = kinds("R(f,n1,n2) :- F(f,n1,n2).");
+  std::vector<Tok> want = {
+      Tok::Ident, Tok::LParen, Tok::Ident, Tok::Comma, Tok::Ident,
+      Tok::Comma, Tok::Ident,  Tok::RParen, Tok::ColonDash,
+      Tok::Ident, Tok::LParen, Tok::Ident, Tok::Comma, Tok::Ident,
+      Tok::Comma, Tok::Ident,  Tok::RParen, Tok::Dot,   Tok::End};
+  EXPECT_EQ(ks, want);
+}
+
+TEST(LexerTest, CVarNames) {
+  auto ts = lex("x_ + y_ = 1");
+  EXPECT_EQ(ts[0].kind, Tok::CVarName);
+  EXPECT_EQ(ts[0].text, "x_");
+  EXPECT_EQ(ts[1].kind, Tok::Plus);
+  EXPECT_EQ(ts[2].kind, Tok::CVarName);
+  EXPECT_EQ(ts[3].kind, Tok::Eq);
+  EXPECT_EQ(ts[4].kind, Tok::Int);
+  EXPECT_EQ(ts[4].intVal, 1);
+}
+
+TEST(LexerTest, Comparisons) {
+  EXPECT_EQ(kinds("= != < <= > >="),
+            (std::vector<Tok>{Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt,
+                              Tok::Ge, Tok::End}));
+}
+
+TEST(LexerTest, NegationForms) {
+  auto a = kinds("!F(x)");
+  auto b = kinds("not F(x)");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[0], Tok::Bang);
+}
+
+TEST(LexerTest, PrefixLiterals) {
+  auto ts = lex("1.2.3.4 10.0.0.0/8 42");
+  EXPECT_EQ(ts[0].kind, Tok::PrefixLit);
+  EXPECT_EQ(ts[0].text, "1.2.3.4");
+  EXPECT_EQ(ts[1].kind, Tok::PrefixLit);
+  EXPECT_EQ(ts[1].text, "10.0.0.0/8");
+  EXPECT_EQ(ts[2].kind, Tok::Int);
+  EXPECT_EQ(ts[2].intVal, 42);
+}
+
+TEST(LexerTest, AmpersandInIdentifier) {
+  auto ts = lex("R&D");
+  EXPECT_EQ(ts[0].kind, Tok::Ident);
+  EXPECT_EQ(ts[0].text, "R&D");
+}
+
+TEST(LexerTest, Comments) {
+  auto ks = kinds("A. % trailing comment\n// full line\nB.");
+  EXPECT_EQ(ks, (std::vector<Tok>{Tok::Ident, Tok::Dot, Tok::Ident, Tok::Dot,
+                                  Tok::End}));
+}
+
+TEST(LexerTest, QuotedStrings) {
+  auto ts = lex("'hello world' \"two\"");
+  EXPECT_EQ(ts[0].kind, Tok::Str);
+  EXPECT_EQ(ts[0].text, "hello world");
+  EXPECT_EQ(ts[1].kind, Tok::Str);
+  EXPECT_EQ(ts[1].text, "two");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto ts = lex("A.\n  B.");
+  EXPECT_EQ(ts[0].line, 1);
+  EXPECT_EQ(ts[2].line, 2);
+  EXPECT_GT(ts[2].column, 1);
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  try {
+    lex("A :~ B.");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+  }
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_THROW(lex("'oops"), ParseError);
+}
+
+}  // namespace
+}  // namespace faure::dl

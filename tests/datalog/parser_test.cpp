@@ -1,0 +1,178 @@
+// Parser tests (datalog/parser.hpp), covering the paper's listings.
+#include "datalog/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace faure::dl {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+};
+
+TEST_F(ParserTest, SimpleRule) {
+  Rule r = parseRule("R(f,n1,n2) :- F(f,n1,n2).", reg_);
+  EXPECT_EQ(r.head.pred, "R");
+  ASSERT_EQ(r.head.args.size(), 3u);
+  EXPECT_TRUE(r.head.args[0].isVar());
+  EXPECT_EQ(r.head.args[0].var, "f");
+  ASSERT_EQ(r.body.size(), 1u);
+  EXPECT_EQ(r.body[0].atom.pred, "F");
+  EXPECT_FALSE(r.body[0].negated);
+}
+
+TEST_F(ParserTest, Fact) {
+  Rule r = parseRule("Lb(R&D, GS).", reg_);
+  EXPECT_TRUE(r.isFact());
+  ASSERT_EQ(r.head.args.size(), 2u);
+  EXPECT_EQ(r.head.args[0].constant, Value::sym("R&D"));
+  EXPECT_EQ(r.head.args[1].constant, Value::sym("GS"));
+}
+
+TEST_F(ParserTest, CVarsAreDeclaredOnSight) {
+  Rule r = parseRule("Vt(x_, CS, p_) :- R(x_, CS, p_), x_ != Mkt.", reg_);
+  EXPECT_NE(reg_.find("x_"), CVarRegistry::kNotFound);
+  EXPECT_NE(reg_.find("p_"), CVarRegistry::kNotFound);
+  EXPECT_TRUE(r.head.args[0].isCVar());
+  ASSERT_EQ(r.cmps.size(), 1u);
+  EXPECT_EQ(r.cmps[0].op, smt::CmpOp::Ne);
+}
+
+TEST_F(ParserTest, CVarsReusePriorDeclaration) {
+  CVarId x = reg_.declareInt("x_", 0, 1);
+  Rule r = parseRule("T(f) :- R(f), x_ = 0.", reg_);
+  ASSERT_EQ(r.cmps.size(), 1u);
+  ASSERT_EQ(r.cmps[0].lhs.terms.size(), 1u);
+  EXPECT_EQ(r.cmps[0].lhs.terms[0].first.cvar, x);
+}
+
+TEST_F(ParserTest, LinearComparison) {
+  Rule r = parseRule("T1(f,n1,n2) :- R(f,n1,n2), x_ + y_ + z_ = 1.", reg_);
+  ASSERT_EQ(r.cmps.size(), 1u);
+  EXPECT_EQ(r.cmps[0].lhs.terms.size(), 3u);
+  EXPECT_EQ(r.cmps[0].rhs.cst, 1);
+  EXPECT_EQ(r.cmps[0].op, smt::CmpOp::Eq);
+}
+
+TEST_F(ParserTest, CoefficientsAndMinus) {
+  Rule r = parseRule("T(x) :- R(x), 2*x_ - y_ >= 3.", reg_);
+  ASSERT_EQ(r.cmps.size(), 1u);
+  EXPECT_EQ(r.cmps[0].lhs.terms[0].second, 2);
+  EXPECT_EQ(r.cmps[0].lhs.terms[1].second, -1);
+}
+
+TEST_F(ParserTest, Negation) {
+  Rule r = parseRule("panic :- R(Mkt, CS, p_), !Fw(Mkt, CS).", reg_);
+  EXPECT_EQ(r.head.pred, "panic");
+  EXPECT_TRUE(r.head.args.empty());
+  ASSERT_EQ(r.body.size(), 2u);
+  EXPECT_FALSE(r.body[0].negated);
+  EXPECT_TRUE(r.body[1].negated);
+  EXPECT_EQ(r.body[1].atom.pred, "Fw");
+}
+
+TEST_F(ParserTest, NotKeyword) {
+  Rule r = parseRule("panic :- R(R&D, y_, 7000), not Lb(R&D, y_).", reg_);
+  EXPECT_TRUE(r.body[1].negated);
+  EXPECT_EQ(r.body[0].atom.args[2].constant, Value::fromInt(7000));
+}
+
+TEST_F(ParserTest, AnnotationComparisonsJoinTheRule) {
+  Rule r = parseRule("Lb2(x_, y_) :- Lb1(x_, y_)[x_ != Mkt].", reg_);
+  ASSERT_EQ(r.cmps.size(), 1u);
+  EXPECT_EQ(r.cmps[0].op, smt::CmpOp::Ne);
+}
+
+TEST_F(ParserTest, MetavariableAnnotationsAreDropped) {
+  Rule r = parseRule("R(f,n1,n2)[phi] :- F(f,n1,n2)[phi].", reg_);
+  EXPECT_TRUE(r.cmps.empty());
+  // phi must not become a c-variable or a program variable.
+  EXPECT_EQ(reg_.find("phi"), CVarRegistry::kNotFound);
+}
+
+TEST_F(ParserTest, MixedAnnotation) {
+  Rule r = parseRule(
+      "T1(f,n1,n2)[phi & x_ + y_ + z_ = 1] :- R(f,n1,n2)[phi], "
+      "x_ + y_ + z_ = 1.",
+      reg_);
+  // Head annotation dropped entirely; body comparison kept once.
+  ASSERT_EQ(r.cmps.size(), 1u);
+}
+
+TEST_F(ParserTest, AnnotationOnNegatedAtomRejected) {
+  EXPECT_THROW(parseRule("P(x) :- R(x), !Q(x)[x != 1].", reg_), ParseError);
+}
+
+TEST_F(ParserTest, ConstantsOfAllKinds) {
+  Rule r = parseRule("P(1.2.3.4, [ABC], 'lit', Mkt, 42, 10.0.0.0/8).", reg_);
+  ASSERT_EQ(r.head.args.size(), 6u);
+  EXPECT_EQ(r.head.args[0].constant, Value::parsePrefix("1.2.3.4"));
+  EXPECT_EQ(r.head.args[1].constant, Value::path({"ABC"}));
+  EXPECT_EQ(r.head.args[2].constant, Value::sym("lit"));
+  EXPECT_EQ(r.head.args[3].constant, Value::sym("Mkt"));
+  EXPECT_EQ(r.head.args[4].constant, Value::fromInt(42));
+  EXPECT_EQ(r.head.args[5].constant, Value::parsePrefix("10.0.0.0/8"));
+}
+
+TEST_F(ParserTest, MultiElementPath) {
+  Rule r = parseRule("P([A, B, C]).", reg_);
+  EXPECT_EQ(r.head.args[0].constant, Value::path({"A", "B", "C"}));
+  Rule r2 = parseRule("P([A B C]).", reg_);
+  EXPECT_EQ(r2.head.args[0].constant, Value::path({"A", "B", "C"}));
+}
+
+TEST_F(ParserTest, LowercaseIsVariableUppercaseIsSymbol) {
+  Rule r = parseRule("P(x, Mkt) :- Q(x).", reg_);
+  EXPECT_TRUE(r.head.args[0].isVar());
+  EXPECT_TRUE(r.head.args[1].isConst());
+}
+
+TEST_F(ParserTest, ProgramOfMultipleRules) {
+  Program p = parseProgram(
+      "R(f,n1,n2) :- F(f,n1,n2).\n"
+      "R(f,n1,n2) :- F(f,n1,n3), R(f,n3,n2).\n",
+      reg_);
+  EXPECT_EQ(p.rules.size(), 2u);
+  EXPECT_EQ(p.idbPredicates(), std::vector<std::string>{"R"});
+  auto preds = p.predicates();
+  EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST_F(ParserTest, VariableComparison) {
+  Rule r = parseRule("Q(y) :- P(x, y), x != 1.2.3.4.", reg_);
+  ASSERT_EQ(r.cmps.size(), 1u);
+  EXPECT_TRUE(r.cmps[0].lhs.terms[0].first.isVar());
+  // Non-integer constants ride in `terms` (only Int literals fold into
+  // the constant part of a linear expression).
+  ASSERT_EQ(r.cmps[0].rhs.terms.size(), 1u);
+  EXPECT_EQ(r.cmps[0].rhs.terms[0].first.constant,
+            Value::parsePrefix("1.2.3.4"));
+}
+
+TEST_F(ParserTest, ZeroAryBodyAtom) {
+  Rule r = parseRule("alarm :- panic.", reg_);
+  ASSERT_EQ(r.body.size(), 1u);
+  EXPECT_EQ(r.body[0].atom.pred, "panic");
+  EXPECT_TRUE(r.body[0].atom.args.empty());
+}
+
+TEST_F(ParserTest, SyntaxErrors) {
+  EXPECT_THROW(parseRule("P(x :- Q(x).", reg_), ParseError);
+  EXPECT_THROW(parseRule("P(x)", reg_), ParseError);           // missing dot
+  EXPECT_THROW(parseRule("P(x) :- .", reg_), ParseError);      // empty body
+  EXPECT_THROW(parseRule(":- Q(x).", reg_), ParseError);       // no head
+}
+
+TEST_F(ParserTest, RoundTripToString) {
+  const char* text = "panic :- R(Mkt, CS, p_), !Fw(Mkt, CS).";
+  Rule r = parseRule(text, reg_);
+  // toString must re-parse to the same structure.
+  Rule r2 = parseRule(r.toString(&reg_), reg_);
+  EXPECT_EQ(r2.toString(&reg_), r.toString(&reg_));
+}
+
+}  // namespace
+}  // namespace faure::dl

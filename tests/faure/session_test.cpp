@@ -1,0 +1,107 @@
+// Tests for the high-level Session facade (faure/faure.hpp).
+#include "faure/faure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace faure {
+namespace {
+
+TEST(SessionTest, LoadRunCheckRoundTrip) {
+  Session s;
+  s.load(
+      "var x_ int 0 1\n"
+      "table F(flow sym, from int, to int)\n"
+      "row F f0 1 2 | x_ = 1\n"
+      "row F f0 2 3\n");
+  auto res = s.run(
+      "R(f,a,b) :- F(f,a,b).\n"
+      "R(f,a,b) :- F(f,a,c), R(f,c,b).\n");
+  EXPECT_EQ(res.relation("R").size(), 3u);
+  // Derived relations are stored back into the database.
+  EXPECT_TRUE(s.db().has("R"));
+
+  // A follow-up program can build on R.
+  auto res2 = s.run("Pair(a,b) :- R('f0', a, b).");
+  EXPECT_EQ(res2.relation("Pair").size(), 3u);
+
+  // Constraint check: 1 -> 3 requires x_ = 1.
+  auto check = s.check("panic :- !R('f0', 1, 3).");
+  EXPECT_EQ(check.verdict, verify::Verdict::ConditionallyViolated);
+  CVarId x = s.vars().find("x_");
+  smt::NativeSolver judge(s.vars());
+  EXPECT_TRUE(judge.equivalent(
+      check.condition,
+      smt::Formula::cmp(Value::cvar(x), smt::CmpOp::Eq, Value::fromInt(0))));
+}
+
+TEST(SessionTest, IncrementalLoads) {
+  Session s;
+  s.load("var x_ int 0 1\ntable T(a int)\n");
+  s.load("row T 1 | x_ = 1\n");
+  s.load("row T 2\n");
+  EXPECT_EQ(s.db().table("T").size(), 2u);
+  // Redeclaring a table throws.
+  EXPECT_THROW(s.load("table T(a int)\n"), EvalError);
+  // Redeclaring a c-variable throws.
+  EXPECT_THROW(s.load("var x_ int 0 1\n"), TypeError);
+}
+
+TEST(SessionTest, SubsumptionThroughSession) {
+  Session s;
+  auto t1 = s.constraint("T1", "panic :- R(Mkt, CS, p_), !Fw(Mkt, CS).");
+  auto cs = s.constraint(
+      "Cs",
+      "panic :- Vs(x, y, p).\n"
+      "Vs(xs_, ys_, ps_) :- R(xs_, ys_, ps_), !Fw(xs_, ys_).\n");
+  EXPECT_EQ(s.subsumed(t1, {cs}), verify::Verdict::Holds);
+  EXPECT_EQ(s.subsumed(cs, {t1}), verify::Verdict::Unknown);
+}
+
+TEST(SessionTest, UpdatePathThroughSession) {
+  Session s;
+  s.vars().declare("y_", ValueType::Sym,
+                   {Value::sym("CS"), Value::sym("GS")});
+  auto t2 = s.constraint("T2", "panic :- R(R&D, y_, 7000), !Lb(R&D, y_).");
+  auto clb = s.constraint(
+      "Clb",
+      "panic :- Vt(x, y, p).\n"
+      "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), !Lb(xt_, CS).\n");
+  verify::Update u;
+  u.insert("Lb", {dl::Term::constant_(Value::sym("R&D")),
+                  dl::Term::constant_(Value::sym("GS"))});
+  EXPECT_EQ(s.subsumed(t2, {clb}), verify::Verdict::Unknown);
+  EXPECT_EQ(s.subsumedAfterUpdate(t2, {clb}, u), verify::Verdict::Holds);
+}
+
+TEST(SessionTest, OptionsApply) {
+  Session s;
+  s.load(
+      "var x_ int 0 1\n"
+      "table E(a int)\n"
+      "table F(a int)\n"
+      "row E 7 | x_ = 0\n"
+      "row F 7 | x_ = 1\n");
+  s.options().simplifyResults = true;
+  auto res = s.run("Q(v) :- E(v).\nQ(v) :- F(v).\n");
+  ASSERT_EQ(res.relation("Q").size(), 1u);
+  EXPECT_TRUE(res.relation("Q").rows()[0].cond.isTrue());
+}
+
+TEST(SessionTest, Z3BackendIfAvailable) {
+  if (!smt::z3Available()) {
+    EXPECT_THROW(Session s(Session::Backend::Z3), EvalError);
+    return;
+  }
+  Session s(Session::Backend::Z3);
+  s.load(
+      "var x_ int 0 1\n"
+      "table T(a int)\n"
+      "row T 1 | x_ = 1\n");
+  auto res = s.run("Q(v) :- T(v), x_ = 0.");
+  EXPECT_TRUE(res.relation("Q").empty());  // pruned by Z3
+}
+
+}  // namespace
+}  // namespace faure

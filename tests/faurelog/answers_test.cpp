@@ -1,0 +1,120 @@
+// Tests for certain / possible answer classification
+// (faurelog/answers.hpp), validated against brute-force world
+// enumeration.
+#include "faurelog/answers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "faurelog/eval.hpp"
+#include "relational/worlds.hpp"
+
+namespace faure::fl {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+class AnswersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = db_.cvars().declareInt("x_", 0, 1);
+    y_ = db_.cvars().declareInt("y_", 0, 1);
+    auto& t = db_.create(anySchema("T", 1));
+    t.insertConcrete({Value::fromInt(1)});  // certain
+    t.insert({Value::fromInt(2)}, bit(x_, 1));  // possible only
+    t.insert({Value::fromInt(3)},
+             Formula::disj2(bit(x_, 0), bit(x_, 1)));  // certain (valid)
+    t.insert({Value::fromInt(4)},
+             Formula::conj2(bit(x_, 1), bit(x_, 0)));  // impossible
+  }
+
+  Formula bit(CVarId v, int64_t k) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(k));
+  }
+
+  rel::Database db_;
+  CVarId x_ = 0, y_ = 0;
+};
+
+TEST_F(AnswersTest, PointQueries) {
+  smt::NativeSolver solver(db_.cvars());
+  const auto& t = db_.table("T");
+  EXPECT_TRUE(isCertain(t, {Value::fromInt(1)}, solver));
+  EXPECT_TRUE(isPossible(t, {Value::fromInt(1)}, solver));
+  EXPECT_FALSE(isCertain(t, {Value::fromInt(2)}, solver));
+  EXPECT_TRUE(isPossible(t, {Value::fromInt(2)}, solver));
+  EXPECT_TRUE(isCertain(t, {Value::fromInt(3)}, solver));
+  EXPECT_FALSE(isPossible(t, {Value::fromInt(4)}, solver));
+  EXPECT_FALSE(isPossible(t, {Value::fromInt(99)}, solver));  // absent
+}
+
+TEST_F(AnswersTest, Classification) {
+  smt::NativeSolver solver(db_.cvars());
+  AnswerClasses classes = classifyAnswers(db_.table("T"), solver);
+  EXPECT_EQ(classes.certain.size(), 2u);   // 1 and 3
+  EXPECT_EQ(classes.possible.size(), 3u);  // 1, 2 and 3
+  EXPECT_TRUE(classes.open.empty());
+}
+
+TEST_F(AnswersTest, OpenRowsReportedSeparately) {
+  db_.table("T").insertConcrete({Value::cvar(y_)});
+  smt::NativeSolver solver(db_.cvars());
+  AnswerClasses classes = classifyAnswers(db_.table("T"), solver);
+  EXPECT_EQ(classes.open.size(), 1u);
+}
+
+TEST_F(AnswersTest, AgreesWithWorldEnumeration) {
+  // Derived relation: R = T joined with itself on equality; classify and
+  // cross-check against per-world membership.
+  auto res = evalFaure(
+      dl::parseProgram("R(v) :- T(v).", db_.cvars()), db_);
+  smt::NativeSolver solver(db_.cvars());
+  AnswerClasses classes = classifyAnswers(res.relation("R"), solver);
+
+  int worlds = 0;
+  std::map<std::vector<Value>, int> membership;
+  rel::forEachWorld(db_, 1u << 10,
+                    [&](const smt::Assignment& a, const rel::World&) {
+                      ++worlds;
+                      for (const auto& vals :
+                           rel::instantiate(res.relation("R"), a)) {
+                        membership[vals]++;
+                      }
+                    });
+  for (const auto& vals : classes.certain) {
+    EXPECT_EQ(membership[vals], worlds) << "not actually certain";
+  }
+  for (const auto& vals : classes.possible) {
+    EXPECT_GT(membership[vals], 0) << "not actually possible";
+  }
+  for (const auto& [vals, count] : membership) {
+    bool listed = false;
+    for (const auto& p : classes.possible) {
+      if (p == vals) listed = true;
+    }
+    EXPECT_TRUE(listed) << "possible answer missing from classification";
+  }
+}
+
+TEST_F(AnswersTest, DuplicateDataPartsClassifiedOnce) {
+  rel::CTable t(anySchema("U", 1));
+  t.append({Value::fromInt(5)}, bit(x_, 0));
+  t.append({Value::fromInt(5)}, bit(x_, 1));
+  smt::NativeSolver solver(db_.cvars());
+  AnswerClasses classes = classifyAnswers(t, solver);
+  ASSERT_EQ(classes.possible.size(), 1u);
+  // The OR of the duplicate conditions is valid: certain.
+  EXPECT_EQ(classes.certain.size(), 1u);
+}
+
+}  // namespace
+}  // namespace faure::fl

@@ -1,0 +1,203 @@
+// Edge cases and hardening tests for the fauré-log evaluator.
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "faurelog/eval.hpp"
+#include "util/error.hpp"
+
+namespace faure::fl {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+class EvalEdgeTest : public ::testing::Test {
+ protected:
+  rel::Database db_;
+  dl::Program parse(const char* text) {
+    return dl::parseProgram(text, db_.cvars());
+  }
+};
+
+TEST_F(EvalEdgeTest, EmptyProgram) {
+  auto res = evalFaure(parse(""), db_);
+  EXPECT_TRUE(res.idb.empty());
+}
+
+TEST_F(EvalEdgeTest, FactOnlyProgram) {
+  auto res = evalFaure(parse("Lb(Mkt, CS).\nLb(R&D, GS).\n"), db_);
+  EXPECT_EQ(res.relation("Lb").size(), 2u);
+}
+
+TEST_F(EvalEdgeTest, BodylessRuleWithComparisonDerivesConditionally) {
+  // A rule whose body is only a comparison derives its head under that
+  // condition — the degenerate case of constraint rules.
+  db_.cvars().declareInt("x_", 0, 1);
+  auto res = evalFaure(parse("panic :- x_ = 1."), db_);
+  Formula cond;
+  ASSERT_TRUE(res.derived("panic", &cond));
+  CVarId x = db_.cvars().find("x_");
+  EXPECT_EQ(cond,
+            Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)));
+}
+
+TEST_F(EvalEdgeTest, PrefixConstantsMatchAndCompare) {
+  auto& t = db_.create(anySchema("T", 1));
+  t.insertConcrete({Value::parsePrefix("10.0.0.0/8")});
+  t.insertConcrete({Value::parsePrefix("10.0.0.0/16")});
+  auto res = evalFaure(parse("Q(x) :- T(x), x != 10.0.0.0/16."), db_);
+  ASSERT_EQ(res.relation("Q").size(), 1u);
+  EXPECT_EQ(res.relation("Q").rows()[0].vals[0],
+            Value::parsePrefix("10.0.0.0/8"));
+}
+
+TEST_F(EvalEdgeTest, PathConstantsInRules) {
+  auto& t = db_.create(anySchema("T", 2));
+  t.insertConcrete({Value::fromInt(1), Value::path({"A", "B"})});
+  t.insertConcrete({Value::fromInt(2), Value::path({"C"})});
+  auto res = evalFaure(parse("Q(x) :- T(x, [A B])."), db_);
+  ASSERT_EQ(res.relation("Q").size(), 1u);
+  EXPECT_EQ(res.relation("Q").rows()[0].vals[0], Value::fromInt(1));
+}
+
+TEST_F(EvalEdgeTest, ThreeStrataPipeline) {
+  auto& e = db_.create(anySchema("E", 2));
+  e.insertConcrete({Value::fromInt(1), Value::fromInt(2)});
+  e.insertConcrete({Value::fromInt(2), Value::fromInt(3)});
+  auto res = evalFaure(parse("Src(x) :- E(x,y).\n"
+                             "NotSrc(y) :- E(x,y), !Src(y).\n"
+                             "Alarm(y) :- NotSrc(y), !Whitelist(y).\n"
+                             "Whitelist(3).\n"),
+                       db_);
+  // Src = {1,2}; NotSrc = {3}; Whitelist = {3}; Alarm empty.
+  EXPECT_EQ(res.relation("Src").size(), 2u);
+  EXPECT_EQ(res.relation("NotSrc").size(), 1u);
+  EXPECT_TRUE(res.relation("Alarm").empty());
+}
+
+TEST_F(EvalEdgeTest, NegationOverSameStratumThrows) {
+  db_.create(anySchema("E", 2));
+  EXPECT_THROW(
+      evalFaure(parse("Win(x) :- E(x,y), !Win(y)."), db_), EvalError);
+}
+
+TEST_F(EvalEdgeTest, SelfJoinOnCVarData) {
+  // E(x, x) against a row (a_, b_): matches with condition a_ = b_.
+  CVarId a = db_.cvars().declareInt("a_", 0, 3);
+  CVarId b = db_.cvars().declareInt("b_", 0, 3);
+  auto& e = db_.create(anySchema("E", 2));
+  e.insertConcrete({Value::cvar(a), Value::cvar(b)});
+  auto res = evalFaure(parse("Loop(x) :- E(x, x)."), db_);
+  ASSERT_EQ(res.relation("Loop").size(), 1u);
+  EXPECT_EQ(res.relation("Loop").rows()[0].cond,
+            Formula::cmp(Value::cvar(a), CmpOp::Eq, Value::cvar(b)));
+}
+
+TEST_F(EvalEdgeTest, CVarJoinAcrossLiterals) {
+  // Join through a variable bound to a c-variable: conditions must link
+  // the two unknowns.
+  CVarId a = db_.cvars().declareInt("a_", 0, 3);
+  CVarId b = db_.cvars().declareInt("b_", 0, 3);
+  auto& e = db_.create(anySchema("E", 2));
+  auto& f = db_.create(anySchema("F", 2));
+  e.insertConcrete({Value::fromInt(1), Value::cvar(a)});
+  f.insertConcrete({Value::cvar(b), Value::fromInt(9)});
+  auto res = evalFaure(parse("Q(x, z) :- E(x, y), F(y, z)."), db_);
+  ASSERT_EQ(res.relation("Q").size(), 1u);
+  EXPECT_EQ(res.relation("Q").rows()[0].cond,
+            Formula::cmp(Value::cvar(a), CmpOp::Eq, Value::cvar(b)));
+}
+
+TEST_F(EvalEdgeTest, ConsolidateOffKeepsDuplicates) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& e = db_.create(anySchema("E", 1));
+  auto& f = db_.create(anySchema("F", 1));
+  e.insert({Value::fromInt(7)}, Formula::cmp(Value::cvar(x), CmpOp::Eq,
+                                             Value::fromInt(0)));
+  f.insert({Value::fromInt(7)}, Formula::cmp(Value::cvar(x), CmpOp::Eq,
+                                             Value::fromInt(1)));
+  smt::NativeSolver solver(db_.cvars());
+  EvalOptions opts;
+  opts.consolidate = false;
+  auto res = evalFaure(parse("Q(v) :- E(v).\nQ(v) :- F(v).\n"), db_,
+                       &solver, opts);
+  EXPECT_EQ(res.relation("Q").size(), 2u);
+  // conditionOf still reports the OR of the duplicates.
+  smt::NativeSolver judge(db_.cvars());
+  EXPECT_TRUE(judge.implies(smt::Formula::top(),
+                            res.relation("Q").conditionOf(
+                                {Value::fromInt(7)})));
+}
+
+TEST_F(EvalEdgeTest, SimplifyResultsCollapsesValidConditions) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& e = db_.create(anySchema("E", 1));
+  auto& f = db_.create(anySchema("F", 1));
+  e.insert({Value::fromInt(7)}, Formula::cmp(Value::cvar(x), CmpOp::Eq,
+                                             Value::fromInt(0)));
+  f.insert({Value::fromInt(7)}, Formula::cmp(Value::cvar(x), CmpOp::Eq,
+                                             Value::fromInt(1)));
+  smt::NativeSolver solver(db_.cvars());
+  EvalOptions opts;
+  opts.simplifyResults = true;
+  auto res = evalFaure(parse("Q(v) :- E(v).\nQ(v) :- F(v).\n"), db_,
+                       &solver, opts);
+  ASSERT_EQ(res.relation("Q").size(), 1u);
+  EXPECT_TRUE(res.relation("Q").rows()[0].cond.isTrue());
+}
+
+TEST_F(EvalEdgeTest, HeadCVarsSurviveIntoResults) {
+  // The Vt(x_, CS, p_) pattern: heads may introduce c-variables.
+  db_.cvars().declare("s_", ValueType::Sym);
+  auto& r = db_.create(anySchema("R", 1));
+  r.insertConcrete({Value::sym("Mkt")});
+  auto res = evalFaure(parse("V(s_, CS) :- R(s_)."), db_);
+  ASSERT_EQ(res.relation("V").size(), 1u);
+  EXPECT_TRUE(res.relation("V").rows()[0].vals[0].isCVar());
+  EXPECT_EQ(res.relation("V").rows()[0].vals[1], Value::sym("CS"));
+}
+
+TEST_F(EvalEdgeTest, ArityMismatchAgainstEdbThrows) {
+  db_.create(anySchema("E", 2));
+  EXPECT_THROW(evalFaure(parse("Q(x) :- E(x)."), db_), EvalError);
+}
+
+TEST_F(EvalEdgeTest, IterationCapTriggers) {
+  auto& e = db_.create(anySchema("E", 2));
+  for (int i = 0; i < 20; ++i) {
+    e.insertConcrete({Value::fromInt(i), Value::fromInt(i + 1)});
+  }
+  smt::NativeSolver solver(db_.cvars());
+  EvalOptions opts;
+  opts.maxIterations = 2;
+  EXPECT_THROW(evalFaure(parse("R(x,y) :- E(x,y).\n"
+                               "R(x,y) :- E(x,z), R(z,y).\n"),
+                         db_, &solver, opts),
+               EvalError);
+}
+
+TEST_F(EvalEdgeTest, ComparisonBetweenTwoBoundVars) {
+  auto& e = db_.create(anySchema("E", 2));
+  e.insertConcrete({Value::fromInt(3), Value::fromInt(5)});
+  e.insertConcrete({Value::fromInt(5), Value::fromInt(3)});
+  auto res = evalFaure(parse("Inc(x,y) :- E(x,y), x < y."), db_);
+  ASSERT_EQ(res.relation("Inc").size(), 1u);
+  EXPECT_EQ(res.relation("Inc").rows()[0].vals[0], Value::fromInt(3));
+}
+
+TEST_F(EvalEdgeTest, OrderedComparisonOnSymbolsThrows) {
+  auto& e = db_.create(anySchema("E", 2));
+  e.insertConcrete({Value::sym("A"), Value::sym("B")});
+  EXPECT_THROW(evalFaure(parse("Q(x,y) :- E(x,y), x < y."), db_), TypeError);
+}
+
+}  // namespace
+}  // namespace faure::fl

@@ -1,0 +1,299 @@
+// Engine-level tests for the fauré-log evaluator (faurelog/eval.hpp):
+// c-valuation matching, condition propagation, negation, recursion,
+// pruning and merge behaviour.
+#include "faurelog/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "util/error.hpp"
+
+namespace faure::fl {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+class FaureEvalTest : public ::testing::Test {
+ protected:
+  rel::Database db_;
+
+  dl::Program parse(const char* text) {
+    return dl::parseProgram(text, db_.cvars());
+  }
+  Formula eq(CVarId v, Value val) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, val);
+  }
+};
+
+TEST_F(FaureEvalTest, GroundDataBehavesLikePureDatalog) {
+  auto& e = db_.create(anySchema("E", 2));
+  e.insertConcrete({Value::fromInt(1), Value::fromInt(2)});
+  e.insertConcrete({Value::fromInt(2), Value::fromInt(3)});
+  auto res = evalFaure(parse("R(x,y) :- E(x,y).\n"
+                             "R(x,y) :- E(x,z), R(z,y).\n"),
+                       db_);
+  EXPECT_EQ(res.relation("R").size(), 3u);
+  EXPECT_TRUE(res.relation("R")
+                  .conditionOf({Value::fromInt(1), Value::fromInt(3)})
+                  .isTrue());
+}
+
+TEST_F(FaureEvalTest, ConstantMatchesCVarByConditioning) {
+  // P(1.2.3.5, y) must match the row (y_, ABE)[y_ != 1.2.3.4] with the
+  // extra condition y_ = 1.2.3.5 — the paper's q3.
+  CVarId y = db_.cvars().declare("y_", ValueType::Prefix);
+  auto& p = db_.create(anySchema("P", 2));
+  p.insert({Value::cvar(y), Value::path({"ABE"})},
+           Formula::cmp(Value::cvar(y), CmpOp::Ne,
+                        Value::parsePrefix("1.2.3.4")));
+  auto res = evalFaure(parse("Q(z) :- P(1.2.3.5, z)."), db_);
+  ASSERT_EQ(res.relation("Q").size(), 1u);
+  const auto& row = res.relation("Q").rows()[0];
+  EXPECT_EQ(row.vals[0], Value::path({"ABE"}));
+  // Condition: y_ != 1.2.3.4 & y_ = 1.2.3.5 (satisfiable).
+  smt::NativeSolver solver(db_.cvars());
+  EXPECT_EQ(solver.check(row.cond), smt::Sat::Sat);
+  EXPECT_FALSE(row.cond.isTrue());
+}
+
+TEST_F(FaureEvalTest, SyntacticContradictionDiesBeforeTheSolver) {
+  // P(1.2.3.4, z) against (y_, ABE)[y_ != 1.2.3.4]: the match condition
+  // y_ = 1.2.3.4 is the exact complement of the row condition, so the
+  // frame folds to false with no solver involvement.
+  CVarId y = db_.cvars().declare("y_", ValueType::Prefix);
+  auto& p = db_.create(anySchema("P", 2));
+  p.insert({Value::cvar(y), Value::path({"ABE"})},
+           Formula::cmp(Value::cvar(y), CmpOp::Ne,
+                        Value::parsePrefix("1.2.3.4")));
+  auto res = evalFaure(parse("Q(z) :- P(1.2.3.4, z)."), db_);
+  EXPECT_TRUE(res.relation("Q").empty());
+  EXPECT_EQ(res.stats.prunedUnsat, 0u);
+}
+
+TEST_F(FaureEvalTest, SemanticContradictionNeedsTheSolverStep) {
+  // x_ = 0 & x_ + y_ = 3 over bits is only refutable semantically.
+  db_.cvars().declareInt("x_", 0, 1);
+  db_.cvars().declareInt("y_", 0, 1);
+  auto& t = db_.create(anySchema("T", 1));
+  t.insertConcrete({Value::fromInt(7)});
+  dl::Program p = parse("S(v) :- T(v), x_ = 0, x_ + y_ = 3.");
+
+  auto pruned = evalFaure(p, db_);
+  EXPECT_TRUE(pruned.relation("S").empty());
+  EXPECT_EQ(pruned.stats.prunedUnsat, 1u);
+
+  // Without the solver step the contradictory row is kept — sound (its
+  // condition never holds) but larger; this is what the Z3 step buys.
+  smt::NativeSolver solver(db_.cvars());
+  EvalOptions opts;
+  opts.pruneWithSolver = false;
+  opts.mergeSubsumption = false;
+  auto kept = evalFaure(p, db_, &solver, opts);
+  ASSERT_EQ(kept.relation("S").size(), 1u);
+  EXPECT_EQ(solver.check(kept.relation("S").rows()[0].cond),
+            smt::Sat::Unsat);
+}
+
+TEST_F(FaureEvalTest, RuleCVarsUnifyWithRowValues) {
+  // Rule argument x_ against concrete rows adds x_ = <value>.
+  CVarId x = db_.cvars().declare("x_", ValueType::Sym);
+  (void)x;
+  auto& r = db_.create(anySchema("R", 1));
+  r.insertConcrete({Value::sym("Mkt")});
+  auto res = evalFaure(parse("V(x_) :- R(x_)."), db_);
+  ASSERT_EQ(res.relation("V").size(), 1u);
+  const auto& row = res.relation("V").rows()[0];
+  EXPECT_TRUE(row.vals[0].isCVar());
+  EXPECT_EQ(row.cond,
+            Formula::cmp(row.vals[0], CmpOp::Eq, Value::sym("Mkt")));
+}
+
+TEST_F(FaureEvalTest, ComparisonsBecomeConditions) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& t = db_.create(anySchema("T", 1));
+  t.insertConcrete({Value::fromInt(7)});
+  auto res = evalFaure(parse("S(v) :- T(v), x_ = 1."), db_);
+  ASSERT_EQ(res.relation("S").size(), 1u);
+  EXPECT_EQ(res.relation("S").rows()[0].cond, eq(x, Value::fromInt(1)));
+}
+
+TEST_F(FaureEvalTest, LinearComparisonConditions) {
+  db_.cvars().declareInt("x_", 0, 1);
+  db_.cvars().declareInt("y_", 0, 1);
+  auto& t = db_.create(anySchema("T", 1));
+  t.insertConcrete({Value::fromInt(7)});
+  auto res = evalFaure(parse("S(v) :- T(v), x_ + y_ = 2."), db_);
+  ASSERT_EQ(res.relation("S").size(), 1u);
+  // x_ + y_ = 2 over bits is satisfiable (both 1).
+  smt::NativeSolver solver(db_.cvars());
+  EXPECT_EQ(solver.check(res.relation("S").rows()[0].cond), smt::Sat::Sat);
+  auto res2 = evalFaure(parse("S2(v) :- T(v), x_ + y_ = 3."), db_);
+  EXPECT_TRUE(res2.relation("S2").empty());  // pruned as unsat
+}
+
+TEST_F(FaureEvalTest, NegationComplementsConditions) {
+  // E has a conditional row; !E(v) must carry its complement.
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& t = db_.create(anySchema("T", 1));
+  t.insertConcrete({Value::fromInt(5)});
+  auto& e = db_.create(anySchema("E", 1));
+  e.insert({Value::fromInt(5)}, eq(x, Value::fromInt(1)));
+  auto res = evalFaure(parse("S(v) :- T(v), !E(v)."), db_);
+  ASSERT_EQ(res.relation("S").size(), 1u);
+  // The complement surfaces as x_ != 1, semantically x_ = 0 over {0,1}.
+  smt::NativeSolver solver(db_.cvars());
+  EXPECT_TRUE(solver.equivalent(res.relation("S").rows()[0].cond,
+                                eq(x, Value::fromInt(0))));
+}
+
+TEST_F(FaureEvalTest, NegationAgainstUnconditionalRowKillsFrame) {
+  auto& t = db_.create(anySchema("T", 1));
+  t.insertConcrete({Value::fromInt(5)});
+  auto& e = db_.create(anySchema("E", 1));
+  e.insertConcrete({Value::fromInt(5)});
+  auto res = evalFaure(parse("S(v) :- T(v), !E(v)."), db_);
+  EXPECT_TRUE(res.relation("S").empty());
+}
+
+TEST_F(FaureEvalTest, NegationOverCVarRowConditionsOnDisequality) {
+  // !E(7) where E contains (z_): survives exactly when z_ != 7.
+  CVarId z = db_.cvars().declareInt("z_", 5, 9);
+  auto& t = db_.create(anySchema("T", 1));
+  t.insertConcrete({Value::fromInt(7)});
+  auto& e = db_.create(anySchema("E", 1));
+  e.insertConcrete({Value::cvar(z)});
+  auto res = evalFaure(parse("S(v) :- T(v), !E(v)."), db_);
+  ASSERT_EQ(res.relation("S").size(), 1u);
+  EXPECT_EQ(res.relation("S").rows()[0].cond,
+            Formula::cmp(Value::cvar(z), CmpOp::Ne, Value::fromInt(7)));
+}
+
+TEST_F(FaureEvalTest, RecursionOverConditionalEdgesTerminates) {
+  // A conditional cycle: recursion must converge via condition dedup.
+  CVarId a = db_.cvars().declareInt("a_", 0, 1);
+  CVarId b = db_.cvars().declareInt("b_", 0, 1);
+  auto& e = db_.create(anySchema("E", 2));
+  e.insert({Value::fromInt(1), Value::fromInt(2)}, eq(a, Value::fromInt(1)));
+  e.insert({Value::fromInt(2), Value::fromInt(1)}, eq(b, Value::fromInt(1)));
+  auto res = evalFaure(parse("R(x,y) :- E(x,y).\n"
+                             "R(x,y) :- E(x,z), R(z,y).\n"),
+                       db_);
+  // R(1,1) requires both links up.
+  Formula c11 = res.relation("R")
+                    .conditionOf({Value::fromInt(1), Value::fromInt(1)});
+  EXPECT_EQ(c11, Formula::conj2(eq(a, Value::fromInt(1)),
+                                eq(b, Value::fromInt(1))));
+}
+
+TEST_F(FaureEvalTest, DuplicateDerivationsMergeToOr) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& e = db_.create(anySchema("E", 2));
+  // Two edges into the same pair under different conditions.
+  e.insert({Value::fromInt(1), Value::fromInt(2)}, eq(x, Value::fromInt(1)));
+  auto& f = db_.create(anySchema("F", 2));
+  f.insert({Value::fromInt(1), Value::fromInt(2)}, eq(x, Value::fromInt(0)));
+  auto res = evalFaure(parse("R(a,b) :- E(a,b).\n"
+                             "R(a,b) :- F(a,b).\n"),
+                       db_);
+  ASSERT_EQ(res.relation("R").size(), 1u);
+  EXPECT_EQ(res.relation("R").rows()[0].cond,
+            Formula::disj2(eq(x, Value::fromInt(0)),
+                           eq(x, Value::fromInt(1))));
+}
+
+TEST_F(FaureEvalTest, FactsExtendEdbRelations) {
+  // The paper's q19: a fact on an EDB relation name extends its contents.
+  auto& lb = db_.create(anySchema("Lb", 2));
+  lb.insertConcrete({Value::sym("Mkt"), Value::sym("CS")});
+  auto res = evalFaure(parse("Lb(R&D, GS).\n"
+                             "All(x,y) :- Lb(x,y).\n"),
+                       db_);
+  EXPECT_EQ(res.relation("All").size(), 2u);
+  EXPECT_EQ(res.relation("Lb").size(), 2u);
+}
+
+TEST_F(FaureEvalTest, DerivedGoalWithCondition) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& t = db_.create(anySchema("T", 1));
+  t.insert({Value::fromInt(1)}, eq(x, Value::fromInt(1)));
+  auto res = evalFaure(parse("panic :- T(v)."), db_);
+  Formula cond;
+  EXPECT_TRUE(res.derived("panic", &cond));
+  EXPECT_EQ(cond, eq(x, Value::fromInt(1)));
+  EXPECT_FALSE(res.derived("nothing"));
+}
+
+TEST_F(FaureEvalTest, OpenWorldNegationMatchesOnlyListedFacts) {
+  auto& r = db_.create(anySchema("R", 2));
+  r.insertConcrete({Value::sym("Mkt"), Value::sym("CS")});
+  NegativeFacts neg;
+  neg.facts["Fw"] = {{Value::sym("Mkt"), Value::sym("CS")}};
+  smt::NativeSolver solver(db_.cvars());
+  EvalOptions opts;
+  opts.openWorldNegation = &neg;
+
+  // !Fw(Mkt,CS) matches the listed absence: panic derives.
+  auto res =
+      evalFaure(parse("panic :- R(x,y), !Fw(x,y)."), db_, &solver, opts);
+  EXPECT_TRUE(res.derived("panic"));
+
+  // !Lb(Mkt,CS) has no listed absence: nothing derives.
+  auto res2 =
+      evalFaure(parse("panic :- R(x,y), !Lb(x,y)."), db_, &solver, opts);
+  EXPECT_FALSE(res2.derived("panic"));
+}
+
+TEST_F(FaureEvalTest, SemiNaiveMatchesNaive) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& e = db_.create(anySchema("E", 2));
+  for (int i = 0; i < 6; ++i) {
+    e.insert({Value::fromInt(i), Value::fromInt((i + 1) % 6)},
+             eq(x, Value::fromInt(i % 2)));
+  }
+  dl::Program p = parse("R(a,b) :- E(a,b).\nR(a,b) :- E(a,z), R(z,b).\n");
+  smt::NativeSolver s1(db_.cvars());
+  smt::NativeSolver s2(db_.cvars());
+  EvalOptions naive;
+  naive.semiNaive = false;
+  auto a = evalFaure(p, db_, &s1, naive);
+  auto b = evalFaure(p, db_, &s2, EvalOptions{});
+  ASSERT_EQ(a.relation("R").size(), b.relation("R").size());
+  smt::NativeSolver judge(db_.cvars());
+  for (const auto& row : a.relation("R").rows()) {
+    EXPECT_TRUE(
+        judge.equivalent(row.cond, b.relation("R").conditionOf(row.vals)))
+        << "mismatch on a row";
+  }
+}
+
+TEST_F(FaureEvalTest, SolverRequiredWhenPruning) {
+  db_.create(anySchema("E", 1));
+  EvalOptions opts;
+  EXPECT_THROW(evalFaure(parse("V(x) :- E(x)."), db_, nullptr, opts),
+               EvalError);
+  opts.pruneWithSolver = false;
+  opts.mergeSubsumption = false;
+  EXPECT_NO_THROW(evalFaure(parse("V(x) :- E(x)."), db_, nullptr, opts));
+}
+
+TEST_F(FaureEvalTest, StatsSplitSqlAndSolverTime) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  auto& e = db_.create(anySchema("E", 1));
+  e.insert({Value::fromInt(1)}, eq(x, Value::fromInt(1)));
+  auto res = evalFaure(parse("V(v) :- E(v), x_ = 0."), db_);
+  EXPECT_GE(res.stats.solverChecks, 1u);
+  EXPECT_GE(res.stats.sqlSeconds, 0.0);
+  EXPECT_GE(res.stats.solverSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace faure::fl

@@ -1,0 +1,151 @@
+// Tests for the textual database format (faurelog/textio.hpp).
+#include "faurelog/textio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "faurelog/eval.hpp"
+#include "util/error.hpp"
+
+namespace faure::fl {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+TEST(TextIoTest, VariableDeclarations) {
+  rel::Database db = parseDatabase(
+      "var x_ int 0 1\n"
+      "var p_ int\n"
+      "var s_ sym { Mkt, R&D }\n"
+      "var d_ prefix\n"
+      "var q_ any\n");
+  const auto& reg = db.cvars();
+  ASSERT_EQ(reg.size(), 5u);
+  EXPECT_EQ(reg.info(reg.find("x_")).domain.size(), 2u);
+  EXPECT_TRUE(reg.info(reg.find("p_")).domain.empty());
+  EXPECT_EQ(reg.info(reg.find("s_")).type, ValueType::Sym);
+  EXPECT_EQ(reg.info(reg.find("s_")).domain[1], Value::sym("R&D"));
+  EXPECT_EQ(reg.info(reg.find("d_")).type, ValueType::Prefix);
+  EXPECT_EQ(reg.info(reg.find("q_")).type, ValueType::Any);
+}
+
+TEST(TextIoTest, NegativeIntRange) {
+  rel::Database db = parseDatabase("var t_ int -2 2\n");
+  EXPECT_EQ(db.cvars().info(0).domain.size(), 5u);
+}
+
+TEST(TextIoTest, TablesAndRows) {
+  rel::Database db = parseDatabase(
+      "var x_ int 0 1\n"
+      "table F(flow sym, from int, to int)\n"
+      "row F f0 1 2 | x_ = 1\n"
+      "row F f0 4 5\n");
+  const auto& f = db.table("F");
+  EXPECT_EQ(f.size(), 2u);
+  CVarId x = db.cvars().find("x_");
+  EXPECT_EQ(f.conditionOf({Value::sym("f0"), Value::fromInt(1),
+                           Value::fromInt(2)}),
+            Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)));
+  EXPECT_TRUE(f.conditionOf({Value::sym("f0"), Value::fromInt(4),
+                             Value::fromInt(5)})
+                  .isTrue());
+}
+
+TEST(TextIoTest, AllValueKindsInRows) {
+  rel::Database db = parseDatabase(
+      "var v_ any\n"
+      "table T(a any, b any, c any, d any, e any)\n"
+      "row T 1.2.3.0/24 [A B C] 'quoted sym' -7 v_\n");
+  const auto& row = db.table("T").rows()[0];
+  EXPECT_EQ(row.vals[0], Value::parsePrefix("1.2.3.0/24"));
+  EXPECT_EQ(row.vals[1], Value::path({"A", "B", "C"}));
+  EXPECT_EQ(row.vals[2], Value::sym("quoted sym"));
+  EXPECT_EQ(row.vals[3], Value::fromInt(-7));
+  EXPECT_TRUE(row.vals[4].isCVar());
+}
+
+TEST(TextIoTest, DisjunctiveAndParenthesizedConditions) {
+  rel::Database db = parseDatabase(
+      "var x_ int 0 1\n"
+      "var y_ int 0 1\n"
+      "table T(a int)\n"
+      "row T 1 | x_ = 1 | y_ = 1\n"
+      "row T 2 | (x_ = 1 | y_ = 1) & x_ + y_ < 2\n");
+  CVarId x = db.cvars().find("x_");
+  CVarId y = db.cvars().find("y_");
+  Formula c1 = db.table("T").conditionOf({Value::fromInt(1)});
+  EXPECT_EQ(c1, Formula::disj2(
+                    Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)),
+                    Formula::cmp(Value::cvar(y), CmpOp::Eq,
+                                 Value::fromInt(1))));
+  Formula c2 = db.table("T").conditionOf({Value::fromInt(2)});
+  smt::NativeSolver solver(db.cvars());
+  // (x=1 | y=1) & x+y<2: exactly one of the two is 1.
+  EXPECT_EQ(solver.check(c2), smt::Sat::Sat);
+  EXPECT_TRUE(solver.definitelyUnsat(Formula::conj(
+      {c2, Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)),
+       Formula::cmp(Value::cvar(y), CmpOp::Eq, Value::fromInt(1))})));
+}
+
+TEST(TextIoTest, LowercaseIdentifiersAreSymbols) {
+  // Unlike programs, the row format has no program variables.
+  rel::Database db = parseDatabase(
+      "table T(a any)\n"
+      "row T hello\n");
+  EXPECT_EQ(db.table("T").rows()[0].vals[0], Value::sym("hello"));
+}
+
+TEST(TextIoTest, Errors) {
+  EXPECT_THROW(parseDatabase("bogus Z\n"), ParseError);
+  EXPECT_THROW(parseDatabase("var x_ float\n"), ParseError);
+  EXPECT_THROW(parseDatabase("row T 1\n"), ParseError);  // undeclared table
+  EXPECT_THROW(parseDatabase("table T(a int)\nrow T x_\n"),
+               ParseError);  // undeclared c-var
+  EXPECT_THROW(parseDatabase("var s_ sym 0 1\n"), ParseError);
+  // Type mismatch between schema and value.
+  EXPECT_THROW(parseDatabase("table T(a int)\nrow T Mkt\n"), TypeError);
+}
+
+TEST(TextIoTest, RoundTrip) {
+  const char* text =
+      "var x_ int 0 1\n"
+      "var s_ sym { Mkt, R&D }\n"
+      "table F(flow sym, from int, to int)\n"
+      "table P(dest prefix, path path)\n"
+      "row F f0 1 2 | x_ = 1\n"
+      "row F f0 1 3 | x_ = 0 & s_ != Mkt\n"
+      "row P 1.2.3.4 [A B C]\n";
+  rel::Database db = parseDatabase(text);
+  std::string formatted = formatDatabase(db);
+  rel::Database db2 = parseDatabase(formatted);
+  EXPECT_EQ(db.cvars().size(), db2.cvars().size());
+  for (const auto& [name, table] : db.tables()) {
+    ASSERT_TRUE(db2.has(name));
+    ASSERT_EQ(db2.table(name).size(), table.size());
+    for (const auto& row : table.rows()) {
+      EXPECT_EQ(db2.table(name).conditionOf(row.vals), row.cond)
+          << "row mismatch in " << name;
+    }
+  }
+}
+
+TEST(TextIoTest, ParsedDatabaseEvaluates) {
+  rel::Database db = parseDatabase(
+      "var x_ int 0 1\n"
+      "table F(flow sym, from int, to int)\n"
+      "row F f0 1 2 | x_ = 1\n"
+      "row F f0 2 3\n");
+  auto res = evalFaure(
+      dl::parseProgram("R(f,a,b) :- F(f,a,b).\n"
+                       "R(f,a,b) :- F(f,a,c), R(f,c,b).\n",
+                       db.cvars()),
+      db);
+  CVarId x = db.cvars().find("x_");
+  EXPECT_EQ(res.relation("R").conditionOf(
+                {Value::sym("f0"), Value::fromInt(1), Value::fromInt(3)}),
+            Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)));
+}
+
+}  // namespace
+}  // namespace faure::fl

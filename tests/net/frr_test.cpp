@@ -1,0 +1,75 @@
+// Tests for the FRR builder (net/frr.hpp) against Figure 1 / Table 3.
+#include "net/frr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "faurelog/eval.hpp"
+
+namespace faure::net {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+TEST(FrrTest, DeclareBitIsIdempotent) {
+  rel::Database db;
+  CVarId a = FrrNetwork::declareBit(db, "x_");
+  CVarId b = FrrNetwork::declareBit(db, "x_");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(db.cvars().info(a).domain.size(), 2u);
+}
+
+TEST(FrrTest, Figure1TableMatchesTable3) {
+  rel::Database db;
+  FrrNetwork::figure1().buildForwarding(db);
+  const auto& f = db.table("F");
+  EXPECT_EQ(f.size(), 7u);
+  CVarId x = db.cvars().find("x_");
+  ASSERT_NE(x, CVarRegistry::kNotFound);
+  // Row (1,2)[x_ = 1], row (1,3)[x_ = 0] — first two rows of Table 3.
+  Value f0 = Value::sym("f0");
+  EXPECT_EQ(f.conditionOf({f0, Value::fromInt(1), Value::fromInt(2)}),
+            Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)));
+  EXPECT_EQ(f.conditionOf({f0, Value::fromInt(1), Value::fromInt(3)}),
+            Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(0)));
+  // (4,5) unconditional.
+  EXPECT_TRUE(
+      f.conditionOf({f0, Value::fromInt(4), Value::fromInt(5)}).isTrue());
+}
+
+TEST(FrrTest, CustomNetworkTwoFlows) {
+  rel::Database db;
+  FrrNetwork net;
+  net.add("a", {1, 2, "l0_", 1});
+  net.add("a", {1, 3, "l0_", 0});
+  net.add("b", {1, 2, "", 1});
+  net.buildForwarding(db);
+  EXPECT_EQ(db.table("F").size(), 3u);
+  // Flows are distinct data parts.
+  EXPECT_TRUE(db.table("F")
+                  .conditionOf({Value::sym("b"), Value::fromInt(1),
+                                Value::fromInt(2)})
+                  .isTrue());
+}
+
+TEST(FrrTest, ReachabilityRespectsFlowSeparation) {
+  rel::Database db;
+  FrrNetwork net;
+  net.add("a", {1, 2, "", 1});
+  net.add("b", {2, 3, "", 1});
+  net.buildForwarding(db);
+  auto res = fl::evalFaure(
+      dl::parseProgram("R(f,n1,n2) :- F(f,n1,n2).\n"
+                       "R(f,n1,n2) :- F(f,n1,n3), R(f,n3,n2).\n",
+                       db.cvars()),
+      db);
+  // No cross-flow path 1 -> 3.
+  EXPECT_TRUE(res.relation("R")
+                  .conditionOf({Value::sym("a"), Value::fromInt(1),
+                                Value::fromInt(3)})
+                  .isFalse());
+}
+
+}  // namespace
+}  // namespace faure::net

@@ -1,0 +1,81 @@
+// Tests for the Table-4 pipeline (net/pipeline.hpp) at a small scale,
+// checking structural invariants rather than timing.
+#include "net/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faure::net {
+namespace {
+
+TEST(PipelineTest, RunsEndToEndAndPopulatesRelations) {
+  RibConfig cfg;
+  cfg.numPrefixes = 30;
+  cfg.hubProbability = 0.8;  // make q7's hub pair well-populated
+  rel::Database db;
+  auto rib = generateRib(db, cfg);
+  smt::NativeSolver solver(db.cvars());
+  Table4Result r = runTable4(db, rib, solver);
+
+  // Reachability strictly extends forwarding (transitive pairs appear).
+  EXPECT_GT(r.q45.tuples, rib.forwardingRows);
+  EXPECT_TRUE(db.has("R"));
+  EXPECT_TRUE(db.has("T1"));
+  EXPECT_TRUE(db.has("T2"));
+  EXPECT_TRUE(db.has("T3"));
+
+  // q6 keeps at most the R rows (the failure pattern can only restrict).
+  EXPECT_LE(r.q6.tuples, r.q45.tuples);
+  // q7 restricts T1 to one (src,dst) pair: far smaller than q6.
+  EXPECT_LE(r.q7.tuples, r.q6.tuples);
+  // q8 restricts R to sources = hubA.
+  EXPECT_LE(r.q8.tuples, r.q45.tuples);
+
+  // Every surviving condition is satisfiable (the solver step ran).
+  for (const auto& row : db.table("T1").rows()) {
+    EXPECT_NE(solver.check(row.cond), smt::Sat::Unsat);
+  }
+}
+
+TEST(PipelineTest, T1ConditionsRespectTheFailurePattern) {
+  RibConfig cfg;
+  cfg.numPrefixes = 10;
+  rel::Database db;
+  auto rib = generateRib(db, cfg);
+  smt::NativeSolver solver(db.cvars());
+  runTable4(db, rib, solver);
+  // Every T1 condition forces x_ + y_ + z_ = 1.
+  CVarId x = db.cvars().find("x_");
+  CVarId y = db.cvars().find("y_");
+  CVarId z = db.cvars().find("z_");
+  smt::Formula pattern = smt::Formula::lin(
+      smt::LinTerm::make({{x, 1}, {y, 1}, {z, 1}}, -1), smt::CmpOp::Eq);
+  for (const auto& row : db.table("T1").rows()) {
+    EXPECT_TRUE(solver.implies(row.cond, pattern));
+  }
+}
+
+TEST(PipelineTest, TuplesGrowWithScale) {
+  RibConfig small, large;
+  small.numPrefixes = 10;
+  large.numPrefixes = 40;
+  rel::Database db1, db2;
+  auto rib1 = generateRib(db1, small);
+  auto rib2 = generateRib(db2, large);
+  smt::NativeSolver s1(db1.cvars()), s2(db2.cvars());
+  auto r1 = runTable4(db1, rib1, s1);
+  auto r2 = runTable4(db2, rib2, s2);
+  EXPECT_GT(r2.q45.tuples, r1.q45.tuples);
+  EXPECT_GT(r2.q6.tuples, r1.q6.tuples);
+}
+
+TEST(PipelineTest, FormattingProducesAlignedRows) {
+  Table4Result r;
+  r.q45.tuples = 10;
+  std::string header = table4Header();
+  std::string row = formatTable4Row(1000, r);
+  EXPECT_NE(header.find("#prefix"), std::string::npos);
+  EXPECT_NE(row.find("1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faure::net

@@ -1,0 +1,140 @@
+// Tests for the synthetic RIB generator and text loader (net/rib_gen.hpp).
+#include "net/rib_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relational/worlds.hpp"
+#include "smt/solver.hpp"
+#include "util/error.hpp"
+
+namespace faure::net {
+namespace {
+
+TEST(RibGenTest, DeterministicInSeed) {
+  RibConfig cfg;
+  cfg.numPrefixes = 20;
+  rel::Database db1, db2;
+  auto r1 = generateRib(db1, cfg);
+  auto r2 = generateRib(db2, cfg);
+  EXPECT_EQ(r1.forwardingRows, r2.forwardingRows);
+  ASSERT_EQ(db1.table("F").size(), db2.table("F").size());
+  for (const auto& row : db1.table("F").rows()) {
+    EXPECT_EQ(db2.table("F").conditionOf(row.vals), row.cond);
+  }
+}
+
+TEST(RibGenTest, DifferentSeedsDiffer) {
+  RibConfig a, b;
+  a.numPrefixes = b.numPrefixes = 20;
+  b.seed = 777;
+  rel::Database db1, db2;
+  generateRib(db1, a);
+  generateRib(db2, b);
+  size_t same = 0;
+  for (const auto& row : db1.table("F").rows()) {
+    if (!db2.table("F").conditionOf(row.vals).isFalse()) ++same;
+  }
+  EXPECT_LT(same, db1.table("F").size());
+}
+
+TEST(RibGenTest, DeclaresNamedBits) {
+  RibConfig cfg;
+  cfg.numPrefixes = 5;
+  cfg.pathsPerPrefix = 5;
+  rel::Database db;
+  auto r = generateRib(db, cfg);
+  EXPECT_EQ(r.bits.size(), 4u);
+  EXPECT_EQ(db.cvars().find("x_"), r.bits[0]);
+  EXPECT_EQ(db.cvars().find("y_"), r.bits[1]);
+  EXPECT_EQ(db.cvars().find("z_"), r.bits[2]);
+  EXPECT_EQ(db.cvars().find("b3_"), r.bits[3]);
+}
+
+TEST(RibGenTest, GuardsPartitionFailureSpace) {
+  // The documented guard scheme — primary needs bit0 = 1, backup k needs
+  // bits 0..k-1 = 0 and bit k = 1, the last resort needs all 0 — must
+  // partition the failure space: exactly one path active in every world.
+  RibConfig cfg;
+  cfg.numPrefixes = 1;
+  cfg.pathsPerPrefix = 4;  // 3 bits -> 8 worlds, enumerable
+  rel::Database db;
+  auto r = generateRib(db, cfg);
+  ASSERT_EQ(r.bits.size(), 3u);
+  auto bitEq = [&](size_t i, int64_t k) {
+    return smt::Formula::cmp(Value::cvar(r.bits[i]), smt::CmpOp::Eq,
+                             Value::fromInt(k));
+  };
+  std::vector<smt::Formula> guards;
+  for (size_t rank = 0; rank < cfg.pathsPerPrefix; ++rank) {
+    std::vector<smt::Formula> parts;
+    for (size_t i = 0; i < rank; ++i) parts.push_back(bitEq(i, 0));
+    if (rank + 1 < cfg.pathsPerPrefix) parts.push_back(bitEq(rank, 1));
+    guards.push_back(smt::Formula::conj(std::move(parts)));
+  }
+  int worlds = 0;
+  smt::forEachModel(smt::Formula::top(), db.cvars(), r.bits,
+                    [&](const smt::Assignment& a) {
+                      ++worlds;
+                      int active = 0;
+                      for (const auto& g : guards) {
+                        if (smt::substitute(g, a).isTrue()) ++active;
+                      }
+                      EXPECT_EQ(active, 1);
+                    });
+  EXPECT_EQ(worlds, 8);
+  // Every emitted row condition is realizable.
+  smt::NativeSolver solver(db.cvars());
+  for (const auto& row : db.table("F").rows()) {
+    EXPECT_EQ(solver.check(row.cond), smt::Sat::Sat);
+  }
+}
+
+TEST(RibGenTest, RowsScaleWithPrefixCount) {
+  RibConfig small, large;
+  small.numPrefixes = 10;
+  large.numPrefixes = 100;
+  rel::Database db1, db2;
+  auto a = generateRib(db1, small);
+  auto b = generateRib(db2, large);
+  EXPECT_GT(b.forwardingRows, 5 * a.forwardingRows);
+}
+
+TEST(RibGenTest, RejectsDegenerateConfig) {
+  RibConfig cfg;
+  cfg.pathsPerPrefix = 1;
+  rel::Database db;
+  EXPECT_THROW(generateRib(db, cfg), EvalError);
+}
+
+TEST(RibLoaderTest, ParsesRoutesWithPreferenceOrder) {
+  const char* text =
+      "# comment\n"
+      "1.2.3.0/24 7 8 9\n"
+      "1.2.3.0/24 7 10 9\n"
+      "4.5.6.0/24 11 12\n";
+  rel::Database db;
+  auto r = loadRibText(db, text);
+  EXPECT_EQ(r.bits.size(), 1u);
+  const auto& f = db.table("F");
+  // Primary hops unconditional on bit... guard of rank 0 is bit0=1.
+  Value flow = Value::parsePrefix("1.2.3.0/24");
+  EXPECT_FALSE(
+      f.conditionOf({flow, Value::fromInt(7), Value::fromInt(8)}).isFalse());
+  EXPECT_FALSE(
+      f.conditionOf({flow, Value::fromInt(7), Value::fromInt(10)}).isFalse());
+  // The single-path prefix's hops carry the last-resort guard for a
+  // 1-path group: empty condition.
+  Value flow2 = Value::parsePrefix("4.5.6.0/24");
+  EXPECT_TRUE(f.conditionOf({flow2, Value::fromInt(11), Value::fromInt(12)})
+                  .isTrue());
+}
+
+TEST(RibLoaderTest, RejectsMalformedLines) {
+  rel::Database db;
+  EXPECT_THROW(loadRibText(db, "1.2.3.0/24\n"), EvalError);
+  rel::Database db2;
+  EXPECT_THROW(loadRibText(db2, "\n\n"), EvalError);
+}
+
+}  // namespace
+}  // namespace faure::net

@@ -1,0 +1,112 @@
+// Tests for topology generators and FRR derivation (net/topology.hpp).
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "faurelog/eval.hpp"
+#include "util/error.hpp"
+
+namespace faure::net {
+namespace {
+
+TEST(TopologyTest, Line) {
+  Topology t = makeLine(5);
+  EXPECT_EQ(t.nodeCount, 5);
+  EXPECT_EQ(t.links.size(), 4u);
+  EXPECT_EQ(t.neighbors(1), (std::vector<int64_t>{2}));
+  EXPECT_EQ(t.neighbors(3), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(TopologyTest, Ring) {
+  Topology t = makeRing(4);
+  EXPECT_EQ(t.links.size(), 4u);
+  EXPECT_EQ(t.neighbors(1), (std::vector<int64_t>{2, 4}));
+  EXPECT_THROW(makeRing(2), EvalError);
+}
+
+TEST(TopologyTest, Star) {
+  Topology t = makeStar(5);
+  EXPECT_EQ(t.neighbors(1).size(), 4u);
+  EXPECT_EQ(t.neighbors(3), (std::vector<int64_t>{1}));
+}
+
+TEST(TopologyTest, ClosShape) {
+  Topology t = makeClos(2, 3, 2);
+  EXPECT_EQ(t.nodeCount, 2 + 3 + 6);
+  // Each spine neighbors every leaf.
+  EXPECT_EQ(t.neighbors(1), (std::vector<int64_t>{3, 4, 5}));
+  // Each leaf: both spines + its hosts.
+  EXPECT_EQ(t.neighbors(3), (std::vector<int64_t>{1, 2, 6, 7}));
+  // Hosts hang off one leaf.
+  EXPECT_EQ(t.neighbors(6), (std::vector<int64_t>{3}));
+}
+
+TEST(TopologyTest, RandomIsConnectedAndDeterministic) {
+  Topology a = makeRandom(10, 0.3, 7);
+  Topology b = makeRandom(10, 0.3, 7);
+  EXPECT_EQ(a.links.size(), b.links.size());
+  // The spanning line keeps it connected.
+  EXPECT_GE(a.links.size(), 9u);
+}
+
+TEST(FrrDerivationTest, LineForwardsDownhill) {
+  Topology t = makeLine(4);
+  FrrFromTopologyOptions opts;
+  opts.protectedFraction = 0.0;
+  FrrDerivation frr = deriveFrrTowards(t, 1, opts);
+  EXPECT_TRUE(frr.bits.empty());
+  rel::Database db;
+  frr.network.buildForwarding(db);
+  // Unconditional chain 4->3->2->1.
+  EXPECT_EQ(db.table("F").size(), 3u);
+  for (const auto& row : db.table("F").rows()) {
+    EXPECT_TRUE(row.cond.isTrue());
+  }
+}
+
+TEST(FrrDerivationTest, ProtectedLinksNeedAlternatives) {
+  // On a line there is a single downhill neighbor: nothing can be
+  // protected even when requested.
+  Topology line = makeLine(4);
+  FrrFromTopologyOptions all;
+  all.protectedFraction = 1.0;
+  EXPECT_TRUE(deriveFrrTowards(line, 1, all).bits.empty());
+  // In a Clos fabric, leaves have two spines: protection appears.
+  Topology clos = makeClos(2, 2, 1);
+  FrrDerivation frr = deriveFrrTowards(clos, /*dst=*/5, all);
+  EXPECT_FALSE(frr.bits.empty());
+}
+
+TEST(FrrDerivationTest, ReachabilityHoldsUnderAllFailures) {
+  // Destination host on a Clos fabric: every node reaches it in every
+  // failure world (each protected link has a live detour).
+  Topology clos = makeClos(2, 3, 2);
+  FrrFromTopologyOptions opts;
+  opts.protectedFraction = 1.0;
+  FrrDerivation frr = deriveFrrTowards(clos, 6, opts);
+  rel::Database db;
+  frr.network.buildForwarding(db);
+  smt::NativeSolver solver(db.cvars());
+  auto res = fl::evalFaure(
+      dl::parseProgram("R(f,a,b) :- F(f,a,b).\n"
+                       "R(f,a,b) :- F(f,a,c), R(f,c,b).\n",
+                       db.cvars()),
+      db, &solver, fl::EvalOptions{});
+  for (int64_t n = 1; n <= clos.nodeCount; ++n) {
+    if (n == 6) continue;
+    smt::Formula c = res.relation("R").conditionOf(
+        {Value::sym("f0"), Value::fromInt(n), Value::fromInt(6)});
+    EXPECT_TRUE(solver.implies(smt::Formula::top(), c))
+        << "node " << n << " not always-reachable: " << c.toString();
+  }
+}
+
+TEST(FrrDerivationTest, BadDestinationThrows) {
+  Topology t = makeLine(3);
+  EXPECT_THROW(deriveFrrTowards(t, 9), EvalError);
+  EXPECT_THROW(deriveFrrTowards(t, 0), EvalError);
+}
+
+}  // namespace
+}  // namespace faure::net

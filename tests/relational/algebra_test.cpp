@@ -1,0 +1,174 @@
+// Tests for the extended relational algebra over c-tables — including the
+// paper's Table-2 join example.
+#include "relational/algebra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relational/database.hpp"
+#include "relational/worlds.hpp"
+#include "util/error.hpp"
+
+namespace faure::rel {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+Value path(std::initializer_list<const char*> names) {
+  return Value::path(std::vector<std::string>(names.begin(), names.end()));
+}
+
+/// Builds the paper's PATH' database (Table 2): c-table P^i plus the
+/// regular cost table C.
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    x_ = db_.cvars().declare(
+        "x_", ValueType::Path, {path({"ABC"}), path({"ADEC"}), path({"ABE"})});
+    y_ = db_.cvars().declare("y_", ValueType::Prefix,
+                             {Value::parsePrefix("1.2.3.4"),
+                              Value::parsePrefix("1.2.3.5"),
+                              Value::parsePrefix("1.2.3.6")});
+    CTable& p = db_.create(Schema(
+        "Pi", {{"dest", ValueType::Any}, {"path", ValueType::Any}}));
+    p.insert({Value::parsePrefix("1.2.3.4"), Value::cvar(x_)},
+             Formula::disj2(
+                 Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ABC"})),
+                 Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ADEC"}))));
+    p.insert({Value::cvar(y_), path({"ABE"})},
+             Formula::cmp(Value::cvar(y_), CmpOp::Ne,
+                          Value::parsePrefix("1.2.3.4")));
+    p.insertConcrete({Value::parsePrefix("1.2.3.6"), path({"ADEC"})});
+
+    CTable& c = db_.create(
+        Schema("C", {{"path", ValueType::Path}, {"cost", ValueType::Int}}));
+    c.insertConcrete({path({"ABC"}), Value::fromInt(3)});
+    c.insertConcrete({path({"ADEC"}), Value::fromInt(4)});
+    c.insertConcrete({path({"ABE"}), Value::fromInt(3)});
+  }
+
+  Database db_;
+  CVarId x_ = 0;
+  CVarId y_ = 0;
+};
+
+TEST_F(AlgebraTest, SelectOnConstantColumn) {
+  // dest = 1.2.3.6 matches the concrete row outright and the y_ row
+  // conditionally.
+  CTable out = select(db_.table("Pi"), 0, CmpOp::Eq,
+                      Value::parsePrefix("1.2.3.6"));
+  EXPECT_EQ(out.size(), 2u);
+  Formula condConcrete =
+      out.conditionOf({Value::parsePrefix("1.2.3.6"), path({"ADEC"})});
+  EXPECT_TRUE(condConcrete.isTrue());
+  Formula condVar = out.conditionOf({Value::cvar(y_), path({"ABE"})});
+  EXPECT_FALSE(condVar.isFalse());
+}
+
+TEST_F(AlgebraTest, SelectDropsContradictedRows) {
+  CTable out = select(db_.table("Pi"), 1, CmpOp::Eq, path({"ZZZ"}));
+  // The two concrete-path rows fold to false; only the x_ row survives
+  // with an (unsatisfiable under its domain, but syntactically open)
+  // condition.
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(AlgebraTest, JoinConcatenatesConditions) {
+  // P^i ⋈ C on path: the Table-2 example join behind q2.
+  CTable out = join(db_.table("Pi"), db_.table("C"), {{1, 0}}, "J");
+  // The x_ row joins all three cost rows (conditionally); ABE row joins
+  // ABE; concrete ADEC row joins ADEC.
+  EXPECT_EQ(out.schema().arity(), 4u);
+  smt::NativeSolver solver(db_.cvars());
+  size_t pruned = pruneUnsat(out, solver);
+  (void)pruned;
+  // After pruning, x_ = ABE is incompatible with the first row's
+  // condition (x_ = ABC | x_ = ADEC).
+  for (const auto& row : out.rows()) {
+    EXPECT_NE(solver.check(row.cond), smt::Sat::Unsat);
+  }
+}
+
+TEST_F(AlgebraTest, ProjectMergesConditions) {
+  CTable out = project(db_.table("Pi"), {1}, "Paths");
+  EXPECT_EQ(out.schema().arity(), 1u);
+  // Rows: x_, ABE, ADEC.
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(AlgebraTest, UnionMergesEqualDataParts) {
+  CTable a = db_.table("C");
+  CTable out = unionAll(a, a, "U");
+  EXPECT_EQ(out.size(), a.size());
+}
+
+TEST_F(AlgebraTest, RenameKeepsRows) {
+  CTable out = rename(db_.table("C"), "C2");
+  EXPECT_EQ(out.schema().name(), "C2");
+  EXPECT_EQ(out.size(), db_.table("C").size());
+}
+
+TEST_F(AlgebraTest, DifferenceNegatesMatches) {
+  // C - (rows with path ABC): removing a concrete row.
+  CTable abc(db_.table("C").schema().renamed("D"));
+  abc.insertConcrete({path({"ABC"}), Value::fromInt(3)});
+  CTable out = difference(db_.table("C"), abc, "Diff");
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.conditionOf({path({"ABC"}), Value::fromInt(3)}).isFalse());
+}
+
+TEST_F(AlgebraTest, DifferenceConditionalRow) {
+  // Pi - {(1.2.3.6, ADEC)}: the concrete row disappears; the y_ row picks
+  // up the condition that it differs from the removed tuple.
+  CTable rm(Schema("Rm", {{"dest", ValueType::Any}, {"path", ValueType::Any}}));
+  rm.insertConcrete({Value::parsePrefix("1.2.3.6"), path({"ADEC"})});
+  CTable out = difference(db_.table("Pi"), rm, "Diff");
+  EXPECT_TRUE(
+      out.conditionOf({Value::parsePrefix("1.2.3.6"), path({"ADEC"})})
+          .isFalse());
+  // The ABE row survives: its path differs from ADEC, so the negated
+  // equality folds away entirely.
+  Formula abe = out.conditionOf({Value::cvar(y_), path({"ABE"})});
+  EXPECT_FALSE(abe.isFalse());
+}
+
+TEST_F(AlgebraTest, SelectCols) {
+  // σ over two columns: rows of C where path "equals" cost never hold
+  // (different types fold to false); equal columns hold outright.
+  CTable out = selectCols(db_.table("C"), 0, CmpOp::Eq, 0);
+  EXPECT_EQ(out.size(), db_.table("C").size());
+  CTable none = selectCols(db_.table("C"), 0, CmpOp::Eq, 1);
+  EXPECT_TRUE(none.empty());
+  EXPECT_THROW(selectCols(db_.table("C"), 0, CmpOp::Eq, 9), EvalError);
+}
+
+TEST_F(AlgebraTest, SelectColsConditionsOnCVars) {
+  // Pi's first row has a c-variable path: comparing dest with path
+  // produces a conditional row, not a dropped one.
+  CTable out = selectCols(db_.table("Pi"), 0, CmpOp::Ne, 1);
+  // All three rows survive: constants differ outright, c-vars carry the
+  // disequality condition.
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(AlgebraTest, UnionArityMismatchThrows) {
+  EXPECT_THROW(unionAll(db_.table("Pi"), project(db_.table("C"), {0}, "P1"),
+                        "U"),
+               EvalError);
+  EXPECT_THROW(
+      difference(db_.table("Pi"), project(db_.table("C"), {0}, "P1"), "D"),
+      EvalError);
+}
+
+TEST_F(AlgebraTest, TupleEqualityFolds) {
+  EXPECT_TRUE(tupleEquality({Value::fromInt(1)}, {Value::fromInt(1)})
+                  .isTrue());
+  EXPECT_TRUE(tupleEquality({Value::fromInt(1)}, {Value::fromInt(2)})
+                  .isFalse());
+  Formula f = tupleEquality({Value::cvar(y_)}, {Value::parsePrefix("1.2.3.4")});
+  EXPECT_FALSE(f.isTrue());
+  EXPECT_FALSE(f.isFalse());
+}
+
+}  // namespace
+}  // namespace faure::rel

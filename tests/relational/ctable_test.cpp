@@ -1,0 +1,130 @@
+// Unit tests for c-tables (relational/ctable.hpp).
+#include "relational/ctable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace faure::rel {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+class CTableTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  CVarId x_ = reg_.declare("x_", ValueType::Path);
+
+  Schema pathSchema() {
+    return Schema("P", {{"dest", ValueType::Prefix}, {"path", ValueType::Path}});
+  }
+  Value dest(const char* s) { return Value::parsePrefix(s); }
+  Value path(std::initializer_list<const char*> names) {
+    return Value::path(std::vector<std::string>(names.begin(), names.end()));
+  }
+};
+
+TEST_F(CTableTest, InsertAndLookup) {
+  CTable t(pathSchema());
+  EXPECT_TRUE(t.insertConcrete({dest("1.2.3.4"), path({"ABC"})}));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.conditionOf({dest("1.2.3.4"), path({"ABC"})}).isTrue());
+  EXPECT_TRUE(t.conditionOf({dest("1.2.3.5"), path({"ABC"})}).isFalse());
+}
+
+TEST_F(CTableTest, DuplicateInsertIsNoChange) {
+  CTable t(pathSchema());
+  EXPECT_TRUE(t.insertConcrete({dest("1.2.3.4"), path({"ABC"})}));
+  EXPECT_FALSE(t.insertConcrete({dest("1.2.3.4"), path({"ABC"})}));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST_F(CTableTest, ConditionsMergeWithOr) {
+  CTable t(pathSchema());
+  Formula c1 = Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ABC"}));
+  Formula c2 = Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ADEC"}));
+  EXPECT_TRUE(t.insert({dest("1.2.3.4"), Value::cvar(x_)}, c1));
+  EXPECT_TRUE(t.insert({dest("1.2.3.4"), Value::cvar(x_)}, c2));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.conditionOf({dest("1.2.3.4"), Value::cvar(x_)}),
+            Formula::disj2(c1, c2));
+  // Re-inserting an already-covered condition changes nothing.
+  EXPECT_FALSE(t.insert({dest("1.2.3.4"), Value::cvar(x_)}, c1));
+}
+
+TEST_F(CTableTest, FalseConditionRowsAreDropped) {
+  CTable t(pathSchema());
+  EXPECT_FALSE(t.insert({dest("1.2.3.4"), path({"ABC"})}, Formula::bottom()));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST_F(CTableTest, ArityMismatchThrows) {
+  CTable t(pathSchema());
+  EXPECT_THROW(t.insertConcrete({dest("1.2.3.4")}), EvalError);
+}
+
+TEST_F(CTableTest, TypeMismatchThrows) {
+  CTable t(pathSchema());
+  EXPECT_THROW(t.insertConcrete({Value::fromInt(5), path({"ABC"})}),
+               TypeError);
+}
+
+TEST_F(CTableTest, CVarEntriesBypassTypeCheck) {
+  CTable t(pathSchema());
+  EXPECT_TRUE(t.insertConcrete({dest("1.2.3.4"), Value::cvar(x_)}));
+}
+
+TEST_F(CTableTest, AppendKeepsDuplicates) {
+  CTable t(pathSchema());
+  Formula c1 = Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ABC"}));
+  Formula c2 = Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ADEC"}));
+  EXPECT_TRUE(t.append({dest("1.2.3.4"), path({"X"})}, c1));
+  EXPECT_TRUE(t.append({dest("1.2.3.4"), path({"X"})}, c2));
+  EXPECT_EQ(t.size(), 2u);
+  // conditionOf ORs duplicates.
+  EXPECT_EQ(t.conditionOf({dest("1.2.3.4"), path({"X"})}),
+            Formula::disj2(c1, c2));
+  EXPECT_EQ(t.rowsWithData({dest("1.2.3.4"), path({"X"})}).size(), 2u);
+  t.consolidate();
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.conditionOf({dest("1.2.3.4"), path({"X"})}),
+            Formula::disj2(c1, c2));
+}
+
+TEST_F(CTableTest, PruneIf) {
+  CTable t(pathSchema());
+  t.insertConcrete({dest("1.2.3.4"), path({"A"})});
+  t.insertConcrete({dest("1.2.3.5"), path({"B"})});
+  t.insertConcrete({dest("1.2.3.6"), path({"C"})});
+  size_t removed = t.pruneIf([&](const Row& r) {
+    return r.vals[0] == dest("1.2.3.5");
+  });
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(t.size(), 2u);
+  // Index is rebuilt correctly.
+  EXPECT_TRUE(t.conditionOf({dest("1.2.3.5"), path({"B"})}).isFalse());
+  EXPECT_TRUE(t.conditionOf({dest("1.2.3.6"), path({"C"})}).isTrue());
+}
+
+TEST_F(CTableTest, CollectVars) {
+  CTable t(pathSchema());
+  t.insert({dest("1.2.3.4"), Value::cvar(x_)},
+           Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ABC"})));
+  auto vars = t.collectVars();
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], x_);
+}
+
+TEST_F(CTableTest, SchemaHelpers) {
+  Schema s = pathSchema();
+  EXPECT_EQ(s.indexOf("dest"), 0u);
+  EXPECT_EQ(s.indexOf("path"), 1u);
+  EXPECT_EQ(s.indexOf("nope"), SIZE_MAX);
+  Schema r = s.renamed("Q");
+  EXPECT_EQ(r.name(), "Q");
+  EXPECT_EQ(r.arity(), 2u);
+}
+
+}  // namespace
+}  // namespace faure::rel

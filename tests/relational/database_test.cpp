@@ -1,0 +1,78 @@
+// Tests for the Database container (relational/database.hpp).
+#include "relational/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace faure::rel {
+namespace {
+
+Schema s(const std::string& name, size_t arity) {
+  std::vector<Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return Schema(name, attrs);
+}
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  CTable& t = db.create(s("T", 2));
+  EXPECT_TRUE(db.has("T"));
+  EXPECT_FALSE(db.has("U"));
+  EXPECT_EQ(&db.table("T"), &t);
+  EXPECT_EQ(db.find("T"), &t);
+  EXPECT_EQ(db.find("U"), nullptr);
+  EXPECT_THROW(db.table("U"), EvalError);
+  EXPECT_THROW(db.create(s("T", 2)), EvalError);
+}
+
+TEST(DatabaseTest, PutInsertsOrReplaces) {
+  Database db;
+  CTable fresh(s("T", 1));
+  fresh.insertConcrete({Value::fromInt(1)});
+  db.put(fresh);
+  EXPECT_EQ(db.table("T").size(), 1u);
+
+  CTable replacement(s("T", 1));
+  replacement.insertConcrete({Value::fromInt(2)});
+  replacement.insertConcrete({Value::fromInt(3)});
+  db.put(replacement);
+  EXPECT_EQ(db.table("T").size(), 2u);
+  EXPECT_TRUE(db.table("T").conditionOf({Value::fromInt(1)}).isFalse());
+}
+
+TEST(DatabaseTest, MoveTransfersEverything) {
+  Database a;
+  a.cvars().declareInt("x_", 0, 1);
+  a.create(s("T", 1)).insertConcrete({Value::fromInt(7)});
+  Database b = std::move(a);
+  EXPECT_TRUE(b.has("T"));
+  EXPECT_EQ(b.cvars().size(), 1u);
+}
+
+TEST(DatabaseTest, ToStringListsTables) {
+  Database db;
+  db.create(s("B", 1)).insertConcrete({Value::fromInt(1)});
+  db.create(s("A", 1));
+  std::string out = db.toString();
+  // Tables print in name order with their rows.
+  EXPECT_NE(out.find("A(a0)"), std::string::npos);
+  EXPECT_NE(out.find("B(a0)"), std::string::npos);
+  EXPECT_LT(out.find("A(a0)"), out.find("B(a0)"));
+}
+
+TEST(DatabaseTest, RegistryAssignmentPreservesIds) {
+  CVarRegistry reg;
+  CVarId x = reg.declareInt("x_", 0, 1);
+  Database db;
+  db.cvars() = reg;
+  EXPECT_EQ(db.cvars().find("x_"), x);
+  // The copy is independent.
+  db.cvars().declare("extra_", ValueType::Sym);
+  EXPECT_EQ(reg.find("extra_"), CVarRegistry::kNotFound);
+}
+
+}  // namespace
+}  // namespace faure::rel

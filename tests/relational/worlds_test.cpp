@@ -1,0 +1,111 @@
+// Tests for possible-world enumeration (relational/worlds.hpp) — the
+// rep() semantics that loss-less modeling is defined against.
+#include "relational/worlds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace faure::rel {
+namespace {
+
+using smt::CmpOp;
+using smt::Formula;
+
+TEST(WorldsTest, InstantiateSubstitutesAndFilters) {
+  Database db;
+  CVarId x = db.cvars().declareInt("x_", 0, 1);
+  CTable& t = db.create(Schema("T", {{"a", ValueType::Any}}));
+  t.insert({Value::cvar(x)},
+           Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)));
+  t.insertConcrete({Value::fromInt(9)});
+
+  GroundRelation r1 = instantiate(db.table("T"), {{x, Value::fromInt(1)}});
+  EXPECT_EQ(r1.size(), 2u);
+  EXPECT_TRUE(r1.count({Value::fromInt(1)}) == 1);
+  EXPECT_TRUE(r1.count({Value::fromInt(9)}) == 1);
+
+  GroundRelation r0 = instantiate(db.table("T"), {{x, Value::fromInt(0)}});
+  EXPECT_EQ(r0.size(), 1u);
+  EXPECT_TRUE(r0.count({Value::fromInt(9)}) == 1);
+}
+
+TEST(WorldsTest, InstantiateRejectsPartialAssignment) {
+  Database db;
+  CVarId x = db.cvars().declareInt("x_", 0, 1);
+  CTable& t = db.create(Schema("T", {{"a", ValueType::Any}}));
+  t.insertConcrete({Value::cvar(x)});
+  EXPECT_THROW(instantiate(db.table("T"), {}), EvalError);
+}
+
+TEST(WorldsTest, ForEachWorldCountsAssignments) {
+  Database db;
+  db.cvars().declareInt("x_", 0, 1);
+  db.cvars().declareInt("y_", 0, 2);
+  db.create(Schema("T", {{"a", ValueType::Any}}));
+  int count = 0;
+  ASSERT_TRUE(forEachWorld(db, 1000,
+                           [&](const smt::Assignment&, const World&) {
+                             ++count;
+                           }));
+  EXPECT_EQ(count, 2 * 3);
+}
+
+TEST(WorldsTest, ForEachWorldRefusesUnboundedDomains) {
+  Database db;
+  db.cvars().declare("p_", ValueType::Int);
+  db.create(Schema("T", {{"a", ValueType::Any}}));
+  EXPECT_FALSE(
+      forEachWorld(db, 1000, [](const smt::Assignment&, const World&) {}));
+}
+
+TEST(WorldsTest, RepCollapsesEquivalentWorlds) {
+  // A table whose contents do not depend on y_ has fewer distinct ground
+  // relations than assignments.
+  Database db;
+  CVarId x = db.cvars().declareInt("x_", 0, 1);
+  db.cvars().declareInt("y_", 0, 1);
+  CTable& t = db.create(Schema("T", {{"a", ValueType::Any}}));
+  t.insert({Value::fromInt(7)},
+           Formula::cmp(Value::cvar(x), CmpOp::Eq, Value::fromInt(1)));
+  auto rep = repOfTable(db.table("T"), db.cvars());
+  // Two distinct relations: {} and {(7)}.
+  EXPECT_EQ(rep.size(), 2u);
+}
+
+TEST(WorldsTest, TableTwoRepExample) {
+  // The paper's P^i (Table 2) denotes one regular relation per choice of
+  // (x_, y_): x_ ∈ {ABC, ADEC} matters, y_ ranges over 3 prefixes but
+  // y_ = 1.2.3.4 kills the second row.
+  Database db;
+  Value abc = Value::path({"ABC"});
+  Value adec = Value::path({"ADEC"});
+  Value abe = Value::path({"ABE"});
+  CVarId x = db.cvars().declare("x_", ValueType::Path, {abc, adec});
+  CVarId y = db.cvars().declare("y_", ValueType::Prefix,
+                                {Value::parsePrefix("1.2.3.4"),
+                                 Value::parsePrefix("1.2.3.5"),
+                                 Value::parsePrefix("1.2.3.6")});
+  CTable& p = db.create(Schema("Pi", {{"dest", ValueType::Any},
+                                      {"path", ValueType::Any}}));
+  p.insert({Value::parsePrefix("1.2.3.4"), Value::cvar(x)},
+           Formula::disj2(Formula::cmp(Value::cvar(x), CmpOp::Eq, abc),
+                          Formula::cmp(Value::cvar(x), CmpOp::Eq, adec)));
+  p.insert({Value::cvar(y), abe},
+           Formula::cmp(Value::cvar(y), CmpOp::Ne,
+                        Value::parsePrefix("1.2.3.4")));
+  p.insertConcrete({Value::parsePrefix("1.2.3.6"), adec});
+
+  auto rep = repOfTable(db.table("Pi"), db.cvars());
+  // x_ choice (2) × y_ outcome (1.2.3.4 -> row absent; .5/.6 -> row
+  // present with that dest) = 2 × 3 assignments, but .5 and .6 give
+  // distinct relations while .4 collapses: 2 * 3 = 6 distinct relations.
+  EXPECT_EQ(rep.size(), 6u);
+  // Every world contains the unconditional row.
+  for (const auto& ground : rep) {
+    EXPECT_TRUE(ground.count({Value::parsePrefix("1.2.3.6"), adec}) == 1);
+  }
+}
+
+}  // namespace
+}  // namespace faure::rel

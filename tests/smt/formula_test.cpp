@@ -1,0 +1,166 @@
+// Unit tests for the condition-formula AST and its constructor
+// normalization (smt/formula.hpp).
+#include "smt/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace faure::smt {
+namespace {
+
+using faure::Value;
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  CVarId x_ = reg_.declareInt("x_", 0, 1);
+  CVarId y_ = reg_.declareInt("y_", 0, 1);
+  CVarId p_ = reg_.declare("p_", ValueType::Int);
+
+  Value xv() const { return Value::cvar(x_); }
+  Value yv() const { return Value::cvar(y_); }
+  Value pv() const { return Value::cvar(p_); }
+};
+
+TEST_F(FormulaTest, DefaultIsTrue) {
+  Formula f;
+  EXPECT_TRUE(f.isTrue());
+  EXPECT_EQ(f, Formula::top());
+}
+
+TEST_F(FormulaTest, ConstantComparisonFolds) {
+  EXPECT_TRUE(Formula::cmp(Value::fromInt(3), CmpOp::Eq, Value::fromInt(3))
+                  .isTrue());
+  EXPECT_TRUE(Formula::cmp(Value::fromInt(3), CmpOp::Eq, Value::fromInt(4))
+                  .isFalse());
+  EXPECT_TRUE(Formula::cmp(Value::fromInt(3), CmpOp::Lt, Value::fromInt(4))
+                  .isTrue());
+}
+
+TEST_F(FormulaTest, SymbolEqualityFolds) {
+  EXPECT_TRUE(
+      Formula::cmp(Value::sym("Mkt"), CmpOp::Eq, Value::sym("Mkt")).isTrue());
+  EXPECT_TRUE(
+      Formula::cmp(Value::sym("Mkt"), CmpOp::Eq, Value::sym("CS")).isFalse());
+  EXPECT_TRUE(
+      Formula::cmp(Value::sym("Mkt"), CmpOp::Ne, Value::sym("CS")).isTrue());
+}
+
+TEST_F(FormulaTest, OrderedComparisonOnSymbolsThrows) {
+  EXPECT_THROW(
+      Formula::cmp(Value::sym("A"), CmpOp::Lt, Value::sym("B")), TypeError);
+}
+
+TEST_F(FormulaTest, SameVariableFolds) {
+  EXPECT_TRUE(Formula::cmp(xv(), CmpOp::Eq, xv()).isTrue());
+  EXPECT_TRUE(Formula::cmp(xv(), CmpOp::Ne, xv()).isFalse());
+  EXPECT_TRUE(Formula::cmp(xv(), CmpOp::Le, xv()).isTrue());
+  EXPECT_TRUE(Formula::cmp(xv(), CmpOp::Lt, xv()).isFalse());
+}
+
+TEST_F(FormulaTest, NormalizesConstantToRight) {
+  Formula a = Formula::cmp(Value::fromInt(5), CmpOp::Lt, xv());
+  Formula b = Formula::cmp(xv(), CmpOp::Gt, Value::fromInt(5));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FormulaTest, NormalizesVariableOrder) {
+  Formula a = Formula::cmp(yv(), CmpOp::Eq, xv());
+  Formula b = Formula::cmp(xv(), CmpOp::Eq, yv());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FormulaTest, ConjunctionFlattensAndDedups) {
+  Formula atom = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  Formula f = Formula::conj({atom, Formula::conj({atom, Formula::top()})});
+  EXPECT_EQ(f, atom);
+}
+
+TEST_F(FormulaTest, ConjunctionOrderInsensitive) {
+  Formula a = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  Formula b = Formula::cmp(yv(), CmpOp::Eq, Value::fromInt(0));
+  EXPECT_EQ(Formula::conj({a, b}), Formula::conj({b, a}));
+  EXPECT_EQ(Formula::disj({a, b}), Formula::disj({b, a}));
+}
+
+TEST_F(FormulaTest, ConjunctionWithFalseIsFalse) {
+  Formula a = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  EXPECT_TRUE(Formula::conj({a, Formula::bottom()}).isFalse());
+}
+
+TEST_F(FormulaTest, ConjunctionOfComplementsIsFalse) {
+  Formula a = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  EXPECT_TRUE(Formula::conj({a, Formula::neg(a)}).isFalse());
+}
+
+TEST_F(FormulaTest, DisjunctionOfComplementsIsTrue) {
+  Formula a = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  EXPECT_TRUE(Formula::disj({a, Formula::neg(a)}).isTrue());
+}
+
+TEST_F(FormulaTest, NegationPushesIntoComparison) {
+  Formula a = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  Formula na = Formula::neg(a);
+  EXPECT_EQ(na, Formula::cmp(xv(), CmpOp::Ne, Value::fromInt(1)));
+  EXPECT_EQ(Formula::neg(na), a);
+}
+
+TEST_F(FormulaTest, DeMorgan) {
+  Formula a = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  Formula b = Formula::cmp(yv(), CmpOp::Eq, Value::fromInt(0));
+  Formula f = Formula::neg(Formula::conj({a, b}));
+  EXPECT_EQ(f, Formula::disj({Formula::neg(a), Formula::neg(b)}));
+}
+
+TEST_F(FormulaTest, LinearFoldsConstant) {
+  EXPECT_TRUE(Formula::lin(LinTerm::make({}, 0), CmpOp::Eq).isTrue());
+  EXPECT_TRUE(Formula::lin(LinTerm::make({}, 1), CmpOp::Eq).isFalse());
+  EXPECT_TRUE(Formula::lin(LinTerm::make({}, -1), CmpOp::Lt).isTrue());
+}
+
+TEST_F(FormulaTest, LinearLowersSingleUnitVariable) {
+  // x - 1 = 0 should lower to x = 1.
+  Formula f = Formula::lin(LinTerm::make({{x_, 1}}, -1), CmpOp::Eq);
+  EXPECT_EQ(f, Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1)));
+  // -x + 1 = 0 also lowers to x = 1.
+  Formula g = Formula::lin(LinTerm::make({{x_, -1}}, 1), CmpOp::Eq);
+  EXPECT_EQ(g, Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1)));
+}
+
+TEST_F(FormulaTest, LinTermArithmetic) {
+  LinTerm a = LinTerm::make({{x_, 1}, {y_, 2}}, 3);
+  LinTerm b = LinTerm::make({{y_, 2}, {x_, 1}}, 3);
+  EXPECT_EQ(a, b);
+  LinTerm diff = a.minus(b);
+  EXPECT_TRUE(diff.isConstant());
+  EXPECT_EQ(diff.cst, 0);
+  LinTerm sum = a.plus(a);
+  EXPECT_EQ(sum, a.scaled(2));
+}
+
+TEST_F(FormulaTest, LinTermMergesDuplicateEntries) {
+  LinTerm t = LinTerm::make({{x_, 1}, {x_, 2}, {y_, 1}, {y_, -1}}, 0);
+  ASSERT_EQ(t.coefs.size(), 1u);
+  EXPECT_EQ(t.coefs[0].first, x_);
+  EXPECT_EQ(t.coefs[0].second, 3);
+}
+
+TEST_F(FormulaTest, ToStringUsesRegistryNames) {
+  Formula f = Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1));
+  EXPECT_EQ(f.toString(&reg_), "x_ = 1");
+  Formula g = Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}}, -1), CmpOp::Eq);
+  EXPECT_EQ(g.toString(&reg_), "x_ + y_ - 1 = 0");
+}
+
+TEST_F(FormulaTest, CollectVars) {
+  Formula f = Formula::conj2(
+      Formula::cmp(xv(), CmpOp::Eq, Value::fromInt(1)),
+      Formula::lin(LinTerm::make({{y_, 1}, {p_, 1}}, 0), CmpOp::Ge));
+  std::vector<CVarId> vars;
+  f.collectVars(vars);
+  EXPECT_EQ(vars.size(), 3u);
+}
+
+}  // namespace
+}  // namespace faure::smt

@@ -1,0 +1,102 @@
+// Tests for existential projection (smt/transform.hpp,
+// projectExistentials) — the quantifier-elimination step of the §5
+// containment reduction.
+#include <gtest/gtest.h>
+
+#include "smt/solver.hpp"
+#include "smt/transform.hpp"
+
+namespace faure::smt {
+namespace {
+
+class ProjectTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  CVarId u_ = reg_.declare("u_", ValueType::Any);        // universal
+  CVarId e1_ = reg_.declare("e1_", ValueType::Any);      // existential
+  CVarId e2_ = reg_.declare("e2_", ValueType::Any);      // existential
+  CVarId ef_ = reg_.declareInt("ef_", 0, 1);             // finite exist.
+  NativeSolver solver_{reg_};
+
+  Formula eq(CVarId a, Value b) {
+    return Formula::cmp(Value::cvar(a), CmpOp::Eq, b);
+  }
+  Formula eqv(CVarId a, CVarId b) {
+    return Formula::cmp(Value::cvar(a), CmpOp::Eq, Value::cvar(b));
+  }
+};
+
+TEST_F(ProjectTest, NoExistentialsIsIdentity) {
+  Formula f = eq(u_, Value::fromInt(1));
+  EXPECT_EQ(projectExistentials(f, {}, reg_), f);
+}
+
+TEST_F(ProjectTest, EqualityBindingEliminates) {
+  // ∃e1: e1 = Mkt ∧ u = e1  <=>  u = Mkt.
+  Formula f = Formula::conj2(eq(e1_, Value::sym("Mkt")), eqv(u_, e1_));
+  Formula p = projectExistentials(f, {e1_}, reg_);
+  EXPECT_EQ(p, eq(u_, Value::sym("Mkt")));
+}
+
+TEST_F(ProjectTest, ChainedBindings) {
+  // ∃e1,e2: e1 = e2 ∧ e2 = u ∧ e1 = CS  <=>  u = CS.
+  Formula f = Formula::conj(
+      {eqv(e1_, e2_), eqv(e2_, u_), eq(e1_, Value::sym("CS"))});
+  Formula p = projectExistentials(f, {e1_, e2_}, reg_);
+  EXPECT_TRUE(solver_.equivalent(p, eq(u_, Value::sym("CS"))));
+}
+
+TEST_F(ProjectTest, FullyExistentialCubeBecomesTrue) {
+  // ∃e1: e1 = Mkt  <=>  true.
+  Formula f = eq(e1_, Value::sym("Mkt"));
+  EXPECT_TRUE(projectExistentials(f, {e1_}, reg_).isTrue());
+}
+
+TEST_F(ProjectTest, UnboundedDisequalityDrops) {
+  // ∃e1: e1 != 7000 ∧ u = Mkt  <=>  u = Mkt (a witness always exists).
+  Formula f = Formula::conj2(
+      Formula::cmp(Value::cvar(e1_), CmpOp::Ne, Value::fromInt(7000)),
+      eq(u_, Value::sym("Mkt")));
+  EXPECT_EQ(projectExistentials(f, {e1_}, reg_), eq(u_, Value::sym("Mkt")));
+}
+
+TEST_F(ProjectTest, FiniteDomainResidualDropsCube) {
+  // ef_ has domain {0,1}; a bare disequality on it is NOT dropped (the
+  // projection is conservative) — the cube disappears.
+  Formula f = Formula::conj2(
+      Formula::cmp(Value::cvar(ef_), CmpOp::Ne, Value::fromInt(0)),
+      eq(u_, Value::sym("Mkt")));
+  EXPECT_TRUE(projectExistentials(f, {ef_}, reg_).isFalse());
+}
+
+TEST_F(ProjectTest, DisjunctionProjectsPerCube) {
+  // (∃e1: e1 = u ∧ e1 = Mkt) ∨ (u = CS).
+  Formula f = Formula::disj2(
+      Formula::conj2(eqv(e1_, u_), eq(e1_, Value::sym("Mkt"))),
+      eq(u_, Value::sym("CS")));
+  Formula p = projectExistentials(f, {e1_}, reg_);
+  EXPECT_TRUE(solver_.equivalent(
+      p, Formula::disj2(eq(u_, Value::sym("Mkt")),
+                        eq(u_, Value::sym("CS")))));
+}
+
+TEST_F(ProjectTest, ResultImpliesExistential) {
+  // Soundness on a mixed case: result must imply ∃E.f, here checked by
+  // hand on a formula where projection drops a cube.
+  Formula f = Formula::disj2(
+      Formula::conj2(eqv(e1_, u_), eq(e1_, Value::sym("Mkt"))),
+      // unprojectable: ordered residual on existential
+      Formula::cmp(Value::cvar(ef_), CmpOp::Ne, Value::fromInt(1)));
+  Formula p = projectExistentials(f, {e1_, ef_}, reg_);
+  EXPECT_EQ(p, eq(u_, Value::sym("Mkt")));  // second cube dropped
+}
+
+TEST_F(ProjectTest, ContradictionStaysFalse) {
+  Formula f = Formula::conj2(eq(e1_, Value::sym("Mkt")),
+                             eq(e1_, Value::sym("CS")));
+  // Substituting e1 = Mkt folds Mkt = CS to false.
+  EXPECT_TRUE(projectExistentials(f, {e1_}, reg_).isFalse());
+}
+
+}  // namespace
+}  // namespace faure::smt

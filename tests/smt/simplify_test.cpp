@@ -1,0 +1,112 @@
+// Tests for semantic condition simplification (smt/simplify.hpp).
+#include "smt/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faure::smt {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  CVarId x_ = reg_.declareInt("x_", 0, 1);
+  CVarId y_ = reg_.declareInt("y_", 0, 1);
+  CVarId p_ = reg_.declare("p_", ValueType::Int);
+  NativeSolver solver_{reg_};
+
+  Formula eq(CVarId v, int64_t k) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(k));
+  }
+};
+
+TEST_F(SimplifyTest, AtomsAndConstantsUntouched) {
+  EXPECT_EQ(simplify(Formula::top(), solver_), Formula::top());
+  EXPECT_EQ(simplify(Formula::bottom(), solver_), Formula::bottom());
+  EXPECT_EQ(simplify(eq(x_, 1), solver_), eq(x_, 1));
+}
+
+TEST_F(SimplifyTest, DropsUnsatCubes) {
+  // (x=1 & x=... semantic contradiction) | y=1 -> y=1.
+  Formula contradiction = Formula::conj2(eq(x_, 1), eq(p_, 5));
+  contradiction = Formula::conj2(
+      contradiction,
+      Formula::lin(LinTerm::make({{p_, 1}, {x_, 1}}, -2), CmpOp::Eq));
+  // p=5 & x=1 & p+x=2: unsat.
+  Formula f = Formula::disj2(contradiction, eq(y_, 1));
+  EXPECT_EQ(simplify(f, solver_), eq(y_, 1));
+}
+
+TEST_F(SimplifyTest, AllCubesUnsatGivesFalse) {
+  Formula bad = Formula::conj2(
+      eq(x_, 1),
+      Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}}, -3), CmpOp::Eq));
+  EXPECT_TRUE(simplify(bad, solver_).isFalse());
+}
+
+TEST_F(SimplifyTest, DropsSubsumedCubes) {
+  // (x=1 & y=1) | x=1  ->  x=1.
+  Formula f = Formula::disj2(Formula::conj2(eq(x_, 1), eq(y_, 1)),
+                             eq(x_, 1));
+  EXPECT_EQ(simplify(f, solver_), eq(x_, 1));
+}
+
+TEST_F(SimplifyTest, MinimizesCubeAtoms) {
+  // x=1 & x>=1 : the interval atom is implied by the equality.
+  Formula f = Formula::conj2(
+      eq(x_, 1), Formula::cmp(Value::cvar(x_), CmpOp::Ge, Value::fromInt(1)));
+  Formula s = simplify(f, solver_);
+  EXPECT_TRUE(solver_.equivalent(s, eq(x_, 1)));
+  EXPECT_TRUE(s.isAtom());
+}
+
+TEST_F(SimplifyTest, DetectsValidity) {
+  // x=0 | x=1 over domain {0,1} is valid.
+  Formula f = Formula::disj2(eq(x_, 0), eq(x_, 1));
+  EXPECT_TRUE(simplify(f, solver_).isTrue());
+}
+
+TEST_F(SimplifyTest, ValidityDetectionCanBeDisabled) {
+  // Validity spanning three cubes (over a {0,1,2} domain) is not caught
+  // by pairwise consensus merging, only by the final validity check.
+  CVarId t = reg_.declareInt("t_", 0, 2);
+  Formula f = Formula::disj({eq(t, 0), eq(t, 1), eq(t, 2)});
+  EXPECT_TRUE(simplify(f, solver_).isTrue());
+  SimplifyOptions opts;
+  opts.detectValidity = false;
+  EXPECT_FALSE(simplify(f, solver_, opts).isTrue());
+}
+
+TEST_F(SimplifyTest, ConsensusMergesComplementaryCubes) {
+  // (x=1 & y=0) | (x=1 & y=1) -> x=1 without the validity step.
+  Formula f = Formula::disj2(Formula::conj2(eq(x_, 1), eq(y_, 0)),
+                             Formula::conj2(eq(x_, 1), eq(y_, 1)));
+  SimplifyOptions opts;
+  opts.detectValidity = false;
+  EXPECT_EQ(simplify(f, solver_, opts), eq(x_, 1));
+}
+
+TEST_F(SimplifyTest, ResultIsAlwaysEquivalent) {
+  // A mixed formula: simplification must preserve meaning.
+  Formula f = Formula::disj(
+      {Formula::conj2(eq(x_, 1), eq(y_, 0)),
+       Formula::conj2(eq(x_, 1), eq(y_, 1)),
+       Formula::conj2(eq(x_, 0),
+                      Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}}, -9),
+                                   CmpOp::Eq))});
+  Formula s = simplify(f, solver_);
+  EXPECT_TRUE(solver_.equivalent(f, s));
+  // x=1 covers the first two cubes; the third is unsat.
+  EXPECT_EQ(s, eq(x_, 1));
+}
+
+TEST_F(SimplifyTest, OverBudgetReturnsInput) {
+  // Build a formula whose DNF exceeds a tiny budget.
+  Formula f = Formula::conj2(Formula::disj2(eq(x_, 0), eq(x_, 1)),
+                             Formula::disj2(eq(y_, 0), eq(y_, 1)));
+  SimplifyOptions opts;
+  opts.maxCubes = 2;
+  EXPECT_EQ(simplify(f, solver_, opts), f);
+}
+
+}  // namespace
+}  // namespace faure::smt

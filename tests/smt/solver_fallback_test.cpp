@@ -1,0 +1,129 @@
+// Solver fallback / incompleteness-envelope tests: DNF-overflow
+// enumeration, Unknown answers on unbounded arithmetic, and the
+// soundness contract (Unknown never replaces a decidable answer within
+// the documented fragment).
+#include <gtest/gtest.h>
+
+#include "smt/solver.hpp"
+
+namespace faure::smt {
+namespace {
+
+Formula bitEq(CVarId v, int64_t k) {
+  return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(k));
+}
+
+TEST(SolverFallbackTest, DnfOverflowFallsBackToEnumeration) {
+  CVarRegistry reg;
+  std::vector<CVarId> bits;
+  for (int i = 0; i < 8; ++i) {
+    bits.push_back(reg.declareInt("b" + std::to_string(i) + "_", 0, 1));
+  }
+  // (b0=0|b0=1) & ... & (b7=0|b7=1): DNF has 256 cubes.
+  std::vector<Formula> parts;
+  for (CVarId b : bits) {
+    parts.push_back(Formula::disj2(bitEq(b, 0), bitEq(b, 1)));
+  }
+  Formula valid = Formula::conj(parts);
+  NativeSolver::Options opts;
+  opts.maxDnfCubes = 16;  // force the fallback
+  NativeSolver solver(reg, opts);
+  EXPECT_EQ(solver.check(valid), Sat::Sat);
+  EXPECT_GE(solver.stats().enumerations, 1u);
+  // And an unsatisfiable variant.
+  parts.push_back(Formula::lin(
+      LinTerm::make({{bits[0], 1}, {bits[1], 1}}, -5), CmpOp::Eq));
+  EXPECT_EQ(solver.check(Formula::conj(parts)), Sat::Unsat);
+}
+
+TEST(SolverFallbackTest, DnfOverflowWithUnboundedVarIsUnknown) {
+  CVarRegistry reg;
+  CVarId p = reg.declare("p_", ValueType::Int);  // unbounded
+  std::vector<CVarId> bits;
+  for (int i = 0; i < 8; ++i) {
+    bits.push_back(reg.declareInt("b" + std::to_string(i) + "_", 0, 1));
+  }
+  std::vector<Formula> parts;
+  for (CVarId b : bits) {
+    parts.push_back(Formula::disj2(bitEq(b, 0), bitEq(b, 1)));
+  }
+  parts.push_back(Formula::cmp(Value::cvar(p), CmpOp::Gt, Value::fromInt(0)));
+  NativeSolver::Options opts;
+  opts.maxDnfCubes = 16;
+  NativeSolver solver(reg, opts);
+  // Enumeration cannot cover p_: the solver must admit Unknown rather
+  // than guess.
+  EXPECT_EQ(solver.check(Formula::conj(parts)), Sat::Unknown);
+}
+
+TEST(SolverFallbackTest, MultiVarArithmeticOverUnboundedIsUnknown) {
+  CVarRegistry reg;
+  CVarId a = reg.declare("a_", ValueType::Int);
+  CVarId b = reg.declare("b_", ValueType::Int);
+  // a + b = 1 with both unbounded: satisfiable, but the native solver's
+  // residual machinery cannot enumerate — expect Unknown (sound).
+  Formula f = Formula::lin(LinTerm::make({{a, 1}, {b, 1}}, -1), CmpOp::Eq);
+  NativeSolver solver(reg);
+  EXPECT_EQ(solver.check(f), Sat::Unknown);
+}
+
+TEST(SolverFallbackTest, IntervalRefutationBeatsUnknown) {
+  CVarRegistry reg;
+  CVarId a = reg.declare("a_", ValueType::Int);
+  CVarId b = reg.declare("b_", ValueType::Int);
+  // a >= 10, b >= 10, a + b < 5: impossible by interval propagation even
+  // though the variables are unbounded.
+  Formula f = Formula::conj(
+      {Formula::cmp(Value::cvar(a), CmpOp::Ge, Value::fromInt(10)),
+       Formula::cmp(Value::cvar(b), CmpOp::Ge, Value::fromInt(10)),
+       Formula::lin(LinTerm::make({{a, 1}, {b, 1}}, -5), CmpOp::Lt)});
+  NativeSolver solver(reg);
+  EXPECT_EQ(solver.check(f), Sat::Unsat);
+}
+
+TEST(SolverFallbackTest, BoundedIntervalEnumerates) {
+  CVarRegistry reg;
+  CVarId a = reg.declare("a_", ValueType::Int);
+  CVarId b = reg.declare("b_", ValueType::Int);
+  // Comparisons bound both variables into small intervals; the residual
+  // a + b = 7 is then decidable by enumeration.
+  Formula bounds = Formula::conj(
+      {Formula::cmp(Value::cvar(a), CmpOp::Ge, Value::fromInt(0)),
+       Formula::cmp(Value::cvar(a), CmpOp::Le, Value::fromInt(3)),
+       Formula::cmp(Value::cvar(b), CmpOp::Ge, Value::fromInt(0)),
+       Formula::cmp(Value::cvar(b), CmpOp::Le, Value::fromInt(3))});
+  NativeSolver solver(reg);
+  EXPECT_EQ(solver.check(Formula::conj2(
+                bounds, Formula::lin(LinTerm::make({{a, 1}, {b, 1}}, -7),
+                                     CmpOp::Ne))),
+            Sat::Sat);
+  EXPECT_EQ(solver.check(Formula::conj2(
+                bounds, Formula::lin(LinTerm::make({{a, 1}, {b, 1}}, -7),
+                                     CmpOp::Eq))),
+            Sat::Unsat);  // max is 6
+}
+
+TEST(SolverFallbackTest, UnknownIsConservativeForImplies) {
+  CVarRegistry reg;
+  CVarId a = reg.declare("a_", ValueType::Int);
+  CVarId b = reg.declare("b_", ValueType::Int);
+  Formula f = Formula::lin(LinTerm::make({{a, 1}, {b, 1}}, -1), CmpOp::Eq);
+  NativeSolver solver(reg);
+  // a+b=1 does imply a+b!=2, but deciding it needs more than the native
+  // fragment: implies() must answer false (conservative), never true
+  // wrongly — and definitely not throw.
+  EXPECT_FALSE(solver.implies(
+      f, Formula::lin(LinTerm::make({{a, 1}, {b, 1}}, -2), CmpOp::Ne)));
+}
+
+TEST(SolverFallbackTest, StatsCountUnknown) {
+  CVarRegistry reg;
+  CVarId a = reg.declare("a_", ValueType::Int);
+  CVarId b = reg.declare("b_", ValueType::Int);
+  NativeSolver solver(reg);
+  solver.check(Formula::lin(LinTerm::make({{a, 1}, {b, 1}}, -1), CmpOp::Eq));
+  EXPECT_EQ(solver.stats().unknown, 1u);
+}
+
+}  // namespace
+}  // namespace faure::smt

@@ -1,0 +1,110 @@
+// Property tests: the native solver must agree with brute-force model
+// enumeration on randomly generated formulas over finite domains.
+#include <gtest/gtest.h>
+
+#include "smt/solver.hpp"
+#include "util/rng.hpp"
+
+namespace faure::smt {
+namespace {
+
+/// Generates a random formula over the given integer-bit variables.
+Formula randomFormula(util::Rng& rng, const std::vector<CVarId>& vars,
+                      int depth) {
+  if (depth == 0 || rng.chance(0.4)) {
+    // Leaf atom.
+    switch (rng.below(3)) {
+      case 0: {
+        CVarId v = vars[rng.below(vars.size())];
+        auto op = rng.chance(0.5) ? CmpOp::Eq : CmpOp::Ne;
+        return Formula::cmp(Value::cvar(v), op,
+                            Value::fromInt(rng.range(0, 1)));
+      }
+      case 1: {
+        CVarId a = vars[rng.below(vars.size())];
+        CVarId b = vars[rng.below(vars.size())];
+        static const CmpOp ops[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                                    CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+        return Formula::cmp(Value::cvar(a), ops[rng.below(6)],
+                            Value::cvar(b));
+      }
+      default: {
+        // Linear sum over a random subset.
+        std::vector<std::pair<CVarId, int64_t>> entries;
+        for (CVarId v : vars) {
+          if (rng.chance(0.6)) entries.emplace_back(v, rng.range(-2, 2));
+        }
+        static const CmpOp ops[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                                    CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+        return Formula::lin(LinTerm::make(entries, rng.range(-2, 2)),
+                            ops[rng.below(6)]);
+      }
+    }
+  }
+  switch (rng.below(3)) {
+    case 0:
+      return Formula::conj2(randomFormula(rng, vars, depth - 1),
+                            randomFormula(rng, vars, depth - 1));
+    case 1:
+      return Formula::disj2(randomFormula(rng, vars, depth - 1),
+                            randomFormula(rng, vars, depth - 1));
+    default:
+      return Formula::neg(randomFormula(rng, vars, depth - 1));
+  }
+}
+
+class SolverAgreesWithEnumeration : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreesWithEnumeration, RandomFormulas) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 0x9e3779b9u + 1);
+  CVarRegistry reg;
+  std::vector<CVarId> vars;
+  for (int i = 0; i < 4; ++i) {
+    vars.push_back(reg.declareInt("v" + std::to_string(i) + "_", 0, 1));
+  }
+  NativeSolver solver(reg);
+  for (int trial = 0; trial < 50; ++trial) {
+    Formula f = randomFormula(rng, vars, 3);
+    bool anyModel = false;
+    ASSERT_TRUE(
+        forEachModel(f, reg, vars, [&](const Assignment&) { anyModel = true; }));
+    Sat got = solver.check(f);
+    ASSERT_NE(got, Sat::Unknown)
+        << "finite-domain formula should be decided: " << f.toString(&reg);
+    EXPECT_EQ(got == Sat::Sat, anyModel)
+        << "disagreement on " << f.toString(&reg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreesWithEnumeration,
+                         ::testing::Range(0, 8));
+
+class ImplicationAgreesWithEnumeration
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationAgreesWithEnumeration, RandomPairs) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 0x51ed2701u + 7);
+  CVarRegistry reg;
+  std::vector<CVarId> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(reg.declareInt("w" + std::to_string(i) + "_", 0, 1));
+  }
+  NativeSolver solver(reg);
+  for (int trial = 0; trial < 30; ++trial) {
+    Formula a = randomFormula(rng, vars, 2);
+    Formula b = randomFormula(rng, vars, 2);
+    // Ground truth: a implies b iff no model of a fails b.
+    bool truth = true;
+    forEachModel(a, reg, vars, [&](const Assignment& m) {
+      if (!substitute(b, m).isTrue()) truth = false;
+    });
+    EXPECT_EQ(solver.implies(a, b), truth)
+        << "a = " << a.toString(&reg) << "\nb = " << b.toString(&reg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationAgreesWithEnumeration,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace faure::smt

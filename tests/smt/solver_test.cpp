@@ -1,0 +1,208 @@
+// Unit tests for the native condition solver (smt/solver.hpp).
+#include "smt/solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faure::smt {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  CVarId x_ = reg_.declareInt("x_", 0, 1);
+  CVarId y_ = reg_.declareInt("y_", 0, 1);
+  CVarId z_ = reg_.declareInt("z_", 0, 1);
+  CVarId s_ = reg_.declare("s_", ValueType::Sym,
+                           {Value::sym("Mkt"), Value::sym("R&D")});
+  CVarId p_ = reg_.declare("p_", ValueType::Int);  // unbounded port
+  CVarId q_ = reg_.declare("q_", ValueType::Any);  // untyped, unbounded
+  NativeSolver solver_{reg_};
+
+  Formula eq(CVarId v, int64_t k) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(k));
+  }
+  Formula eqSym(CVarId v, const char* s) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::sym(s));
+  }
+  Formula vv(CVarId a, CmpOp op, CVarId b) {
+    return Formula::cmp(Value::cvar(a), op, Value::cvar(b));
+  }
+};
+
+TEST_F(SolverTest, Trivia) {
+  EXPECT_EQ(solver_.check(Formula::top()), Sat::Sat);
+  EXPECT_EQ(solver_.check(Formula::bottom()), Sat::Unsat);
+}
+
+TEST_F(SolverTest, SimpleAtoms) {
+  EXPECT_EQ(solver_.check(eq(x_, 1)), Sat::Sat);
+  EXPECT_EQ(solver_.check(eq(x_, 7)), Sat::Unsat);  // outside {0,1}
+  EXPECT_EQ(solver_.check(Formula::conj2(eq(x_, 1), eq(x_, 0))), Sat::Unsat);
+  EXPECT_EQ(solver_.check(Formula::disj2(eq(x_, 1), eq(x_, 0))), Sat::Sat);
+}
+
+TEST_F(SolverTest, EqualityChains) {
+  // x = y, y = z, x = 1, z = 0 -> unsat.
+  Formula f = Formula::conj({vv(x_, CmpOp::Eq, y_), vv(y_, CmpOp::Eq, z_),
+                             eq(x_, 1), eq(z_, 0)});
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+  Formula g = Formula::conj({vv(x_, CmpOp::Eq, y_), vv(y_, CmpOp::Eq, z_),
+                             eq(x_, 1), eq(z_, 1)});
+  EXPECT_EQ(solver_.check(g), Sat::Sat);
+}
+
+TEST_F(SolverTest, DisequalityOnMergedClassIsUnsat) {
+  Formula f = Formula::conj({vv(x_, CmpOp::Eq, y_), vv(x_, CmpOp::Ne, y_)});
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+}
+
+TEST_F(SolverTest, DisequalityPigeonhole) {
+  // Domain {0,1} cannot 3-color x != y, y != z, x != z.
+  Formula f = Formula::conj({vv(x_, CmpOp::Ne, y_), vv(y_, CmpOp::Ne, z_),
+                             vv(x_, CmpOp::Ne, z_)});
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+  // Two variables are fine.
+  EXPECT_EQ(solver_.check(vv(x_, CmpOp::Ne, y_)), Sat::Sat);
+}
+
+TEST_F(SolverTest, ExcludedDomainExhaustion) {
+  Formula f = Formula::conj2(
+      Formula::cmp(Value::cvar(s_), CmpOp::Ne, Value::sym("Mkt")),
+      Formula::cmp(Value::cvar(s_), CmpOp::Ne, Value::sym("R&D")));
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+}
+
+TEST_F(SolverTest, TypeMismatchIsUnsat) {
+  // An Int-typed variable cannot equal a symbol.
+  EXPECT_EQ(solver_.check(eqSym(x_, "Mkt")), Sat::Unsat);
+  // Nor can a Sym-domain variable take a value outside its domain.
+  EXPECT_EQ(solver_.check(eqSym(s_, "CS")), Sat::Unsat);
+  EXPECT_EQ(solver_.check(eqSym(s_, "Mkt")), Sat::Sat);
+}
+
+TEST_F(SolverTest, UnboundedIntervals) {
+  Formula f = Formula::conj2(
+      Formula::cmp(Value::cvar(p_), CmpOp::Gt, Value::fromInt(80)),
+      Formula::cmp(Value::cvar(p_), CmpOp::Lt, Value::fromInt(80)));
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+  Formula g = Formula::conj2(
+      Formula::cmp(Value::cvar(p_), CmpOp::Ge, Value::fromInt(80)),
+      Formula::cmp(Value::cvar(p_), CmpOp::Le, Value::fromInt(80)));
+  EXPECT_EQ(solver_.check(g), Sat::Sat);  // p = 80
+  Formula h = Formula::conj(
+      {g, Formula::cmp(Value::cvar(p_), CmpOp::Ne, Value::fromInt(80))});
+  EXPECT_EQ(solver_.check(h), Sat::Unsat);
+}
+
+TEST_F(SolverTest, PortExclusionsStaySatisfiable) {
+  // p != 80, p != 344, p != 7000 over unbounded ints: satisfiable.
+  Formula f = Formula::conj(
+      {Formula::cmp(Value::cvar(p_), CmpOp::Ne, Value::fromInt(80)),
+       Formula::cmp(Value::cvar(p_), CmpOp::Ne, Value::fromInt(344)),
+       Formula::cmp(Value::cvar(p_), CmpOp::Ne, Value::fromInt(7000))});
+  EXPECT_EQ(solver_.check(f), Sat::Sat);
+}
+
+TEST_F(SolverTest, LinearSumOverBits) {
+  // x+y+z = 1 over {0,1}^3: satisfiable.
+  Formula sum1 =
+      Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}, {z_, 1}}, -1), CmpOp::Eq);
+  EXPECT_EQ(solver_.check(sum1), Sat::Sat);
+  // x+y+z = 5: unsatisfiable.
+  Formula sum5 =
+      Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}, {z_, 1}}, -5), CmpOp::Eq);
+  EXPECT_EQ(solver_.check(sum5), Sat::Unsat);
+  // x+y+z = 1 and x = 1 forces y = z = 0: still satisfiable; adding y = 1
+  // contradicts.
+  EXPECT_EQ(solver_.check(Formula::conj({sum1, eq(x_, 1)})), Sat::Sat);
+  EXPECT_EQ(solver_.check(Formula::conj({sum1, eq(x_, 1), eq(y_, 1)})),
+            Sat::Unsat);
+}
+
+TEST_F(SolverTest, LinearOrderedOverBits) {
+  // y + z < 2 fails only when y = z = 1.
+  Formula f = Formula::lin(LinTerm::make({{y_, 1}, {z_, 1}}, -2), CmpOp::Lt);
+  EXPECT_EQ(solver_.check(f), Sat::Sat);
+  EXPECT_EQ(solver_.check(Formula::conj({f, eq(y_, 1), eq(z_, 1)})),
+            Sat::Unsat);
+}
+
+TEST_F(SolverTest, CoefficientDivisibility) {
+  // 2x = 1 has no integer solution.
+  Formula f = Formula::lin(LinTerm::make({{p_, 2}}, -1), CmpOp::Eq);
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+  // 2x = 4 -> x = 2.
+  Formula g = Formula::lin(LinTerm::make({{p_, 2}}, -4), CmpOp::Eq);
+  EXPECT_EQ(solver_.check(g), Sat::Sat);
+  EXPECT_EQ(solver_.check(Formula::conj(
+                {g, Formula::cmp(Value::cvar(p_), CmpOp::Ne,
+                                 Value::fromInt(2))})),
+            Sat::Unsat);
+}
+
+TEST_F(SolverTest, IntervalRefutationOnUnboundedVars) {
+  // p >= 10, q' unbounded... p + 1 <= 5 with p >= 10: unsat by intervals.
+  Formula f = Formula::conj2(
+      Formula::cmp(Value::cvar(p_), CmpOp::Ge, Value::fromInt(10)),
+      Formula::lin(LinTerm::make({{p_, 1}}, -5), CmpOp::Le));
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+}
+
+TEST_F(SolverTest, MixedDnfAcrossDisjunction) {
+  // (x=1 | y=1) & x=0 & y=0 -> unsat.
+  Formula f = Formula::conj({Formula::disj2(eq(x_, 1), eq(y_, 1)), eq(x_, 0),
+                             eq(y_, 0)});
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+}
+
+TEST_F(SolverTest, ImpliesAndEquivalent) {
+  Formula sum1 =
+      Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}, {z_, 1}}, -1), CmpOp::Eq);
+  Formula xOnly = Formula::conj({eq(x_, 1), eq(y_, 0), eq(z_, 0)});
+  EXPECT_TRUE(solver_.implies(xOnly, sum1));
+  EXPECT_FALSE(solver_.implies(sum1, xOnly));
+  // x+y+z=1 over bits is equivalent to "exactly one is 1".
+  Formula exactlyOne = Formula::disj(
+      {Formula::conj({eq(x_, 1), eq(y_, 0), eq(z_, 0)}),
+       Formula::conj({eq(x_, 0), eq(y_, 1), eq(z_, 0)}),
+       Formula::conj({eq(x_, 0), eq(y_, 0), eq(z_, 1)})});
+  EXPECT_TRUE(solver_.equivalent(sum1, exactlyOne));
+}
+
+TEST_F(SolverTest, UntypedVariableJoinsBothWorlds) {
+  // q_ = 1 and q_ = Mkt cannot hold together.
+  Formula f = Formula::conj2(eq(q_, 1), eqSym(q_, "Mkt"));
+  EXPECT_EQ(solver_.check(f), Sat::Unsat);
+  EXPECT_EQ(solver_.check(eqSym(q_, "Mkt")), Sat::Sat);
+}
+
+TEST_F(SolverTest, VarVarOrderedComparison) {
+  // x < y over {0,1} forces x=0, y=1.
+  Formula f = vv(x_, CmpOp::Lt, y_);
+  EXPECT_EQ(solver_.check(f), Sat::Sat);
+  EXPECT_EQ(solver_.check(Formula::conj({f, eq(y_, 0)})), Sat::Unsat);
+  EXPECT_EQ(solver_.check(Formula::conj({f, eq(x_, 1)})), Sat::Unsat);
+}
+
+TEST_F(SolverTest, StatsAccumulate) {
+  solver_.resetStats();
+  solver_.check(eq(x_, 1));
+  solver_.check(Formula::conj2(eq(x_, 1), eq(x_, 0)));
+  EXPECT_EQ(solver_.stats().checks, 2u);
+  EXPECT_EQ(solver_.stats().unsat, 1u);
+}
+
+TEST_F(SolverTest, ModelEnumeration) {
+  Formula sum1 =
+      Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}, {z_, 1}}, -1), CmpOp::Eq);
+  int count = 0;
+  bool ok = forEachModel(sum1, reg_, {x_, y_, z_},
+                         [&](const Assignment&) { ++count; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 3);
+  // Enumeration over an unbounded variable is refused.
+  EXPECT_FALSE(forEachModel(sum1, reg_, {x_, p_}, [](const Assignment&) {}));
+}
+
+}  // namespace
+}  // namespace faure::smt

@@ -1,0 +1,88 @@
+// Tests for substitution and DNF conversion (smt/transform.hpp).
+#include "smt/transform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faure::smt {
+namespace {
+
+class TransformTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  CVarId x_ = reg_.declareInt("x_", 0, 1);
+  CVarId y_ = reg_.declareInt("y_", 0, 1);
+  CVarId z_ = reg_.declareInt("z_", 0, 1);
+
+  Formula eq(CVarId v, int64_t k) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(k));
+  }
+};
+
+TEST_F(TransformTest, SubstituteFoldsAtom) {
+  Formula f = eq(x_, 1);
+  EXPECT_TRUE(substitute(f, {{x_, Value::fromInt(1)}}).isTrue());
+  EXPECT_TRUE(substitute(f, {{x_, Value::fromInt(0)}}).isFalse());
+  EXPECT_EQ(substitute(f, {{y_, Value::fromInt(0)}}), f);
+}
+
+TEST_F(TransformTest, SubstituteIntoLinear) {
+  Formula f = Formula::lin(LinTerm::make({{x_, 1}, {y_, 1}, {z_, 1}}, -1),
+                           CmpOp::Eq);  // x+y+z = 1
+  Formula g = substitute(f, {{x_, Value::fromInt(0)}});
+  // y + z = 1 remains.
+  EXPECT_EQ(g, Formula::lin(LinTerm::make({{y_, 1}, {z_, 1}}, -1), CmpOp::Eq));
+  Formula h = substitute(
+      g, {{y_, Value::fromInt(1)}, {z_, Value::fromInt(0)}});
+  EXPECT_TRUE(h.isTrue());
+}
+
+TEST_F(TransformTest, SubstitutePartialAndIntoBoolean) {
+  Formula f = Formula::disj2(Formula::conj2(eq(x_, 1), eq(y_, 1)),
+                             eq(z_, 0));
+  Formula g = substitute(f, {{z_, Value::fromInt(1)}});
+  EXPECT_EQ(g, Formula::conj2(eq(x_, 1), eq(y_, 1)));
+  Formula h = substitute(g, {{x_, Value::fromInt(1)}});
+  EXPECT_EQ(h, eq(y_, 1));
+}
+
+TEST_F(TransformTest, DnfOfAtomIsSingleton) {
+  auto dnf = toDnf(eq(x_, 1), 10);
+  ASSERT_TRUE(dnf.has_value());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].size(), 1u);
+}
+
+TEST_F(TransformTest, DnfDistributes) {
+  // (a | b) & (c | d) -> 4 cubes.
+  Formula f = Formula::conj2(Formula::disj2(eq(x_, 0), eq(x_, 1)),
+                             Formula::disj2(eq(y_, 0), eq(y_, 1)));
+  auto dnf = toDnf(f, 10);
+  ASSERT_TRUE(dnf.has_value());
+  EXPECT_EQ(dnf->size(), 4u);
+}
+
+TEST_F(TransformTest, DnfRespectsBudget) {
+  // (a|b) & (c|d) & (e|f) -> 8 cubes; budget 4 must fail.
+  Formula f = Formula::conj(
+      {Formula::disj2(eq(x_, 0), eq(x_, 1)),
+       Formula::disj2(eq(y_, 0), eq(y_, 1)),
+       Formula::disj2(eq(z_, 0), eq(z_, 1))});
+  EXPECT_FALSE(toDnf(f, 4).has_value());
+  EXPECT_TRUE(toDnf(f, 8).has_value());
+}
+
+TEST_F(TransformTest, FromDnfRoundTrip) {
+  Formula f = Formula::disj2(Formula::conj2(eq(x_, 1), eq(y_, 0)), eq(z_, 1));
+  auto dnf = toDnf(f, 100);
+  ASSERT_TRUE(dnf.has_value());
+  EXPECT_EQ(fromDnf(*dnf), f);
+}
+
+TEST_F(TransformTest, DnfOfFalseIsEmpty) {
+  auto dnf = toDnf(Formula::bottom(), 10);
+  ASSERT_TRUE(dnf.has_value());
+  EXPECT_TRUE(dnf->empty());
+}
+
+}  // namespace
+}  // namespace faure::smt

@@ -1,0 +1,83 @@
+// Differential tests: the Z3 backend (when built in) must agree with the
+// native solver on the condition fragment.
+#include <gtest/gtest.h>
+
+#include "smt/solver.hpp"
+#include "smt/z3_solver.hpp"
+#include "util/rng.hpp"
+
+namespace faure::smt {
+namespace {
+
+TEST(Z3Backend, AvailabilityMatchesFactory) {
+  CVarRegistry reg;
+  auto solver = makeZ3Solver(reg);
+  EXPECT_EQ(z3Available(), solver != nullptr);
+}
+
+class Z3Agreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(Z3Agreement, AgreesWithNativeOnBits) {
+  CVarRegistry reg;
+  std::vector<CVarId> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(reg.declareInt("b" + std::to_string(i) + "_", 0, 1));
+  }
+  auto z3 = makeZ3Solver(reg);
+  if (z3 == nullptr) GTEST_SKIP() << "built without Z3";
+  NativeSolver native(reg);
+  util::Rng rng(static_cast<uint64_t>(GetParam()) + 99);
+
+  auto atom = [&](CVarId v, int64_t k) {
+    return Formula::cmp(Value::cvar(v), rng.chance(0.5) ? CmpOp::Eq
+                                                        : CmpOp::Ne,
+                        Value::fromInt(k));
+  };
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Formula> parts;
+    for (int i = 0; i < 4; ++i) {
+      parts.push_back(atom(vars[rng.below(3)], rng.range(0, 1)));
+    }
+    parts.push_back(Formula::lin(
+        LinTerm::make({{vars[0], 1}, {vars[1], 1}, {vars[2], 1}},
+                      rng.range(-3, 0)),
+        CmpOp::Eq));
+    Formula f = rng.chance(0.5) ? Formula::conj(parts) : Formula::disj(parts);
+    Sat a = native.check(f);
+    Sat b = z3->check(f);
+    ASSERT_NE(a, Sat::Unknown);
+    ASSERT_NE(b, Sat::Unknown);
+    EXPECT_EQ(a, b) << f.toString(&reg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Z3Agreement, ::testing::Range(0, 4));
+
+TEST(Z3Backend, SymbolDomains) {
+  CVarRegistry reg;
+  CVarId s = reg.declare("s_", ValueType::Sym,
+                         {Value::sym("Mkt"), Value::sym("R&D")});
+  auto z3 = makeZ3Solver(reg);
+  if (z3 == nullptr) GTEST_SKIP() << "built without Z3";
+  Formula out = Formula::conj2(
+      Formula::cmp(Value::cvar(s), CmpOp::Ne, Value::sym("Mkt")),
+      Formula::cmp(Value::cvar(s), CmpOp::Ne, Value::sym("R&D")));
+  EXPECT_EQ(z3->check(out), Sat::Unsat);
+  EXPECT_EQ(z3->check(Formula::cmp(Value::cvar(s), CmpOp::Ne,
+                                   Value::sym("Mkt"))),
+            Sat::Sat);
+}
+
+TEST(Z3Backend, CrossTypeEqualityIsFalse) {
+  CVarRegistry reg;
+  CVarId v = reg.declare("v_", ValueType::Any);
+  auto z3 = makeZ3Solver(reg);
+  if (z3 == nullptr) GTEST_SKIP() << "built without Z3";
+  Formula f = Formula::conj2(
+      Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(3)),
+      Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::sym("three")));
+  EXPECT_EQ(z3->check(f), Sat::Unsat);
+}
+
+}  // namespace
+}  // namespace faure::smt

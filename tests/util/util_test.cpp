@@ -1,0 +1,107 @@
+// Unit tests for util: interning, string helpers, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/interner.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace faure::util {
+namespace {
+
+TEST(InternerTest, SymbolsAreStable) {
+  SymbolId a = sym("alpha-test-symbol");
+  SymbolId b = sym("alpha-test-symbol");
+  SymbolId c = sym("beta-test-symbol");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(symText(a), "alpha-test-symbol");
+}
+
+TEST(InternerTest, ManySymbolsKeepValidReferences) {
+  // Interning must not invalidate earlier texts (the index holds views
+  // into stored strings).
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(sym("stress-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(symText(ids[static_cast<size_t>(i)]),
+              "stress-" + std::to_string(i));
+    // Re-interning returns the same id.
+    EXPECT_EQ(sym("stress-" + std::to_string(i)), ids[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(InternerTest, PathsInternBySequence) {
+  auto& paths = PathTable::instance();
+  PathId a = paths.intern({sym("A"), sym("B")});
+  PathId b = paths.intern({sym("A"), sym("B")});
+  PathId c = paths.intern({sym("B"), sym("A")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(paths.text(a), "[A B]");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+}
+
+TEST(StringsTest, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(0.0000005), "0.5us");
+  EXPECT_EQ(formatSeconds(0.005), "5.00ms");
+  EXPECT_EQ(formatSeconds(2.5), "2.50s");
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, BelowAndRangeStayInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(10), 10u);
+    int64_t r = rng.range(-3, 3);
+    EXPECT_GE(r, -3);
+    EXPECT_LE(r, 3);
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, RangeCoversAllValues) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.range(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace faure::util

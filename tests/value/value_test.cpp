@@ -1,0 +1,175 @@
+// Unit tests for the c-domain value type and the c-variable registry
+// (value/value.hpp).
+#include "value/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace faure {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.kind(), Value::Kind::Int);
+  EXPECT_EQ(v.asInt(), 0);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::fromInt(-42);
+  EXPECT_EQ(v.asInt(), -42);
+  EXPECT_EQ(v.toString(), "-42");
+  EXPECT_TRUE(v.isConstant());
+  EXPECT_EQ(v.constantType(), ValueType::Int);
+}
+
+TEST(ValueTest, SymbolInterning) {
+  Value a = Value::sym("Mkt");
+  Value b = Value::sym("Mkt");
+  Value c = Value::sym("CS");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.toString(), "Mkt");
+}
+
+TEST(ValueTest, PrefixParsing) {
+  Value v = Value::parsePrefix("10.1.2.0/24");
+  EXPECT_EQ(v.prefixLen(), 24);
+  EXPECT_EQ(v.toString(), "10.1.2.0/24");
+  Value host = Value::parsePrefix("1.2.3.4");
+  EXPECT_EQ(host.prefixLen(), 32);
+  EXPECT_EQ(host.toString(), "1.2.3.4");
+}
+
+TEST(ValueTest, PrefixNormalizesMaskedBits) {
+  // Bits below the mask are zeroed so equal prefixes compare equal.
+  Value a = Value::parsePrefix("10.1.2.255/24");
+  Value b = Value::parsePrefix("10.1.2.0/24");
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueTest, PrefixErrors) {
+  EXPECT_THROW(Value::parsePrefix("1.2.3"), TypeError);
+  EXPECT_THROW(Value::parsePrefix("1.2.3.999"), TypeError);
+  EXPECT_THROW(Value::parsePrefix("1.2.3.4/40"), TypeError);
+  EXPECT_THROW(Value::parsePrefix("abc"), TypeError);
+}
+
+TEST(ValueTest, PathsCompareByContent) {
+  Value a = Value::path({"A", "B", "C"});
+  Value b = Value::path({"A", "B", "C"});
+  Value c = Value::path({"A", "B"});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.toString(), "[A B C]");
+}
+
+TEST(ValueTest, CrossKindInequality) {
+  // An Int 0 and a Sym interned first (id 0) must not compare equal.
+  Value i = Value::fromInt(0);
+  Value s = Value::sym("zero");
+  EXPECT_NE(i, s);
+  std::set<Value> all{i, s, Value::path({"zero"}),
+                      Value::parsePrefix("0.0.0.0")};
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(ValueTest, HashingSupportsUnorderedContainers) {
+  std::unordered_set<Value> set;
+  for (int i = 0; i < 100; ++i) set.insert(Value::fromInt(i));
+  set.insert(Value::sym("A"));
+  set.insert(Value::path({"A"}));
+  EXPECT_EQ(set.size(), 102u);
+  EXPECT_TRUE(set.count(Value::fromInt(50)) == 1);
+}
+
+TEST(ValueTest, CVarIdentity) {
+  Value a = Value::cvar(3);
+  Value b = Value::cvar(3);
+  Value c = Value::cvar(4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.isCVar());
+  EXPECT_THROW(a.constantType(), TypeError);
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  std::vector<Value> vals{Value::fromInt(2),  Value::fromInt(1),
+                          Value::sym("B"),    Value::sym("A"),
+                          Value::cvar(1),     Value::cvar(0),
+                          Value::path({"X"}), Value::parsePrefix("1.1.1.1")};
+  std::sort(vals.begin(), vals.end());
+  for (size_t i = 1; i < vals.size(); ++i) {
+    EXPECT_FALSE(vals[i] < vals[i - 1]);
+  }
+}
+
+TEST(CVarRegistryTest, DeclareAndFind) {
+  CVarRegistry reg;
+  CVarId x = reg.declare("x_", ValueType::Int);
+  EXPECT_EQ(reg.find("x_"), x);
+  EXPECT_EQ(reg.find("nope_"), CVarRegistry::kNotFound);
+  EXPECT_EQ(reg.info(x).name, "x_");
+  EXPECT_THROW(reg.declare("x_", ValueType::Int), TypeError);
+  EXPECT_THROW(reg.info(99), TypeError);
+}
+
+TEST(CVarRegistryTest, DeclareIntBuildsDomain) {
+  CVarRegistry reg;
+  CVarId x = reg.declareInt("x_", -1, 2);
+  EXPECT_EQ(reg.info(x).domain.size(), 4u);
+  EXPECT_THROW(reg.declareInt("bad_", 3, 1), TypeError);
+}
+
+TEST(CVarRegistryTest, DomainsMustBeConstants) {
+  CVarRegistry reg;
+  EXPECT_THROW(reg.declare("x_", ValueType::Any, {Value::cvar(0)}),
+               TypeError);
+}
+
+TEST(CVarRegistryTest, DeclareFreshAvoidsCollisions) {
+  CVarRegistry reg;
+  reg.declare("v$f", ValueType::Any);
+  CVarId a = reg.declareFresh("v$f", ValueType::Any);
+  CVarId b = reg.declareFresh("v$f", ValueType::Any);
+  EXPECT_NE(a, b);
+  EXPECT_NE(reg.info(a).name, reg.info(b).name);
+}
+
+TEST(CVarRegistryTest, WorldCount) {
+  CVarRegistry reg;
+  EXPECT_TRUE(reg.allFinite());  // vacuously
+  EXPECT_EQ(reg.worldCount(), 1u);
+  reg.declareInt("a_", 0, 1);
+  reg.declareInt("b_", 0, 2);
+  EXPECT_TRUE(reg.allFinite());
+  EXPECT_EQ(reg.worldCount(), 6u);
+  reg.declare("open_", ValueType::Int);
+  EXPECT_FALSE(reg.allFinite());
+  EXPECT_EQ(reg.worldCount(), 0u);
+}
+
+TEST(CVarRegistryTest, WorldCountClampsAtCap) {
+  CVarRegistry reg;
+  for (int i = 0; i < 40; ++i) {
+    reg.declareInt("b" + std::to_string(i) + "_", 0, 1);
+  }
+  EXPECT_EQ(reg.worldCount(1000), 1000u);
+}
+
+TEST(CVarRegistryTest, RegistryIsCopyable) {
+  // Canonical databases copy the source registry to preserve c-var ids.
+  CVarRegistry a;
+  CVarId x = a.declareInt("x_", 0, 1);
+  CVarRegistry b = a;
+  b.declare("extra_", ValueType::Sym);
+  EXPECT_EQ(b.find("x_"), x);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+}  // namespace
+}  // namespace faure

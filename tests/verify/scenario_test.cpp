@@ -1,0 +1,147 @@
+// End-to-end reproduction of §5: the enterprise network managed by a TE
+// team and a security team (Listings 3 and 4).
+//
+// Constraint c-variables are rule-scoped, so each program uses its own
+// names; the target T2's y_ is the unknown server of the R&D traffic and
+// ranges over the deployed servers {CS, GS} (the paper's c-domain
+// {CS, GS, ȳ}).
+#include <gtest/gtest.h>
+
+#include "verify/verifier.hpp"
+
+namespace faure::verify {
+namespace {
+
+using dl::Term;
+
+class Section5 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reg_.declare("y_", ValueType::Sym, {Value::sym("CS"), Value::sym("GS")});
+    // T1 (q9): Mkt traffic to CS must pass a firewall.
+    t1_ = Constraint::parse("T1",
+                            "panic :- R(Mkt, CS, p_), !Fw(Mkt, CS).", reg_);
+    // T2 (q10): R&D traffic (port 7000) to any server must be load
+    // balanced.
+    t2_ = Constraint::parse(
+        "T2", "panic :- R(R&D, y_, 7000), !Lb(R&D, y_).", reg_);
+    // Clb (q11, q13-q15): the TE team's own policy.
+    clb_ = Constraint::parse(
+        "Clb",
+        "panic :- Vt(x, y, p).\n"
+        "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), xt_ != Mkt, xt_ != R&D.\n"
+        "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), !Lb(xt_, CS).\n"
+        "Vt(xt_, CS, pt_) :- R(xt_, CS, pt_), pt_ != 7000.\n",
+        reg_);
+    // Cs (q16-q18): the security team's policy.
+    cs_ = Constraint::parse(
+        "Cs",
+        "panic :- Vs(x, y, p).\n"
+        "Vs(xs_, ys_, ps_) :- R(xs_, ys_, ps_), !Fw(xs_, ys_).\n"
+        "Vs(xs_, ys_, ps_) :- R(xs_, ys_, ps_), ps_ != 80, ps_ != 344, "
+        "ps_ != 7000.\n",
+        reg_);
+  }
+
+  CVarRegistry reg_;
+  Constraint t1_, t2_, clb_, cs_;
+};
+
+TEST_F(Section5, CategoryOneSubsumesT1) {
+  // {Clb, Cs} subsume T1: q9 is a special case of q17.
+  RelativeVerifier v(reg_);
+  EXPECT_EQ(v.checkSubsumption(t1_, {clb_, cs_}), Verdict::Holds);
+  // Cs alone suffices.
+  EXPECT_EQ(v.checkSubsumption(t1_, {cs_}), Verdict::Holds);
+  // Clb alone does not (it says nothing about firewalls).
+  EXPECT_EQ(v.checkSubsumption(t1_, {clb_}), Verdict::Unknown);
+}
+
+TEST_F(Section5, CategoryOneUnknownOnT2) {
+  // {Clb, Cs} do not subsume T2: category (i) answers "unknown".
+  RelativeVerifier v(reg_);
+  EXPECT_EQ(v.checkSubsumption(t2_, {clb_, cs_}), Verdict::Unknown);
+  // The verifier exposes the uncovered rule for diagnostics.
+  ASSERT_TRUE(v.lastWitness().has_value());
+  EXPECT_EQ(v.lastWitness()->head.pred, "panic");
+}
+
+TEST_F(Section5, CategoryTwoDecidesT2UnderTheUpdate) {
+  // Listing 4: the TE team removes load balancing between Mkt and CS and
+  // adds it for R&D and GS. Incorporating the update rewrites T2 into T2'
+  // whose only open case is y_ = CS, which Clb's q14 covers.
+  Update u;
+  u.insert("Lb", {Term::constant_(Value::sym("R&D")),
+                  Term::constant_(Value::sym("GS"))});
+  u.remove("Lb", {Term::constant_(Value::sym("Mkt")),
+                  Term::constant_(Value::sym("CS"))});
+  RelativeVerifier v(reg_);
+  EXPECT_EQ(v.checkWithUpdate(t2_, {clb_, cs_}, u), Verdict::Holds);
+  // Without Clb the update alone is not enough.
+  EXPECT_EQ(v.checkWithUpdate(t2_, {cs_}, u), Verdict::Unknown);
+}
+
+TEST_F(Section5, SelfSubsumption) {
+  RelativeVerifier v(reg_);
+  EXPECT_EQ(v.checkSubsumption(t1_, {t1_}), Verdict::Holds);
+  EXPECT_EQ(v.checkSubsumption(t2_, {t2_}), Verdict::Holds);
+  EXPECT_EQ(v.checkSubsumption(clb_, {clb_}), Verdict::Holds);
+  EXPECT_EQ(v.checkSubsumption(cs_, {cs_}), Verdict::Holds);
+}
+
+TEST_F(Section5, LevelThreeStateCheck) {
+  // With the state visible, the verifier decides outright.
+  rel::Database db;
+  db.cvars() = reg_;
+  auto anySchema = [](const std::string& name, size_t arity) {
+    std::vector<rel::Attribute> attrs(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+    }
+    return rel::Schema(name, attrs);
+  };
+  db.create(anySchema("R", 3));
+  db.create(anySchema("Fw", 2));
+  db.create(anySchema("Lb", 2));
+  db.table("R").insertConcrete(
+      {Value::sym("Mkt"), Value::sym("CS"), Value::fromInt(7000)});
+  smt::NativeSolver solver(db.cvars());
+
+  // No firewall deployed: T1 violated in every world.
+  auto bad = RelativeVerifier::checkOnState(t1_, db, solver);
+  EXPECT_EQ(bad.verdict, Verdict::Violated);
+
+  // Deploy the firewall: T1 holds.
+  db.table("Fw").insertConcrete({Value::sym("Mkt"), Value::sym("CS")});
+  auto good = RelativeVerifier::checkOnState(t1_, db, solver);
+  EXPECT_EQ(good.verdict, Verdict::Holds);
+}
+
+TEST_F(Section5, LevelThreeConditionalViolation) {
+  // R&D traffic to the unknown server y_: T2 is violated exactly in the
+  // worlds where y_ = GS (only CS is load-balanced).
+  rel::Database db;
+  db.cvars() = reg_;
+  auto anySchema = [](const std::string& name, size_t arity) {
+    std::vector<rel::Attribute> attrs(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+    }
+    return rel::Schema(name, attrs);
+  };
+  CVarId y = db.cvars().find("y_");
+  db.create(anySchema("R", 3));
+  db.create(anySchema("Lb", 2));
+  db.table("R").insertConcrete(
+      {Value::sym("R&D"), Value::cvar(y), Value::fromInt(7000)});
+  db.table("Lb").insertConcrete({Value::sym("R&D"), Value::sym("CS")});
+  smt::NativeSolver solver(db.cvars());
+  auto check = RelativeVerifier::checkOnState(t2_, db, solver);
+  EXPECT_EQ(check.verdict, Verdict::ConditionallyViolated);
+  EXPECT_TRUE(solver.equivalent(
+      check.condition,
+      smt::Formula::cmp(Value::cvar(y), smt::CmpOp::Eq, Value::sym("GS"))));
+}
+
+}  // namespace
+}  // namespace faure::verify

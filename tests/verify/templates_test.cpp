@@ -1,0 +1,125 @@
+// Tests for the constraint-template builders (verify/templates.hpp).
+#include "verify/templates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "verify/verifier.hpp"
+
+namespace faure::verify {
+namespace {
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+class TemplatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.create(anySchema("R", 3));
+  }
+  void addReach(int64_t a, int64_t b, smt::Formula cond = smt::Formula()) {
+    db_.table("R").insert(
+        {Value::sym("f0"), Value::fromInt(a), Value::fromInt(b)},
+        std::move(cond));
+  }
+  Verdict check(const Constraint& c) {
+    smt::NativeSolver solver(db_.cvars());
+    return RelativeVerifier::checkOnState(c, db_, solver).verdict;
+  }
+
+  rel::Database db_;
+};
+
+TEST_F(TemplatesTest, MustReach) {
+  Constraint c = mustReach(db_.cvars(), "f0", 1, 5);
+  EXPECT_EQ(check(c), Verdict::Violated);  // nothing reaches anything yet
+  addReach(1, 5);
+  EXPECT_EQ(check(c), Verdict::Holds);
+}
+
+TEST_F(TemplatesTest, MustReachConditional) {
+  CVarId x = db_.cvars().declareInt("x_", 0, 1);
+  addReach(1, 5, smt::Formula::cmp(Value::cvar(x), smt::CmpOp::Eq,
+                                   Value::fromInt(1)));
+  Constraint c = mustReach(db_.cvars(), "f0", 1, 5);
+  smt::NativeSolver solver(db_.cvars());
+  StateCheck s = RelativeVerifier::checkOnState(c, db_, solver);
+  EXPECT_EQ(s.verdict, Verdict::ConditionallyViolated);
+  // Violated exactly when the link is down.
+  EXPECT_TRUE(solver.equivalent(
+      s.condition,
+      smt::Formula::cmp(Value::cvar(x), smt::CmpOp::Eq, Value::fromInt(0))));
+}
+
+TEST_F(TemplatesTest, MustNotReach) {
+  Constraint c = mustNotReach(db_.cvars(), "f0", 3, 4);
+  EXPECT_EQ(check(c), Verdict::Holds);
+  addReach(3, 4);
+  EXPECT_EQ(check(c), Verdict::Violated);
+}
+
+TEST_F(TemplatesTest, Waypoint) {
+  Constraint c = waypoint(db_.cvars(), "f0", 1, 5, 3);
+  // No end-to-end reachability: trivially holds.
+  EXPECT_EQ(check(c), Verdict::Holds);
+  // End-to-end without the waypoint legs: violated.
+  addReach(1, 5);
+  EXPECT_EQ(check(c), Verdict::Violated);
+  // Both legs present: holds again.
+  addReach(1, 3);
+  addReach(3, 5);
+  EXPECT_EQ(check(c), Verdict::Holds);
+}
+
+TEST_F(TemplatesTest, RequireMiddlebox) {
+  db_.create(anySchema("Fw", 2));
+  Constraint c = requireMiddlebox(db_.cvars(), "Mkt", "CS", "Fw");
+  EXPECT_EQ(check(c), Verdict::Holds);  // no traffic
+  db_.table("R").insertConcrete(
+      {Value::sym("Mkt"), Value::sym("CS"), Value::fromInt(80)});
+  EXPECT_EQ(check(c), Verdict::Violated);
+  db_.table("Fw").insertConcrete({Value::sym("Mkt"), Value::sym("CS")});
+  EXPECT_EQ(check(c), Verdict::Holds);
+}
+
+TEST_F(TemplatesTest, RequireMiddleboxSubsumedBySecurityPolicy) {
+  // The template instance reproduces the paper's T1 ⊆ Cs relationship.
+  CVarRegistry reg;
+  Constraint t1 = requireMiddlebox(reg, "Mkt", "CS", "Fw");
+  Constraint cs = Constraint::parse(
+      "Cs",
+      "panic :- Vs(x, y, p).\n"
+      "Vs(xs_, ys_, ps_) :- R(xs_, ys_, ps_), !Fw(xs_, ys_).\n",
+      reg);
+  RelativeVerifier v(reg);
+  EXPECT_EQ(v.checkSubsumption(t1, {cs}), Verdict::Holds);
+}
+
+TEST_F(TemplatesTest, AllowedPorts) {
+  Constraint c = allowedPorts(db_.cvars(), {80, 443});
+  db_.table("R").insertConcrete(
+      {Value::sym("Mkt"), Value::sym("CS"), Value::fromInt(80)});
+  EXPECT_EQ(check(c), Verdict::Holds);
+  db_.table("R").insertConcrete(
+      {Value::sym("Mkt"), Value::sym("CS"), Value::fromInt(22)});
+  EXPECT_EQ(check(c), Verdict::Violated);
+}
+
+TEST_F(TemplatesTest, AllowedPortsWithUnknownPort) {
+  CVarId p = db_.cvars().declare("openport_", ValueType::Int);
+  db_.table("R").insertConcrete(
+      {Value::sym("Mkt"), Value::sym("CS"), Value::cvar(p)});
+  Constraint c = allowedPorts(db_.cvars(), {80, 443});
+  smt::NativeSolver solver(db_.cvars());
+  StateCheck s = RelativeVerifier::checkOnState(c, db_, solver);
+  // The unknown port may or may not be allowed.
+  EXPECT_EQ(s.verdict, Verdict::ConditionallyViolated);
+}
+
+}  // namespace
+}  // namespace faure::verify

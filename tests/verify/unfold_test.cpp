@@ -1,0 +1,126 @@
+// Tests for constraint-rule unfolding (verify/unfold.hpp).
+#include "verify/unfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.hpp"
+#include "util/error.hpp"
+
+namespace faure::verify {
+namespace {
+
+class UnfoldTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  dl::Program parse(const char* text) {
+    return dl::parseProgram(text, reg_);
+  }
+};
+
+TEST_F(UnfoldTest, AlreadyFlatRuleIsReturnedAsIs) {
+  auto p = parse("panic :- R(Mkt, CS, p_), !Fw(Mkt, CS).");
+  auto flat = unfoldGoalRules(p, "panic");
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0].body.size(), 2u);
+}
+
+TEST_F(UnfoldTest, SingleAuxiliaryExpansion) {
+  // The Cs pattern (q16-q18).
+  auto p = parse(
+      "panic :- Vs(x, y, p).\n"
+      "Vs(x_, y_, p_) :- R(x_, y_, p_), !Fw(x_, y_).\n"
+      "Vs(x_, y_, p_) :- R(x_, y_, p_), p_ != 80, p_ != 344, p_ != 7000.\n");
+  auto flat = unfoldGoalRules(p, "panic");
+  ASSERT_EQ(flat.size(), 2u);
+  for (const auto& r : flat) {
+    EXPECT_EQ(r.head.pred, "panic");
+    for (const auto& lit : r.body) {
+      EXPECT_TRUE(lit.atom.pred == "R" || lit.atom.pred == "Fw");
+    }
+  }
+}
+
+TEST_F(UnfoldTest, ConstantsUnifyWithAuxHeadCVars) {
+  // Calling V with a constant where the definition has a c-variable must
+  // surface the equality as a comparison.
+  auto p = parse(
+      "panic :- V(Mkt, p).\n"
+      "V(x_, p_) :- R(x_, p_), x_ != R&D.\n");
+  auto flat = unfoldGoalRules(p, "panic");
+  ASSERT_EQ(flat.size(), 1u);
+  // Comparisons: x_ != R&D plus Mkt = x_.
+  EXPECT_EQ(flat[0].cmps.size(), 2u);
+}
+
+TEST_F(UnfoldTest, MismatchedConstantsPruneExpansion) {
+  auto p = parse(
+      "panic :- V(Mkt).\n"
+      "V(CS) :- R(CS).\n"
+      "V(Mkt) :- S(Mkt).\n");
+  auto flat = unfoldGoalRules(p, "panic");
+  // Only the Mkt-headed definition survives.
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0].body[0].atom.pred, "S");
+}
+
+TEST_F(UnfoldTest, NestedExpansion) {
+  auto p = parse(
+      "panic :- A(x).\n"
+      "A(x) :- B(x), E(x).\n"
+      "B(x) :- F(x), G(x).\n");
+  auto flat = unfoldGoalRules(p, "panic");
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0].body.size(), 3u);  // F, G, E
+}
+
+TEST_F(UnfoldTest, MultipleDefinitionsMultiplyRules) {
+  auto p = parse(
+      "panic :- A(x), B(x).\n"
+      "A(x) :- E(x).\n"
+      "A(x) :- F(x).\n"
+      "B(x) :- G(x).\n"
+      "B(x) :- H(x).\n");
+  auto flat = unfoldGoalRules(p, "panic");
+  EXPECT_EQ(flat.size(), 4u);
+}
+
+TEST_F(UnfoldTest, VariableCollisionsAreFreshened) {
+  // Both the goal rule and the aux rule use `x`; expansion must not
+  // conflate them.
+  auto p = parse(
+      "panic :- A(x), E(x).\n"
+      "A(y) :- F(y, x).\n");
+  auto flat = unfoldGoalRules(p, "panic");
+  ASSERT_EQ(flat.size(), 1u);
+  // The goal's x and the aux rule's local x must stay distinct while the
+  // unified variable is used consistently across F and E.
+  const auto& f = flat[0].body[0].atom;
+  const auto& e = flat[0].body[1].atom;
+  ASSERT_EQ(f.pred, "F");
+  ASSERT_EQ(e.pred, "E");
+  EXPECT_EQ(f.args[0].var, e.args[0].var);
+  EXPECT_NE(f.args[1].var, f.args[0].var);
+}
+
+TEST_F(UnfoldTest, NegatedIdbRejected) {
+  auto p = parse(
+      "panic :- R(x), !A(x).\n"
+      "A(x) :- E(x).\n");
+  EXPECT_THROW(unfoldGoalRules(p, "panic"), EvalError);
+}
+
+TEST_F(UnfoldTest, MissingGoalRejected) {
+  auto p = parse("A(x) :- E(x).\n");
+  EXPECT_THROW(unfoldGoalRules(p, "panic"), EvalError);
+}
+
+TEST_F(UnfoldTest, RecursiveAuxOverflowsBudget) {
+  auto p = parse(
+      "panic :- A(x).\n"
+      "A(x) :- E(x).\n"
+      "A(x) :- E(x), A(x).\n");
+  EXPECT_THROW(unfoldGoalRules(p, "panic", 16), EvalError);
+}
+
+}  // namespace
+}  // namespace faure::verify

@@ -1,0 +1,95 @@
+// Unit tests for RelativeVerifier plumbing (verify/verifier.hpp) not
+// covered by the §5 scenario test.
+#include "verify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace faure::verify {
+namespace {
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+TEST(VerifierTest, VerdictText) {
+  EXPECT_EQ(verdictText(Verdict::Holds), "holds");
+  EXPECT_EQ(verdictText(Verdict::Unknown), "unknown");
+  EXPECT_EQ(verdictText(Verdict::Violated), "violated");
+  EXPECT_EQ(verdictText(Verdict::ConditionallyViolated),
+            "conditionally-violated");
+}
+
+TEST(VerifierTest, WitnessSetOnUnknownClearedOnHolds) {
+  CVarRegistry reg;
+  Constraint narrow = Constraint::parse(
+      "narrow", "panic :- R(Mkt, CS, p_).", reg);
+  Constraint broad = Constraint::parse(
+      "broad", "panic :- R(xs_, ys_, ps_).", reg);
+  RelativeVerifier v(reg);
+  EXPECT_EQ(v.checkSubsumption(broad, {narrow}), Verdict::Unknown);
+  ASSERT_TRUE(v.lastWitness().has_value());
+  EXPECT_EQ(v.checkSubsumption(narrow, {broad}), Verdict::Holds);
+  EXPECT_FALSE(v.lastWitness().has_value());
+}
+
+TEST(VerifierTest, StateCheckHoldsWhenPanicUnsatisfiable) {
+  // The panic condition derives but can never hold: x_ = 0 & x_ + y_ = 3
+  // over bits.
+  rel::Database db;
+  db.cvars().declareInt("x_", 0, 1);
+  db.cvars().declareInt("y_", 0, 1);
+  db.create(anySchema("T", 1)).insertConcrete({Value::fromInt(1)});
+  Constraint c = Constraint::parse(
+      "c", "panic :- T(v), x_ = 0, x_ + y_ = 3.", db.cvars());
+  smt::NativeSolver solver(db.cvars());
+  StateCheck check = RelativeVerifier::checkOnState(c, db, solver);
+  EXPECT_EQ(check.verdict, Verdict::Holds);
+}
+
+TEST(VerifierTest, StateCheckViolatedWhenUnconditional) {
+  rel::Database db;
+  db.create(anySchema("T", 1)).insertConcrete({Value::fromInt(1)});
+  Constraint c = Constraint::parse("c", "panic :- T(v).", db.cvars());
+  smt::NativeSolver solver(db.cvars());
+  EXPECT_EQ(RelativeVerifier::checkOnState(c, db, solver).verdict,
+            Verdict::Violated);
+}
+
+TEST(VerifierTest, StateCheckProjectsQueryLocalUnknowns) {
+  // The constraint's own c-variable p_ matches the concrete port 80;
+  // since p_ is query-local, the verdict must be Violated outright, not
+  // conditional on p_.
+  rel::Database db;
+  db.create(anySchema("R", 2));
+  db.table("R").insertConcrete({Value::sym("Mkt"), Value::fromInt(80)});
+  Constraint c =
+      Constraint::parse("c", "panic :- R(Mkt, p_).", db.cvars());
+  smt::NativeSolver solver(db.cvars());
+  StateCheck check = RelativeVerifier::checkOnState(c, db, solver);
+  EXPECT_EQ(check.verdict, Verdict::Violated);
+}
+
+TEST(VerifierTest, EmptyConstraintSetNeverSubsumes) {
+  CVarRegistry reg;
+  Constraint t = Constraint::parse("t", "panic :- R(Mkt, CS, p_).", reg);
+  RelativeVerifier v(reg);
+  // Evaluating an empty constraint union derives nothing.
+  EXPECT_EQ(v.checkSubsumption(t, {}), Verdict::Unknown);
+}
+
+TEST(VerifierTest, VacuousTargetIsAlwaysSubsumed) {
+  // A target whose premise is contradictory can never fire: covered.
+  CVarRegistry reg;
+  Constraint t = Constraint::parse(
+      "t", "panic :- R(x, p), x != Mkt, x = Mkt.", reg);
+  Constraint any = Constraint::parse("any", "panic :- S(q).", reg);
+  RelativeVerifier v(reg);
+  EXPECT_EQ(v.checkSubsumption(t, {any}), Verdict::Holds);
+}
+
+}  // namespace
+}  // namespace faure::verify
