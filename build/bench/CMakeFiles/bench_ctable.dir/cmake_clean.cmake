@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctable.dir/bench_ctable.cpp.o"
+  "CMakeFiles/bench_ctable.dir/bench_ctable.cpp.o.d"
+  "bench_ctable"
+  "bench_ctable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_reachability.dir/table4_reachability.cpp.o"
+  "CMakeFiles/table4_reachability.dir/table4_reachability.cpp.o.d"
+  "table4_reachability"
+  "table4_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

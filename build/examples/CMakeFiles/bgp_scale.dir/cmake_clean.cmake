@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_scale.dir/bgp_scale.cpp.o"
+  "CMakeFiles/bgp_scale.dir/bgp_scale.cpp.o.d"
+  "bgp_scale"
+  "bgp_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

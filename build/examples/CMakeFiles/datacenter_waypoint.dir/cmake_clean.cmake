@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_waypoint.dir/datacenter_waypoint.cpp.o"
+  "CMakeFiles/datacenter_waypoint.dir/datacenter_waypoint.cpp.o.d"
+  "datacenter_waypoint"
+  "datacenter_waypoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_waypoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

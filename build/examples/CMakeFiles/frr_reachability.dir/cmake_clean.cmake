@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frr_reachability.dir/frr_reachability.cpp.o"
+  "CMakeFiles/frr_reachability.dir/frr_reachability.cpp.o.d"
+  "frr_reachability"
+  "frr_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frr_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interdomain_visibility.dir/interdomain_visibility.cpp.o"
+  "CMakeFiles/interdomain_visibility.dir/interdomain_visibility.cpp.o.d"
+  "interdomain_visibility"
+  "interdomain_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interdomain_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

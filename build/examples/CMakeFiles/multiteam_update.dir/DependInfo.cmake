@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multiteam_update.cpp" "examples/CMakeFiles/multiteam_update.dir/multiteam_update.cpp.o" "gcc" "examples/CMakeFiles/multiteam_update.dir/multiteam_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/faure_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/faure_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/faurelog/CMakeFiles/faure_faurelog.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/faure_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/faure_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/faure_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/faure_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faure_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiteam_update.dir/multiteam_update.cpp.o"
+  "CMakeFiles/multiteam_update.dir/multiteam_update.cpp.o.d"
+  "multiteam_update"
+  "multiteam_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiteam_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

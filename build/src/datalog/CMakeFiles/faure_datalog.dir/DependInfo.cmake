@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/analysis.cpp" "src/datalog/CMakeFiles/faure_datalog.dir/analysis.cpp.o" "gcc" "src/datalog/CMakeFiles/faure_datalog.dir/analysis.cpp.o.d"
+  "/root/repo/src/datalog/ast.cpp" "src/datalog/CMakeFiles/faure_datalog.dir/ast.cpp.o" "gcc" "src/datalog/CMakeFiles/faure_datalog.dir/ast.cpp.o.d"
+  "/root/repo/src/datalog/containment.cpp" "src/datalog/CMakeFiles/faure_datalog.dir/containment.cpp.o" "gcc" "src/datalog/CMakeFiles/faure_datalog.dir/containment.cpp.o.d"
+  "/root/repo/src/datalog/lexer.cpp" "src/datalog/CMakeFiles/faure_datalog.dir/lexer.cpp.o" "gcc" "src/datalog/CMakeFiles/faure_datalog.dir/lexer.cpp.o.d"
+  "/root/repo/src/datalog/parser.cpp" "src/datalog/CMakeFiles/faure_datalog.dir/parser.cpp.o" "gcc" "src/datalog/CMakeFiles/faure_datalog.dir/parser.cpp.o.d"
+  "/root/repo/src/datalog/pure_eval.cpp" "src/datalog/CMakeFiles/faure_datalog.dir/pure_eval.cpp.o" "gcc" "src/datalog/CMakeFiles/faure_datalog.dir/pure_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/faure_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/faure_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/faure_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faure_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_datalog.dir/analysis.cpp.o"
+  "CMakeFiles/faure_datalog.dir/analysis.cpp.o.d"
+  "CMakeFiles/faure_datalog.dir/ast.cpp.o"
+  "CMakeFiles/faure_datalog.dir/ast.cpp.o.d"
+  "CMakeFiles/faure_datalog.dir/containment.cpp.o"
+  "CMakeFiles/faure_datalog.dir/containment.cpp.o.d"
+  "CMakeFiles/faure_datalog.dir/lexer.cpp.o"
+  "CMakeFiles/faure_datalog.dir/lexer.cpp.o.d"
+  "CMakeFiles/faure_datalog.dir/parser.cpp.o"
+  "CMakeFiles/faure_datalog.dir/parser.cpp.o.d"
+  "CMakeFiles/faure_datalog.dir/pure_eval.cpp.o"
+  "CMakeFiles/faure_datalog.dir/pure_eval.cpp.o.d"
+  "libfaure_datalog.a"
+  "libfaure_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

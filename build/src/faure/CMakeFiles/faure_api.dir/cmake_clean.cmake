@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_api.dir/session.cpp.o"
+  "CMakeFiles/faure_api.dir/session.cpp.o.d"
+  "libfaure_api.a"
+  "libfaure_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faurelog/answers.cpp" "src/faurelog/CMakeFiles/faure_faurelog.dir/answers.cpp.o" "gcc" "src/faurelog/CMakeFiles/faure_faurelog.dir/answers.cpp.o.d"
+  "/root/repo/src/faurelog/eval.cpp" "src/faurelog/CMakeFiles/faure_faurelog.dir/eval.cpp.o" "gcc" "src/faurelog/CMakeFiles/faure_faurelog.dir/eval.cpp.o.d"
+  "/root/repo/src/faurelog/textio.cpp" "src/faurelog/CMakeFiles/faure_faurelog.dir/textio.cpp.o" "gcc" "src/faurelog/CMakeFiles/faure_faurelog.dir/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datalog/CMakeFiles/faure_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/faure_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/faure_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/faure_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faure_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_faurelog.dir/answers.cpp.o"
+  "CMakeFiles/faure_faurelog.dir/answers.cpp.o.d"
+  "CMakeFiles/faure_faurelog.dir/eval.cpp.o"
+  "CMakeFiles/faure_faurelog.dir/eval.cpp.o.d"
+  "CMakeFiles/faure_faurelog.dir/textio.cpp.o"
+  "CMakeFiles/faure_faurelog.dir/textio.cpp.o.d"
+  "libfaure_faurelog.a"
+  "libfaure_faurelog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_faurelog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_net.dir/frr.cpp.o"
+  "CMakeFiles/faure_net.dir/frr.cpp.o.d"
+  "CMakeFiles/faure_net.dir/pipeline.cpp.o"
+  "CMakeFiles/faure_net.dir/pipeline.cpp.o.d"
+  "CMakeFiles/faure_net.dir/rib_gen.cpp.o"
+  "CMakeFiles/faure_net.dir/rib_gen.cpp.o.d"
+  "CMakeFiles/faure_net.dir/topology.cpp.o"
+  "CMakeFiles/faure_net.dir/topology.cpp.o.d"
+  "libfaure_net.a"
+  "libfaure_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

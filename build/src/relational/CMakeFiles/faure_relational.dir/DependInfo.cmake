@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/algebra.cpp" "src/relational/CMakeFiles/faure_relational.dir/algebra.cpp.o" "gcc" "src/relational/CMakeFiles/faure_relational.dir/algebra.cpp.o.d"
+  "/root/repo/src/relational/ctable.cpp" "src/relational/CMakeFiles/faure_relational.dir/ctable.cpp.o" "gcc" "src/relational/CMakeFiles/faure_relational.dir/ctable.cpp.o.d"
+  "/root/repo/src/relational/database.cpp" "src/relational/CMakeFiles/faure_relational.dir/database.cpp.o" "gcc" "src/relational/CMakeFiles/faure_relational.dir/database.cpp.o.d"
+  "/root/repo/src/relational/worlds.cpp" "src/relational/CMakeFiles/faure_relational.dir/worlds.cpp.o" "gcc" "src/relational/CMakeFiles/faure_relational.dir/worlds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/faure_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/faure_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faure_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

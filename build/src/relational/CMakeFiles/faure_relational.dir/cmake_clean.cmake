@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_relational.dir/algebra.cpp.o"
+  "CMakeFiles/faure_relational.dir/algebra.cpp.o.d"
+  "CMakeFiles/faure_relational.dir/ctable.cpp.o"
+  "CMakeFiles/faure_relational.dir/ctable.cpp.o.d"
+  "CMakeFiles/faure_relational.dir/database.cpp.o"
+  "CMakeFiles/faure_relational.dir/database.cpp.o.d"
+  "CMakeFiles/faure_relational.dir/worlds.cpp.o"
+  "CMakeFiles/faure_relational.dir/worlds.cpp.o.d"
+  "libfaure_relational.a"
+  "libfaure_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

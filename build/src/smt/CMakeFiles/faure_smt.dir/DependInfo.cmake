@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/formula.cpp" "src/smt/CMakeFiles/faure_smt.dir/formula.cpp.o" "gcc" "src/smt/CMakeFiles/faure_smt.dir/formula.cpp.o.d"
+  "/root/repo/src/smt/simplify.cpp" "src/smt/CMakeFiles/faure_smt.dir/simplify.cpp.o" "gcc" "src/smt/CMakeFiles/faure_smt.dir/simplify.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/smt/CMakeFiles/faure_smt.dir/solver.cpp.o" "gcc" "src/smt/CMakeFiles/faure_smt.dir/solver.cpp.o.d"
+  "/root/repo/src/smt/transform.cpp" "src/smt/CMakeFiles/faure_smt.dir/transform.cpp.o" "gcc" "src/smt/CMakeFiles/faure_smt.dir/transform.cpp.o.d"
+  "/root/repo/src/smt/z3_solver.cpp" "src/smt/CMakeFiles/faure_smt.dir/z3_solver.cpp.o" "gcc" "src/smt/CMakeFiles/faure_smt.dir/z3_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/value/CMakeFiles/faure_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faure_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_smt.dir/formula.cpp.o"
+  "CMakeFiles/faure_smt.dir/formula.cpp.o.d"
+  "CMakeFiles/faure_smt.dir/simplify.cpp.o"
+  "CMakeFiles/faure_smt.dir/simplify.cpp.o.d"
+  "CMakeFiles/faure_smt.dir/solver.cpp.o"
+  "CMakeFiles/faure_smt.dir/solver.cpp.o.d"
+  "CMakeFiles/faure_smt.dir/transform.cpp.o"
+  "CMakeFiles/faure_smt.dir/transform.cpp.o.d"
+  "CMakeFiles/faure_smt.dir/z3_solver.cpp.o"
+  "CMakeFiles/faure_smt.dir/z3_solver.cpp.o.d"
+  "libfaure_smt.a"
+  "libfaure_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

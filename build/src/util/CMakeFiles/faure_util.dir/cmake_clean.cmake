@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_util.dir/interner.cpp.o"
+  "CMakeFiles/faure_util.dir/interner.cpp.o.d"
+  "CMakeFiles/faure_util.dir/strings.cpp.o"
+  "CMakeFiles/faure_util.dir/strings.cpp.o.d"
+  "libfaure_util.a"
+  "libfaure_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

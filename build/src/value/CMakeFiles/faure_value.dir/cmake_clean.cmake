@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_value.dir/value.cpp.o"
+  "CMakeFiles/faure_value.dir/value.cpp.o.d"
+  "libfaure_value.a"
+  "libfaure_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

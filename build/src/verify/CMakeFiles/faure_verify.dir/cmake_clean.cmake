@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure_verify.dir/containment.cpp.o"
+  "CMakeFiles/faure_verify.dir/containment.cpp.o.d"
+  "CMakeFiles/faure_verify.dir/templates.cpp.o"
+  "CMakeFiles/faure_verify.dir/templates.cpp.o.d"
+  "CMakeFiles/faure_verify.dir/unfold.cpp.o"
+  "CMakeFiles/faure_verify.dir/unfold.cpp.o.d"
+  "CMakeFiles/faure_verify.dir/update.cpp.o"
+  "CMakeFiles/faure_verify.dir/update.cpp.o.d"
+  "CMakeFiles/faure_verify.dir/verifier.cpp.o"
+  "CMakeFiles/faure_verify.dir/verifier.cpp.o.d"
+  "libfaure_verify.a"
+  "libfaure_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

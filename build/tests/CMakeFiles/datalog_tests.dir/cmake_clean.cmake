@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_tests.dir/datalog/analysis_test.cpp.o"
+  "CMakeFiles/datalog_tests.dir/datalog/analysis_test.cpp.o.d"
+  "CMakeFiles/datalog_tests.dir/datalog/ast_test.cpp.o"
+  "CMakeFiles/datalog_tests.dir/datalog/ast_test.cpp.o.d"
+  "CMakeFiles/datalog_tests.dir/datalog/containment_test.cpp.o"
+  "CMakeFiles/datalog_tests.dir/datalog/containment_test.cpp.o.d"
+  "CMakeFiles/datalog_tests.dir/datalog/lexer_test.cpp.o"
+  "CMakeFiles/datalog_tests.dir/datalog/lexer_test.cpp.o.d"
+  "CMakeFiles/datalog_tests.dir/datalog/parser_robustness_test.cpp.o"
+  "CMakeFiles/datalog_tests.dir/datalog/parser_robustness_test.cpp.o.d"
+  "CMakeFiles/datalog_tests.dir/datalog/parser_test.cpp.o"
+  "CMakeFiles/datalog_tests.dir/datalog/parser_test.cpp.o.d"
+  "CMakeFiles/datalog_tests.dir/datalog/pure_eval_test.cpp.o"
+  "CMakeFiles/datalog_tests.dir/datalog/pure_eval_test.cpp.o.d"
+  "datalog_tests"
+  "datalog_tests.pdb"
+  "datalog_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

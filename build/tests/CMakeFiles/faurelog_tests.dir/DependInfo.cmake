@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faurelog/answers_test.cpp" "tests/CMakeFiles/faurelog_tests.dir/faurelog/answers_test.cpp.o" "gcc" "tests/CMakeFiles/faurelog_tests.dir/faurelog/answers_test.cpp.o.d"
+  "/root/repo/tests/faurelog/eval_edge_test.cpp" "tests/CMakeFiles/faurelog_tests.dir/faurelog/eval_edge_test.cpp.o" "gcc" "tests/CMakeFiles/faurelog_tests.dir/faurelog/eval_edge_test.cpp.o.d"
+  "/root/repo/tests/faurelog/eval_test.cpp" "tests/CMakeFiles/faurelog_tests.dir/faurelog/eval_test.cpp.o" "gcc" "tests/CMakeFiles/faurelog_tests.dir/faurelog/eval_test.cpp.o.d"
+  "/root/repo/tests/faurelog/lossless_property_test.cpp" "tests/CMakeFiles/faurelog_tests.dir/faurelog/lossless_property_test.cpp.o" "gcc" "tests/CMakeFiles/faurelog_tests.dir/faurelog/lossless_property_test.cpp.o.d"
+  "/root/repo/tests/faurelog/options_matrix_test.cpp" "tests/CMakeFiles/faurelog_tests.dir/faurelog/options_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/faurelog_tests.dir/faurelog/options_matrix_test.cpp.o.d"
+  "/root/repo/tests/faurelog/paper_examples_test.cpp" "tests/CMakeFiles/faurelog_tests.dir/faurelog/paper_examples_test.cpp.o" "gcc" "tests/CMakeFiles/faurelog_tests.dir/faurelog/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/faurelog/textio_test.cpp" "tests/CMakeFiles/faurelog_tests.dir/faurelog/textio_test.cpp.o" "gcc" "tests/CMakeFiles/faurelog_tests.dir/faurelog/textio_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/faure_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/faure_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/faurelog/CMakeFiles/faure_faurelog.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/faure_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/faure_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/faure_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/faure_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/faure_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faurelog_tests.dir/faurelog/answers_test.cpp.o"
+  "CMakeFiles/faurelog_tests.dir/faurelog/answers_test.cpp.o.d"
+  "CMakeFiles/faurelog_tests.dir/faurelog/eval_edge_test.cpp.o"
+  "CMakeFiles/faurelog_tests.dir/faurelog/eval_edge_test.cpp.o.d"
+  "CMakeFiles/faurelog_tests.dir/faurelog/eval_test.cpp.o"
+  "CMakeFiles/faurelog_tests.dir/faurelog/eval_test.cpp.o.d"
+  "CMakeFiles/faurelog_tests.dir/faurelog/lossless_property_test.cpp.o"
+  "CMakeFiles/faurelog_tests.dir/faurelog/lossless_property_test.cpp.o.d"
+  "CMakeFiles/faurelog_tests.dir/faurelog/options_matrix_test.cpp.o"
+  "CMakeFiles/faurelog_tests.dir/faurelog/options_matrix_test.cpp.o.d"
+  "CMakeFiles/faurelog_tests.dir/faurelog/paper_examples_test.cpp.o"
+  "CMakeFiles/faurelog_tests.dir/faurelog/paper_examples_test.cpp.o.d"
+  "CMakeFiles/faurelog_tests.dir/faurelog/textio_test.cpp.o"
+  "CMakeFiles/faurelog_tests.dir/faurelog/textio_test.cpp.o.d"
+  "faurelog_tests"
+  "faurelog_tests.pdb"
+  "faurelog_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faurelog_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

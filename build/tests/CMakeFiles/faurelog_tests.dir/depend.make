@@ -1,0 +1,2 @@
+# Empty dependencies file for faurelog_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_tests.dir/relational/algebra_test.cpp.o"
+  "CMakeFiles/relational_tests.dir/relational/algebra_test.cpp.o.d"
+  "CMakeFiles/relational_tests.dir/relational/ctable_test.cpp.o"
+  "CMakeFiles/relational_tests.dir/relational/ctable_test.cpp.o.d"
+  "CMakeFiles/relational_tests.dir/relational/database_test.cpp.o"
+  "CMakeFiles/relational_tests.dir/relational/database_test.cpp.o.d"
+  "CMakeFiles/relational_tests.dir/relational/worlds_test.cpp.o"
+  "CMakeFiles/relational_tests.dir/relational/worlds_test.cpp.o.d"
+  "relational_tests"
+  "relational_tests.pdb"
+  "relational_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_tests.dir/smt/formula_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/formula_test.cpp.o.d"
+  "CMakeFiles/smt_tests.dir/smt/project_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/project_test.cpp.o.d"
+  "CMakeFiles/smt_tests.dir/smt/simplify_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/simplify_test.cpp.o.d"
+  "CMakeFiles/smt_tests.dir/smt/solver_fallback_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/solver_fallback_test.cpp.o.d"
+  "CMakeFiles/smt_tests.dir/smt/solver_property_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/solver_property_test.cpp.o.d"
+  "CMakeFiles/smt_tests.dir/smt/solver_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/solver_test.cpp.o.d"
+  "CMakeFiles/smt_tests.dir/smt/transform_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/transform_test.cpp.o.d"
+  "CMakeFiles/smt_tests.dir/smt/z3_backend_test.cpp.o"
+  "CMakeFiles/smt_tests.dir/smt/z3_backend_test.cpp.o.d"
+  "smt_tests"
+  "smt_tests.pdb"
+  "smt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

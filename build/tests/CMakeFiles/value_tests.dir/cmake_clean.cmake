@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_tests.dir/value/value_test.cpp.o"
+  "CMakeFiles/value_tests.dir/value/value_test.cpp.o.d"
+  "value_tests"
+  "value_tests.pdb"
+  "value_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_tests.dir/verify/containment_property_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/verify/containment_property_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/verify/listing4_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/verify/listing4_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/verify/scenario_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/verify/scenario_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/verify/templates_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/verify/templates_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/verify/unfold_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/verify/unfold_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/verify/update_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/verify/update_test.cpp.o.d"
+  "CMakeFiles/verify_tests.dir/verify/verifier_test.cpp.o"
+  "CMakeFiles/verify_tests.dir/verify/verifier_test.cpp.o.d"
+  "verify_tests"
+  "verify_tests.pdb"
+  "verify_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/value_tests[1]_include.cmake")
+include("/root/repo/build/tests/smt_tests[1]_include.cmake")
+include("/root/repo/build/tests/relational_tests[1]_include.cmake")
+include("/root/repo/build/tests/datalog_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/verify_tests[1]_include.cmake")
+include("/root/repo/build/tests/faurelog_tests[1]_include.cmake")
+include("/root/repo/build/tests/api_tests[1]_include.cmake")
+add_test(cli_run_listing2 "/root/repo/build/tools/faure" "run" "/root/repo/data/figure1.fdb" "/root/repo/data/listing2.fl" "--relation" "T1")
+set_tests_properties(cli_run_listing2 PROPERTIES  PASS_REGULAR_EXPRESSION "T1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_check_enterprise "/root/repo/build/tools/faure" "check" "/root/repo/data/enterprise.fdb" "/root/repo/data/t2_constraint.fl")
+set_tests_properties(cli_check_enterprise PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;88;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_worlds_figure1 "/root/repo/build/tools/faure" "worlds" "/root/repo/data/figure1.fdb")
+set_tests_properties(cli_worlds_figure1 PROPERTIES  PASS_REGULAR_EXPRESSION "8 possible worlds" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;95;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_fmt_roundtrip "/root/repo/build/tools/faure" "fmt" "/root/repo/data/figure1.fdb")
+set_tests_properties(cli_fmt_roundtrip PROPERTIES  PASS_REGULAR_EXPRESSION "row F f0 4 5" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;100;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/faure" "bogus")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;105;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_db_out_pipeline "/root/repo/build/tools/faure" "run" "/root/repo/data/figure1.fdb" "/root/repo/data/listing2.fl" "--db-out" "/root/repo/build/derived.fdb")
+set_tests_properties(cli_db_out_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;108;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_db_out_consume "/root/repo/build/tools/faure" "fmt" "/root/repo/build/derived.fdb")
+set_tests_properties(cli_db_out_consume PROPERTIES  DEPENDS "cli_db_out_pipeline" PASS_REGULAR_EXPRESSION "table T1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;112;add_test;/root/repo/tests/CMakeLists.txt;0;")

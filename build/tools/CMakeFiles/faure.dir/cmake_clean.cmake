@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faure.dir/faure_cli.cpp.o"
+  "CMakeFiles/faure.dir/faure_cli.cpp.o.d"
+  "faure"
+  "faure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
