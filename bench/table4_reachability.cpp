@@ -13,11 +13,17 @@
 // Sizes: 1000 and 10000 by default; set FAURE_TABLE4_FULL=1 to add
 // 100000 (a few minutes) — the 922067-prefix point needs more memory
 // than a CI box and is reported as extrapolation in EXPERIMENTS.md.
+//
+// Resource governance: the FAURE_DEADLINE / FAURE_MAX_* / FAURE_FAIL_AFTER
+// knobs (util/resource_guard.hpp) budget each size's pipeline run; rows
+// that hit a budget are annotated with the trip reason and count instead
+// of the paper's silent '-'.
 #include <cstdio>
 #include <cstdlib>
 
 #include "net/pipeline.hpp"
 #include "smt/z3_solver.hpp"
+#include "util/resource_guard.hpp"
 
 using namespace faure;
 
@@ -77,14 +83,29 @@ int main() {
       "\n---- this implementation (native engine + native solver, "
       "synthetic RIB) ----\n%s\n",
       net::table4Header().c_str());
+  ResourceLimits limits = ResourceLimits::fromEnv();
   for (size_t n : sizes) {
     net::RibConfig cfg;
     cfg.numPrefixes = n;
     rel::Database db;
     net::RibGenResult rib = net::generateRib(db, cfg);
     smt::NativeSolver solver(db.cvars());
-    net::Table4Result r = net::runTable4(db, rib, solver);
+    ResourceGuard guard(limits);
+    fl::EvalOptions opts;
+    if (guard.active()) {
+      opts.guard = &guard;
+      solver.setGuard(&guard);
+    }
+    net::Table4Result r = net::runTable4(db, rib, solver, opts);
     std::printf("%s\n", net::formatTable4Row(n, r).c_str());
+    if (guard.active()) {
+      std::printf(
+          "%9s governed: %s, %llu eval budget-trips, %llu degraded solver "
+          "checks\n",
+          "", r.incomplete ? r.degradeReason.c_str() : "within budget",
+          static_cast<unsigned long long>(r.budgetTrips),
+          static_cast<unsigned long long>(solver.stats().budgetTrips));
+    }
     std::fflush(stdout);
   }
 

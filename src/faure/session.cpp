@@ -19,13 +19,25 @@ Session::Session(Backend backend) : backend_(backend) {
 
 smt::SolverBase& Session::solver() { return *solver_; }
 
+void Session::setResourceLimits(const ResourceLimits& limits) {
+  guard_.arm(limits);
+}
+
+ResourceGuard* Session::armGuard() {
+  if (!guard_.active()) return nullptr;
+  guard_.rearm();
+  return &guard_;
+}
+
 void Session::load(std::string_view databaseText) {
   fl::parseDatabaseInto(databaseText, db_);
 }
 
 fl::EvalResult Session::run(std::string_view programText) {
   dl::Program program = dl::parseProgram(programText, db_.cvars());
-  fl::EvalResult res = fl::evalFaure(program, db_, solver_.get(), opts_);
+  fl::EvalOptions opts = opts_;
+  opts.guard = armGuard();
+  fl::EvalResult res = fl::evalFaure(program, db_, solver_.get(), opts);
   for (auto& [pred, table] : res.idb) {
     db_.put(table);
   }
@@ -36,20 +48,25 @@ verify::StateCheck Session::check(std::string_view constraintText,
                                   std::string name) {
   verify::Constraint c =
       verify::Constraint::parse(std::move(name), constraintText, db_.cvars());
+  smt::ResourceGuardScope scope(solver_.get(), armGuard());
   return verify::RelativeVerifier::checkOnState(c, db_, *solver_);
 }
 
 verify::Verdict Session::subsumed(
     const verify::Constraint& target,
     const std::vector<verify::Constraint>& known) {
-  verify::RelativeVerifier v(db_.cvars());
+  verify::SubsumptionOptions opts;
+  opts.guard = armGuard();
+  verify::RelativeVerifier v(db_.cvars(), opts);
   return v.checkSubsumption(target, known);
 }
 
 verify::Verdict Session::subsumedAfterUpdate(
     const verify::Constraint& target,
     const std::vector<verify::Constraint>& known, const verify::Update& u) {
-  verify::RelativeVerifier v(db_.cvars());
+  verify::SubsumptionOptions opts;
+  opts.guard = armGuard();
+  verify::RelativeVerifier v(db_.cvars(), opts);
   return v.checkWithUpdate(target, known, u);
 }
 

@@ -37,6 +37,17 @@ class Session {
   /// Evaluation defaults applied by run()/check().
   fl::EvalOptions& options() { return opts_; }
 
+  /// Arms resource governance (util/resource_guard.hpp) for subsequent
+  /// run()/check()/subsumed() calls; each call re-arms the guard, so a
+  /// deadline applies per operation. Pass {} (all-zero limits) to
+  /// disable. While disabled, behaviour is identical to an ungoverned
+  /// session.
+  void setResourceLimits(const ResourceLimits& limits);
+
+  /// The session guard — observe trip state after a degraded call, or
+  /// cancel() it from another thread to stop a running evaluation.
+  ResourceGuard& guard() { return guard_; }
+
   /// The session solver (rebuilt if you exchange the registry wholesale).
   smt::SolverBase& solver();
 
@@ -66,10 +77,15 @@ class Session {
   verify::Constraint constraint(std::string name, std::string_view text);
 
  private:
+  /// Re-arms the guard for one governed operation; returns the guard
+  /// pointer to wire into options/solver, or nullptr when ungoverned.
+  ResourceGuard* armGuard();
+
   Backend backend_;
   rel::Database db_;
   std::unique_ptr<smt::SolverBase> solver_;
   fl::EvalOptions opts_;
+  ResourceGuard guard_;
 };
 
 }  // namespace faure

@@ -42,11 +42,15 @@ struct CFrame {
   smt::Formula cond;
 };
 
+/// Internal control-flow signal: a guard budget tripped mid-fixpoint.
+/// Caught in run(), where the partial IDB becomes the degraded result.
+struct BudgetTrip {};
+
 class FaureEvaluator {
  public:
   FaureEvaluator(const Program& p, const rel::Database& db,
                  smt::SolverBase* solver, const EvalOptions& opts)
-      : p_(p), db_(db), solver_(solver), opts_(opts) {
+      : p_(p), db_(db), solver_(solver), opts_(opts), guard_(opts.guard) {
     if (solver_ == nullptr &&
         (opts_.pruneWithSolver || opts_.mergeSubsumption)) {
       throw EvalError(
@@ -59,6 +63,11 @@ class FaureEvaluator {
     double solverBefore = solver_ != nullptr ? solver_->stats().seconds : 0.0;
     uint64_t checksBefore = solver_ != nullptr ? solver_->stats().checks : 0;
 
+    // Solver work counts against the same guard: a deadline that expires
+    // inside a condition check trips the whole evaluation, not just the
+    // one answer. Restored on exit so callers keep their own wiring.
+    smt::ResourceGuardScope solverGuard(solver_, guard_);
+
     dl::checkSafety(p_);
     std::unordered_map<std::string, size_t> external;
     for (const auto& [name, table] : db_.tables()) {
@@ -67,13 +76,20 @@ class FaureEvaluator {
     dl::checkArities(p_, external);
     dl::Stratification strat = dl::stratify(p_);
 
-    for (size_t s = 0; s < strat.ruleStrata.size(); ++s) {
-      evalStratum(strat, s);
+    bool degraded = false;
+    try {
+      for (size_t s = 0; s < strat.ruleStrata.size(); ++s) {
+        evalStratum(strat, s);
+      }
+    } catch (const BudgetTrip&) {
+      degraded = true;
+      ++stats_.budgetTrips;
+      if (opts_.throwOnBudget) guard_->throwTripped();
     }
     if (opts_.consolidate) {
       for (auto& [pred, table] : idb_) table.consolidate();
     }
-    if (opts_.simplifyResults) {
+    if (opts_.simplifyResults && !degraded) {
       if (solver_ == nullptr) {
         throw EvalError("evalFaure: simplifyResults requires a solver");
       }
@@ -90,6 +106,11 @@ class FaureEvaluator {
     EvalResult result;
     result.idb = std::move(idb_);
     result.stats = stats_;
+    if (degraded) {
+      result.incomplete = true;
+      result.tripped = guard_->trippedBudget();
+      result.degradeReason = guard_->reason();
+    }
     if (solver_ != nullptr) {
       result.stats.solverSeconds = solver_->stats().seconds - solverBefore;
       result.stats.solverChecks = solver_->stats().checks - checksBefore;
@@ -145,6 +166,7 @@ class FaureEvaluator {
     bool first = true;
     for (size_t iter = 0; iter < opts_.maxIterations; ++iter) {
       ++stats_.iterations;
+      chargeSteps(1);
       std::unordered_map<std::string, size_t> fullEnd;
       for (const auto& pred : thisStratum) {
         fullEnd[pred] = idb_.at(pred).size();
@@ -247,9 +269,25 @@ class FaureEvaluator {
     return changed;
   }
 
+  // Budget charging: null guard compiles to a flag test, so the
+  // ungoverned path stays hot. A trip aborts the fixpoint via BudgetTrip;
+  // everything derived so far remains in idb_ as the partial result.
+  void chargeSteps(uint64_t n) {
+    if (guard_ != nullptr && !guard_->chargeSteps(n)) throw BudgetTrip{};
+  }
+
+  void chargeTuple() {
+    if (guard_ != nullptr && !guard_->chargeTuples(1)) throw BudgetTrip{};
+  }
+
+  void chargeMemory(uint64_t bytes) {
+    if (guard_ != nullptr && !guard_->chargeMemory(bytes)) throw BudgetTrip{};
+  }
+
   bool derive(rel::CTable& out, std::vector<Value> vals, smt::Formula cond) {
     if (cond.isFalse()) return false;
     ++stats_.derivations;
+    chargeTuple();
     // Syntactic subsumption first: most re-derivations repeat a condition
     // (or a weaker conjunction of one) already recorded for the data part.
     smt::Formula existing = out.conditionOf(vals);
@@ -270,8 +308,12 @@ class FaureEvaluator {
       ++stats_.subsumed;
       return false;
     }
+    size_t rowBytes = sizeof(rel::Row) + vals.size() * sizeof(Value);
     bool appended = out.append(std::move(vals), std::move(cond));
-    if (appended) ++stats_.inserted;
+    if (appended) {
+      ++stats_.inserted;
+      chargeMemory(rowBytes);
+    }
     return appended;
   }
 
@@ -344,6 +386,7 @@ class FaureEvaluator {
     std::vector<CFrame> out;
 
     auto extend = [&](const CFrame& f, const rel::Row& row) {
+      chargeSteps(1);
       smt::Formula cond = smt::Formula::conj2(f.cond, row.cond);
       if (cond.isFalse()) return;
       CFrame nf{f.vals, smt::Formula()};
@@ -475,6 +518,7 @@ class FaureEvaluator {
       smt::Formula cond = f.cond;
       if (table != nullptr) {
         for (const auto& row : table->rows()) {
+          chargeSteps(1);
           smt::Formula eq = rel::tupleEquality(probe, row.vals);
           if (eq.isFalse()) continue;
           cond = smt::Formula::conj2(
@@ -525,6 +569,7 @@ class FaureEvaluator {
   const rel::Database& db_;
   smt::SolverBase* solver_;
   EvalOptions opts_;
+  ResourceGuard* guard_;
   EvalStats stats_;
   std::map<std::string, rel::CTable> idb_;
 };

@@ -22,6 +22,7 @@
 #include "datalog/ast.hpp"
 #include "relational/database.hpp"
 #include "smt/solver.hpp"
+#include "util/resource_guard.hpp"
 
 namespace faure::fl {
 
@@ -63,6 +64,15 @@ struct EvalOptions {
   const NegativeFacts* openWorldNegation = nullptr;
   /// Safety cap on fixed-point rounds.
   size_t maxIterations = 1u << 20;
+  /// Resource governance (util/resource_guard.hpp): evaluation charges
+  /// joins, derivations and fixpoint rounds against the guard, and when a
+  /// budget trips it stops and returns the tuples derived so far with
+  /// EvalResult::incomplete set and the tripped budget recorded. Null (the
+  /// default) leaves evaluation ungoverned and bit-identical to before.
+  ResourceGuard* guard = nullptr;
+  /// Strict budgets: throw BudgetExceeded instead of returning an
+  /// incomplete result when the guard trips.
+  bool throwOnBudget = false;
 };
 
 struct EvalStats {
@@ -71,6 +81,7 @@ struct EvalStats {
   uint64_t prunedUnsat = 0;   // dropped by the solver step
   uint64_t subsumed = 0;      // dropped by the merge-subsumption check
   size_t iterations = 0;
+  uint64_t budgetTrips = 0;    // evaluations cut short by the guard (0/1)
   double sqlSeconds = 0.0;     // relational work (matching, joining)
   double solverSeconds = 0.0;  // condition satisfiability checks
   uint64_t solverChecks = 0;
@@ -79,6 +90,14 @@ struct EvalStats {
 struct EvalResult {
   std::map<std::string, rel::CTable> idb;
   EvalStats stats;
+
+  /// True when a resource budget tripped and `idb` holds only the tuples
+  /// derived before the trip. Every held tuple is still sound (it is
+  /// derivable); only completeness is lost — the verifier maps this to
+  /// UNKNOWN. `tripped`/`degradeReason` identify the budget that fired.
+  bool incomplete = false;
+  Budget tripped = Budget::None;
+  std::string degradeReason;
 
   const rel::CTable& relation(const std::string& pred) const;
 

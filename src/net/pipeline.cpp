@@ -16,6 +16,14 @@ QueryTiming timingOf(const fl::EvalResult& res, const std::string& pred) {
   return t;
 }
 
+void noteDegradation(const fl::EvalResult& res, Table4Result& out) {
+  out.budgetTrips += res.stats.budgetTrips;
+  if (res.incomplete && !out.incomplete) {
+    out.incomplete = true;
+    out.degradeReason = res.degradeReason;
+  }
+}
+
 }  // namespace
 
 Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
@@ -30,6 +38,7 @@ Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
                          db.cvars()),
         db, &solver, opts);
     out.q45 = timingOf(res, "R");
+    noteDegradation(res, out);
     db.put(std::move(res.idb.at("R")));
   }
   // q6: reachability under a 2-link failure (exactly one of x_,y_,z_ up).
@@ -39,6 +48,7 @@ Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
             "T1(f,n1,n2) :- R(f,n1,n2), x_ + y_ + z_ = 1.", db.cvars()),
         db, &solver, opts);
     out.q6 = timingOf(res, "T1");
+    noteDegradation(res, out);
     db.put(std::move(res.idb.at("T1")));
   }
   // q7: hubA -> hubB under the q6 pattern where (2,3) — bit y_ — failed.
@@ -50,6 +60,7 @@ Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
     auto res = fl::evalFaure(dl::parseProgram(text, db.cvars()), db, &solver,
                              opts);
     out.q7 = timingOf(res, "T2");
+    noteDegradation(res, out);
     db.put(std::move(res.idb.at("T2")));
   }
   // q8: reachability from hubA with at least one of y_, z_ failed.
@@ -60,6 +71,7 @@ Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
     auto res = fl::evalFaure(dl::parseProgram(text, db.cvars()), db, &solver,
                              opts);
     out.q8 = timingOf(res, "T3");
+    noteDegradation(res, out);
     db.put(std::move(res.idb.at("T3")));
   }
   return out;

@@ -20,6 +20,13 @@ struct Table4Result {
   QueryTiming q6;   // reachability under 2-link failure
   QueryTiming q7;   // hubA -> hubB under 2-link failure incl. (2,3) down
   QueryTiming q8;   // reachability from hubA with at least 1 failure
+
+  /// Resource governance (when EvalOptions::guard is set): how often a
+  /// budget cut a query short, and the first trip's reason. Tuple counts
+  /// above are then lower bounds (the paper's '-' entries, made precise).
+  uint64_t budgetTrips = 0;
+  bool incomplete = false;
+  std::string degradeReason;
 };
 
 /// Runs the pipeline on a database holding the forwarding table F

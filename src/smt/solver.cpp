@@ -23,6 +23,16 @@ std::string_view satText(Sat s) {
   return "?";
 }
 
+bool SolverBase::admitCheck() {
+  ++stats_.checks;
+  if (guard_ != nullptr && !guard_->chargeSolverChecks()) {
+    ++stats_.unknown;
+    ++stats_.budgetTrips;
+    return false;
+  }
+  return true;
+}
+
 bool SolverBase::implies(const Formula& a, const Formula& b) {
   if (a.isFalse() || b.isTrue()) return true;
   if (a == b) return true;
@@ -64,8 +74,9 @@ int64_t satMul(int64_t a, int64_t b) {
 /// and a joint finite-candidate computation.
 class CubeChecker {
  public:
-  CubeChecker(const CVarRegistry& reg, uint64_t maxEnum, uint64_t* enumCount)
-      : reg_(reg), maxEnum_(maxEnum), enumCount_(enumCount) {}
+  CubeChecker(const CVarRegistry& reg, uint64_t maxEnum, uint64_t* enumCount,
+              ResourceGuard* guard)
+      : reg_(reg), maxEnum_(maxEnum), enumCount_(enumCount), guard_(guard) {}
 
   Sat check(const Cube& cube) {
     for (const Formula& atom : cube) {
@@ -433,7 +444,12 @@ class CubeChecker {
     if (enumerable) {
       if (enumCount_ != nullptr) ++*enumCount_;
       std::vector<size_t> idx(involved.size(), 0);
+      uint32_t sinceGuard = 0;
       while (true) {
+        if (guard_ != nullptr && ++sinceGuard == 512) {
+          sinceGuard = 0;
+          if (!guard_->checkDeadline()) return Sat::Unknown;
+        }
         if (assignmentWorks(involved, cands, idx)) return Sat::Sat;
         size_t k = 0;
         while (k < idx.size() && ++idx[k] == cands[k].size()) {
@@ -535,6 +551,7 @@ class CubeChecker {
   const CVarRegistry& reg_;
   uint64_t maxEnum_;
   uint64_t* enumCount_;
+  ResourceGuard* guard_;
 
   std::unordered_map<CVarId, size_t> slotOf_;
   std::vector<size_t> parent_;
@@ -548,7 +565,7 @@ class CubeChecker {
 
 Sat NativeSolver::check(const Formula& f) {
   util::Stopwatch watch;
-  ++stats_.checks;
+  if (!admitCheck()) return Sat::Unknown;
   Sat result;
   if (f.isTrue()) {
     result = Sat::Sat;
@@ -562,7 +579,12 @@ Sat NativeSolver::check(const Formula& f) {
       bool anyUnknown = false;
       result = Sat::Unsat;
       for (const Cube& cube : *dnf) {
-        CubeChecker checker(reg_, opts_.maxEnum, &stats_.enumerations);
+        if (guard_ != nullptr && !guard_->checkDeadline()) {
+          anyUnknown = true;
+          break;
+        }
+        CubeChecker checker(reg_, opts_.maxEnum, &stats_.enumerations,
+                            guard_);
         Sat r = checker.check(cube);
         if (r == Sat::Sat) {
           result = Sat::Sat;
@@ -572,6 +594,9 @@ Sat NativeSolver::check(const Formula& f) {
       }
       if (result != Sat::Sat && anyUnknown) result = Sat::Unknown;
     }
+  }
+  if (guard_ != nullptr && guard_->tripped() && result == Sat::Unknown) {
+    ++stats_.budgetTrips;
   }
   if (result == Sat::Unsat) ++stats_.unsat;
   if (result == Sat::Unknown) ++stats_.unknown;

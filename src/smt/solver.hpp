@@ -22,6 +22,7 @@
 
 #include "smt/formula.hpp"
 #include "smt/transform.hpp"
+#include "util/resource_guard.hpp"
 #include "value/value.hpp"
 
 namespace faure::smt {
@@ -35,6 +36,9 @@ struct SolverStats {
   uint64_t unsat = 0;
   uint64_t unknown = 0;
   uint64_t enumerations = 0;
+  /// Checks degraded to Unknown because a ResourceGuard budget tripped
+  /// (always also counted in `unknown`).
+  uint64_t budgetTrips = 0;
   double seconds = 0.0;
 };
 
@@ -64,9 +68,46 @@ class SolverBase {
   const SolverStats& stats() const { return stats_; }
   void resetStats() { stats_ = SolverStats{}; }
 
+  /// Attaches a resource guard (util/resource_guard.hpp): every check()
+  /// charges it, and a tripped guard degrades checks to Sat::Unknown —
+  /// conservative for all callers (pruning keeps the tuple, implies()
+  /// answers "no"). Null detaches; the guard must outlive the solver's
+  /// use of it.
+  void setGuard(ResourceGuard* guard) { guard_ = guard; }
+  ResourceGuard* guard() const { return guard_; }
+
  protected:
+  /// Charges one check against the guard; returns false when this check
+  /// must degrade to Unknown (records stats for the degraded check).
+  bool admitCheck();
+
   const CVarRegistry& reg_;
   SolverStats stats_;
+  ResourceGuard* guard_ = nullptr;
+};
+
+/// RAII: attaches `guard` to `solver` for a scope — unless the solver
+/// already carries one (the caller's wiring wins) — and restores the
+/// previous attachment on exit. Either pointer may be null (no-op).
+class ResourceGuardScope {
+ public:
+  ResourceGuardScope(SolverBase* solver, ResourceGuard* guard)
+      : solver_(solver),
+        prev_(solver != nullptr ? solver->guard() : nullptr) {
+    if (solver_ != nullptr && guard != nullptr && prev_ == nullptr) {
+      solver_->setGuard(guard);
+    }
+  }
+  ~ResourceGuardScope() {
+    if (solver_ != nullptr) solver_->setGuard(prev_);
+  }
+
+  ResourceGuardScope(const ResourceGuardScope&) = delete;
+  ResourceGuardScope& operator=(const ResourceGuardScope&) = delete;
+
+ private:
+  SolverBase* solver_;
+  ResourceGuard* prev_;
 };
 
 /// Built-in backend. See file comment for the completeness envelope.

@@ -1,5 +1,7 @@
 #include "smt/z3_solver.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include <z3++.h>
@@ -21,11 +23,24 @@ class Z3Solver : public SolverBase {
 
   Sat check(const Formula& f) override {
     util::Stopwatch watch;
-    ++stats_.checks;
+    if (!admitCheck()) return Sat::Unknown;
     z3::context ctx;
     std::unordered_map<CVarId, z3::expr> vars;
     std::unordered_map<Value, int64_t> codes;
     z3::solver solver(ctx);
+
+    // Translate a remaining deadline into Z3's native per-check timeout;
+    // Z3 then degrades to unknown on its own, same contract as ours.
+    if (guard_ != nullptr) {
+      double remaining = guard_->remainingSeconds();
+      if (std::isfinite(remaining)) {
+        auto ms = static_cast<unsigned>(
+            std::min(remaining * 1000.0, 4294967294.0));
+        z3::params p(ctx);
+        p.set("timeout", ms > 0 ? ms : 1u);
+        solver.set(p);
+      }
+    }
 
     // Declare every variable occurring in f with its domain constraint.
     std::vector<CVarId> occurring;
@@ -49,7 +64,10 @@ class Z3Solver : public SolverBase {
                  : r == z3::sat ? Sat::Sat
                                 : Sat::Unknown;
     if (result == Sat::Unsat) ++stats_.unsat;
-    if (result == Sat::Unknown) ++stats_.unknown;
+    if (result == Sat::Unknown) {
+      ++stats_.unknown;
+      if (guard_ != nullptr && !guard_->checkDeadline()) ++stats_.budgetTrips;
+    }
     stats_.seconds += watch.elapsed();
     return result;
   }

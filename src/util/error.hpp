@@ -47,4 +47,34 @@ class EvalError : public Error {
   explicit EvalError(const std::string& what) : Error("eval error: " + what) {}
 };
 
+/// Resource-governance failures (util/resource_guard.hpp). The engine's
+/// default is to *degrade* (Sat::Unknown, incomplete results) rather than
+/// raise; these surface only where a caller opts into strict budgets.
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what)
+      : Error("resource error: " + what) {}
+};
+
+/// A configured budget tripped under strict budgets
+/// (fl::EvalOptions::throwOnBudget). `budget` is the stable reason code
+/// (budgetText: "deadline", "steps", ...); `reason` embeds the limit,
+/// e.g. "steps(limit=100)".
+class BudgetExceeded : public ResourceError {
+ public:
+  BudgetExceeded(std::string budget, std::string reason)
+      : ResourceError("budget exceeded: " + reason),
+        budget_(std::move(budget)),
+        reason_(std::move(reason)) {}
+
+  /// The tripped budget kind ("deadline", "steps", "tuples", ...).
+  const std::string& budget() const { return budget_; }
+  /// Kind plus the configured limit, machine-readable.
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string budget_;
+  std::string reason_;
+};
+
 }  // namespace faure

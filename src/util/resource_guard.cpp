@@ -1,0 +1,196 @@
+#include "util/resource_guard.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace faure {
+
+namespace {
+
+/// Charges between clock samples: cheap enough to keep charging at a few
+/// ns, frequent enough that a deadline is observed well within 2x the
+/// configured limit on any realistic workload.
+constexpr uint32_t kClockStride = 64;
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t envU64(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return 0;
+  return std::strtoull(s, nullptr, 10);
+}
+
+}  // namespace
+
+std::string_view budgetText(Budget b) {
+  switch (b) {
+    case Budget::None:
+      return "none";
+    case Budget::Deadline:
+      return "deadline";
+    case Budget::Steps:
+      return "steps";
+    case Budget::Tuples:
+      return "tuples";
+    case Budget::SolverChecks:
+      return "solver-checks";
+    case Budget::Memory:
+      return "memory";
+    case Budget::Cancelled:
+      return "cancelled";
+    case Budget::Fault:
+      return "fault-injection";
+  }
+  return "?";
+}
+
+bool ResourceLimits::any() const {
+  return deadlineSeconds > 0.0 || maxSteps != 0 || maxTuples != 0 ||
+         maxSolverChecks != 0 || maxMemoryBytes != 0 || failAfter != 0;
+}
+
+ResourceLimits ResourceLimits::fromEnv() {
+  ResourceLimits limits;
+  if (const char* s = std::getenv("FAURE_DEADLINE");
+      s != nullptr && *s != '\0') {
+    limits.deadlineSeconds = std::strtod(s, nullptr);
+  }
+  limits.maxSteps = envU64("FAURE_MAX_STEPS");
+  limits.maxTuples = envU64("FAURE_MAX_TUPLES");
+  limits.maxSolverChecks = envU64("FAURE_MAX_SOLVER_CHECKS");
+  limits.maxMemoryBytes = envU64("FAURE_MAX_MEMORY");
+  limits.failAfter = envU64("FAURE_FAIL_AFTER");
+  return limits;
+}
+
+void ResourceGuard::arm(const ResourceLimits& limits) {
+  limits_ = limits;
+  rearm();
+}
+
+void ResourceGuard::rearm() {
+  active_ = limits_.any();
+  tripped_ = Budget::None;
+  counters_ = Counters{};
+  cancelled_.store(false, std::memory_order_relaxed);
+  clockCountdown_ = 0;
+  if (limits_.deadlineSeconds > 0.0) startSeconds_ = nowSeconds();
+}
+
+void ResourceGuard::failAfter(uint64_t n) {
+  limits_.failAfter = n == 0 ? 0 : counters_.charges + n;
+  active_ = limits_.any();
+}
+
+std::string ResourceGuard::reason() const {
+  if (tripped_ == Budget::None) return "";
+  std::string out(budgetText(tripped_));
+  auto limit = [&](const std::string& text) { out += "(limit=" + text + ")"; };
+  switch (tripped_) {
+    case Budget::Deadline:
+      limit(std::to_string(limits_.deadlineSeconds) + "s");
+      break;
+    case Budget::Steps:
+      limit(std::to_string(limits_.maxSteps));
+      break;
+    case Budget::Tuples:
+      limit(std::to_string(limits_.maxTuples));
+      break;
+    case Budget::SolverChecks:
+      limit(std::to_string(limits_.maxSolverChecks));
+      break;
+    case Budget::Memory:
+      limit(std::to_string(limits_.maxMemoryBytes));
+      break;
+    case Budget::Fault:
+      limit(std::to_string(limits_.failAfter));
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+bool ResourceGuard::trip(Budget kind) {
+  tripped_ = kind;
+  return false;
+}
+
+bool ResourceGuard::sampleDeadline() {
+  if (limits_.deadlineSeconds <= 0.0) return true;
+  if (nowSeconds() - startSeconds_ >= limits_.deadlineSeconds) {
+    return trip(Budget::Deadline);
+  }
+  return true;
+}
+
+bool ResourceGuard::common() {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return trip(Budget::Cancelled);
+  }
+  ++counters_.charges;
+  if (limits_.failAfter != 0 && counters_.charges >= limits_.failAfter) {
+    return trip(Budget::Fault);
+  }
+  if (clockCountdown_ == 0) {
+    clockCountdown_ = kClockStride;
+    if (!sampleDeadline()) return false;
+  }
+  --clockCountdown_;
+  return true;
+}
+
+bool ResourceGuard::charge(Budget kind, uint64_t n, uint64_t& used,
+                           uint64_t limit) {
+  if (!active_) return true;
+  if (tripped()) return false;
+  if (!common()) return false;
+  used += n;
+  if (limit != 0 && used > limit) return trip(kind);
+  return true;
+}
+
+bool ResourceGuard::chargeSteps(uint64_t n) {
+  return charge(Budget::Steps, n, counters_.steps, limits_.maxSteps);
+}
+
+bool ResourceGuard::chargeTuples(uint64_t n) {
+  return charge(Budget::Tuples, n, counters_.tuples, limits_.maxTuples);
+}
+
+bool ResourceGuard::chargeSolverChecks(uint64_t n) {
+  return charge(Budget::SolverChecks, n, counters_.solverChecks,
+                limits_.maxSolverChecks);
+}
+
+bool ResourceGuard::chargeMemory(uint64_t bytes) {
+  return charge(Budget::Memory, bytes, counters_.memoryBytes,
+                limits_.maxMemoryBytes);
+}
+
+bool ResourceGuard::checkDeadline() {
+  if (!active_) return true;
+  if (tripped()) return false;
+  return common();
+}
+
+double ResourceGuard::remainingSeconds() const {
+  if (limits_.deadlineSeconds <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double left = limits_.deadlineSeconds - (nowSeconds() - startSeconds_);
+  return left > 0.0 ? left : 0.0;
+}
+
+void ResourceGuard::throwTripped() const {
+  throw BudgetExceeded(std::string(budgetText(tripped_)), reason());
+}
+
+}  // namespace faure

@@ -83,9 +83,11 @@ rel::Schema anySchema(const std::string& name, size_t arity) {
 }
 
 /// Checks coverage of one frozen target rule by the constraint union.
+/// Sets *incomplete when a resource budget tripped before the answer was
+/// decided (the returned "false" then means UNKNOWN, not uncovered).
 bool ruleCovered(const Rule& r, const dl::Program& constraintUnion,
                  const CVarRegistry& srcReg,
-                 const SubsumptionOptions& opts) {
+                 const SubsumptionOptions& opts, bool* incomplete) {
   rel::Database canonical;
   canonical.cvars() = srcReg;  // preserve c-var ids, types and domains
   Freezer fz(canonical.cvars());
@@ -139,13 +141,19 @@ bool ruleCovered(const Rule& r, const dl::Program& constraintUnion,
   premise.collectVars(universal);
 
   smt::NativeSolver solver(canonical.cvars(), opts.solverOptions);
+  solver.setGuard(opts.guard);
   if (solver.check(premise) == smt::Sat::Unsat) {
     return true;  // the target rule can never fire: vacuously covered
   }
 
   fl::EvalOptions evalOpts;
   evalOpts.openWorldNegation = &negatives;
+  evalOpts.guard = opts.guard;
   auto res = fl::evalFaure(constraintUnion, canonical, &solver, evalOpts);
+  if (res.incomplete) {
+    *incomplete = true;
+    return false;
+  }
 
   smt::Formula phi;
   if (!res.derived(Constraint::kGoal, &phi)) return false;
@@ -163,7 +171,11 @@ bool ruleCovered(const Rule& r, const dl::Program& constraintUnion,
   }
   smt::Formula projected =
       smt::projectExistentials(phi, existential, canonical.cvars());
-  return solver.implies(premise, projected);
+  bool covered = solver.implies(premise, projected);
+  if (!covered && opts.guard != nullptr && opts.guard->tripped()) {
+    *incomplete = true;
+  }
+  return covered;
 }
 
 }  // namespace
@@ -181,10 +193,15 @@ SubsumptionResult subsumes(const Constraint& target,
 
   SubsumptionResult result;
   for (size_t i = 0; i < flat.size(); ++i) {
-    if (!ruleCovered(flat[i], constraintUnion, srcReg, opts)) {
+    bool incomplete = false;
+    if (!ruleCovered(flat[i], constraintUnion, srcReg, opts, &incomplete)) {
       result.subsumed = false;
       result.uncoveredRule = i;
       result.witness = flat[i];
+      result.incomplete = incomplete;
+      if (incomplete && opts.guard != nullptr) {
+        result.reason = opts.guard->reason();
+      }
       return result;
     }
   }

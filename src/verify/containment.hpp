@@ -27,6 +27,10 @@ struct SubsumptionOptions {
   size_t maxUnfoldRules = 1024;
   /// Build the per-check solver with these options.
   smt::NativeSolver::Options solverOptions = {};
+  /// Resource governance: the per-rule evaluations and solver checks
+  /// charge this guard; a trip degrades the whole test to "not subsumed"
+  /// (the verifier's UNKNOWN) with SubsumptionResult::incomplete set.
+  ResourceGuard* guard = nullptr;
 };
 
 struct SubsumptionResult {
@@ -36,6 +40,11 @@ struct SubsumptionResult {
   size_t uncoveredRule = 0;
   /// The uncovered rule itself, for diagnostics.
   dl::Rule witness;
+  /// A resource budget tripped before coverage could be decided: the
+  /// "uncovered" answer means "ran out of resources", not "found a
+  /// counterexample". `reason` is the guard's machine-readable trip code.
+  bool incomplete = false;
+  std::string reason;
 };
 
 /// Does {constraints} subsume `target`? `srcReg` is the registry the

@@ -24,9 +24,11 @@ Verdict RelativeVerifier::checkSubsumption(
   SubsumptionResult r = subsumes(target, known, reg_, opts_);
   if (r.subsumed) {
     witness_.reset();
+    degradeReason_.clear();
     return Verdict::Holds;
   }
   witness_ = r.witness;
+  degradeReason_ = r.incomplete ? r.reason : "";
   return Verdict::Unknown;
 }
 
@@ -41,7 +43,19 @@ StateCheck RelativeVerifier::checkOnState(const Constraint& target,
                                           const rel::Database& db,
                                           smt::SolverBase& solver) {
   StateCheck out;
-  auto res = fl::evalFaure(target.program, db, &solver, fl::EvalOptions{});
+  fl::EvalOptions evalOpts;
+  evalOpts.guard = solver.guard();  // govern eval and solver alike
+  auto res = fl::evalFaure(target.program, db, &solver, evalOpts);
+  if (res.incomplete) {
+    // Derived-so-far panic tuples cannot decide the verdict: the missing
+    // derivations could strengthen the violation condition. Degrade to
+    // UNKNOWN — the paper's answer when something is genuinely missing,
+    // here resources instead of information.
+    out.verdict = Verdict::Unknown;
+    out.incomplete = true;
+    out.reason = res.degradeReason;
+    return out;
+  }
   smt::Formula cond;
   if (!res.derived(Constraint::kGoal, &cond)) {
     out.verdict = Verdict::Holds;
@@ -80,6 +94,10 @@ StateCheck RelativeVerifier::checkOnState(const Constraint& target,
       return out;
     case smt::Sat::Unknown:
       out.verdict = Verdict::Unknown;
+      if (solver.guard() != nullptr && solver.guard()->tripped()) {
+        out.incomplete = true;
+        out.reason = solver.guard()->reason();
+      }
       return out;
     case smt::Sat::Sat:
       break;

@@ -30,6 +30,12 @@ struct StateCheck {
   /// When ConditionallyViolated/Violated: the violation condition over
   /// the state's c-variables.
   smt::Formula condition;
+  /// UNKNOWN because a resource budget tripped (not because information
+  /// was missing); `reason` carries the guard's machine-readable code,
+  /// e.g. "deadline(limit=0.5s)" — the reason codes are catalogued in
+  /// DESIGN.md ("Resource governance & degradation").
+  bool incomplete = false;
+  std::string reason;
 };
 
 class RelativeVerifier {
@@ -59,10 +65,15 @@ class RelativeVerifier {
   /// Diagnostics from the last failed subsumption (the uncovered rule).
   const std::optional<dl::Rule>& lastWitness() const { return witness_; }
 
+  /// Non-empty when the last Unknown was a resource-budget degradation
+  /// rather than genuinely missing information.
+  const std::string& lastDegradeReason() const { return degradeReason_; }
+
  private:
   const CVarRegistry& reg_;
   SubsumptionOptions opts_;
   mutable std::optional<dl::Rule> witness_;
+  mutable std::string degradeReason_;
 };
 
 }  // namespace faure::verify

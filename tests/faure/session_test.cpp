@@ -89,6 +89,36 @@ TEST(SessionTest, OptionsApply) {
   EXPECT_TRUE(res.relation("Q").rows()[0].cond.isTrue());
 }
 
+TEST(SessionTest, ResourceLimitsGovernEveryOperation) {
+  Session s;
+  s.load(
+      "table E(a int, b int)\n"
+      "row E 1 2\nrow E 2 3\nrow E 3 4\nrow E 4 5\n");
+  ResourceLimits limits;
+  limits.maxTuples = 3;
+  s.setResourceLimits(limits);
+  auto res = s.run(
+      "R(x,y) :- E(x,y).\n"
+      "R(x,y) :- E(x,z), R(z,y).\n");
+  EXPECT_TRUE(res.incomplete);
+  EXPECT_EQ(res.tripped, Budget::Tuples);
+  EXPECT_TRUE(s.guard().tripped());
+
+  // Each governed operation re-arms the guard: a check after the
+  // degraded run gets a fresh budget (and 3 tuples suffice here).
+  auto check = s.check("panic :- E(9, 9).");
+  EXPECT_EQ(check.verdict, verify::Verdict::Holds);
+  EXPECT_FALSE(check.incomplete);
+
+  // Disarming restores ungoverned behaviour.
+  s.setResourceLimits(ResourceLimits{});
+  auto full = s.run(
+      "S(x,y) :- E(x,y).\n"
+      "S(x,y) :- E(x,z), S(z,y).\n");
+  EXPECT_FALSE(full.incomplete);
+  EXPECT_EQ(full.relation("S").size(), 10u);
+}
+
 TEST(SessionTest, Z3BackendIfAvailable) {
   if (!smt::z3Available()) {
     EXPECT_THROW(Session s(Session::Backend::Z3), EvalError);

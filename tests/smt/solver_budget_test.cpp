@@ -1,0 +1,151 @@
+// Budget-exhaustion behaviour of the solver backends: exceeding
+// maxDnfCubes/maxEnum or a ResourceGuard budget must degrade to
+// Sat::Unknown — never a wrong answer, never unbounded work — and the
+// degradation must be visible in SolverStats.
+#include <gtest/gtest.h>
+
+#include "smt/solver.hpp"
+#include "smt/z3_solver.hpp"
+#include "util/resource_guard.hpp"
+
+namespace faure::smt {
+namespace {
+
+class SolverBudgetTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  // Unbounded-domain variables: once the DNF budget trips, enumeration
+  // cannot rescue the answer and the solver must say Unknown.
+  CVarId p_ = reg_.declare("p_", ValueType::Int);
+  CVarId q_ = reg_.declare("q_", ValueType::Int);
+  CVarId r_ = reg_.declare("r_", ValueType::Int);
+  // Bounded {0,1} variables for the enumeration-budget cases.
+  CVarId x_ = reg_.declareInt("x_", 0, 1);
+  CVarId y_ = reg_.declareInt("y_", 0, 1);
+
+  static Formula eq(CVarId v, int64_t k) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(k));
+  }
+  /// (p=1 | p=2) & (q=1 | q=2) & (r=1 | r=2): 8 DNF cubes, satisfiable.
+  Formula wideSat() const {
+    return Formula::conj({Formula::disj2(eq(p_, 1), eq(p_, 2)),
+                          Formula::disj2(eq(q_, 1), eq(q_, 2)),
+                          Formula::disj2(eq(r_, 1), eq(r_, 2))});
+  }
+
+  /// wideSat() & p=3: unsatisfiable however the cubes fall.
+  Formula wideUnsat() const { return Formula::conj2(wideSat(), eq(p_, 3)); }
+};
+
+TEST_F(SolverBudgetTest, DnfOverflowOnUnboundedVarsDegradesToUnknown) {
+  NativeSolver::Options opts;
+  opts.maxDnfCubes = 4;  // wideSat needs 8
+  NativeSolver solver(reg_, opts);
+  EXPECT_EQ(solver.check(wideSat()), Sat::Unknown);
+  EXPECT_EQ(solver.stats().checks, 1u);
+  EXPECT_EQ(solver.stats().unknown, 1u);
+}
+
+TEST_F(SolverBudgetTest, DnfOverflowNeverFlipsTheAnswer) {
+  // With a roomy budget both formulas are decided; with a tiny budget the
+  // answers may only weaken to Unknown, never invert.
+  NativeSolver full(reg_);
+  ASSERT_EQ(full.check(wideSat()), Sat::Sat);
+  ASSERT_EQ(full.check(wideUnsat()), Sat::Unsat);
+
+  NativeSolver::Options tiny;
+  tiny.maxDnfCubes = 2;
+  NativeSolver solver(reg_, tiny);
+  EXPECT_NE(solver.check(wideSat()), Sat::Unsat);
+  EXPECT_NE(solver.check(wideUnsat()), Sat::Sat);
+}
+
+TEST_F(SolverBudgetTest, EnumBudgetExhaustionDegradesToUnknown) {
+  // Over finite {0,1} domains the DNF overflow falls back to model
+  // enumeration; an enumeration budget of 1 assignment cannot cover
+  // 2 variables, so the answer degrades to Unknown.
+  NativeSolver::Options opts;
+  opts.maxDnfCubes = 1;
+  opts.maxEnum = 1;
+  NativeSolver solver(reg_, opts);
+  Formula f = Formula::conj2(Formula::disj2(eq(x_, 0), eq(x_, 1)),
+                             Formula::disj2(eq(y_, 0), eq(y_, 1)));
+  EXPECT_EQ(solver.check(f), Sat::Unknown);
+  EXPECT_EQ(solver.stats().unknown, 1u);
+
+  // The same formula with enough enumeration budget is decided Sat.
+  NativeSolver::Options enough;
+  enough.maxDnfCubes = 1;
+  enough.maxEnum = 16;
+  NativeSolver big(reg_, enough);
+  EXPECT_EQ(big.check(f), Sat::Sat);
+}
+
+TEST_F(SolverBudgetTest, UnknownIsCountedOncePerDegradedCheck) {
+  NativeSolver::Options opts;
+  opts.maxDnfCubes = 2;
+  NativeSolver solver(reg_, opts);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(solver.check(wideSat()), Sat::Unknown);
+  }
+  EXPECT_EQ(solver.stats().checks, 3u);
+  EXPECT_EQ(solver.stats().unknown, 3u);
+}
+
+TEST_F(SolverBudgetTest, SolverCheckBudgetDegradesFurtherChecks) {
+  ResourceLimits limits;
+  limits.maxSolverChecks = 2;
+  ResourceGuard guard(limits);
+  NativeSolver solver(reg_);
+  solver.setGuard(&guard);
+  EXPECT_EQ(solver.check(eq(x_, 0)), Sat::Sat);
+  EXPECT_EQ(solver.check(eq(x_, 7)), Sat::Unsat);
+  // Budget exhausted: checks still answer — Unknown — and count trips.
+  EXPECT_EQ(solver.check(eq(x_, 0)), Sat::Unknown);
+  EXPECT_EQ(solver.check(Formula::top()), Sat::Unknown);
+  EXPECT_EQ(solver.stats().checks, 4u);
+  EXPECT_EQ(solver.stats().unknown, 2u);
+  EXPECT_EQ(solver.stats().budgetTrips, 2u);
+  EXPECT_EQ(guard.trippedBudget(), Budget::SolverChecks);
+}
+
+TEST_F(SolverBudgetTest, FaultInjectionExercisesTheDegradedPath) {
+  ResourceGuard guard;
+  guard.failAfter(1);
+  NativeSolver solver(reg_);
+  solver.setGuard(&guard);
+  EXPECT_EQ(solver.check(eq(x_, 0)), Sat::Unknown);
+  EXPECT_EQ(solver.stats().budgetTrips, 1u);
+  EXPECT_EQ(guard.trippedBudget(), Budget::Fault);
+  // implies()/definitelyUnsat() stay conservative under degradation:
+  // x=0 => x<1 needs a solver check, which the tripped guard degrades.
+  Formula lt1 = Formula::cmp(Value::cvar(x_), CmpOp::Lt, Value::fromInt(1));
+  EXPECT_FALSE(solver.implies(eq(x_, 0), lt1));
+  solver.setGuard(nullptr);
+  EXPECT_TRUE(solver.implies(eq(x_, 0), lt1));
+}
+
+TEST_F(SolverBudgetTest, DetachedGuardRestoresNormalService) {
+  ResourceGuard guard;
+  guard.failAfter(1);
+  NativeSolver solver(reg_);
+  solver.setGuard(&guard);
+  EXPECT_EQ(solver.check(eq(x_, 0)), Sat::Unknown);
+  solver.setGuard(nullptr);
+  EXPECT_EQ(solver.check(eq(x_, 0)), Sat::Sat);
+}
+
+TEST_F(SolverBudgetTest, Z3BackendHonoursTheGuard) {
+  if (!z3Available()) GTEST_SKIP() << "built without Z3";
+  auto z3 = makeZ3Solver(reg_);
+  ResourceGuard guard;
+  guard.failAfter(1);
+  z3->setGuard(&guard);
+  EXPECT_EQ(z3->check(eq(x_, 0)), Sat::Unknown);
+  EXPECT_EQ(z3->stats().budgetTrips, 1u);
+  z3->setGuard(nullptr);
+  EXPECT_EQ(z3->check(eq(x_, 0)), Sat::Sat);
+}
+
+}  // namespace
+}  // namespace faure::smt

@@ -1,0 +1,122 @@
+// Degradation at the verification layer: when a resource budget trips,
+// every verdict weakens to UNKNOWN — never to a wrong Holds/Violated —
+// and the degradation is distinguishable from genuinely missing
+// information via StateCheck::incomplete / lastDegradeReason().
+#include "verify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/resource_guard.hpp"
+
+namespace faure::verify {
+namespace {
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+/// A state on which the constraint plainly holds (panic cannot derive):
+/// degradation must weaken that answer to Unknown, not corrupt it.
+rel::Database holdsState() {
+  rel::Database db;
+  db.create(anySchema("T", 1)).insertConcrete({Value::fromInt(1)});
+  return db;
+}
+
+TEST(DegradationTest, StateCheckDegradesToUnknownWithReason) {
+  rel::Database db = holdsState();
+  Constraint c = Constraint::parse(
+      "c", "panic :- T(v), T(w), v != w.", db.cvars());
+  smt::NativeSolver solver(db.cvars());
+  ASSERT_EQ(RelativeVerifier::checkOnState(c, db, solver).verdict,
+            Verdict::Holds);
+
+  ResourceGuard guard;
+  guard.failAfter(1);
+  solver.setGuard(&guard);
+  StateCheck check = RelativeVerifier::checkOnState(c, db, solver);
+  EXPECT_EQ(check.verdict, Verdict::Unknown);
+  EXPECT_TRUE(check.incomplete);
+  EXPECT_EQ(check.reason, guard.reason());
+  EXPECT_NE(check.reason.find("fault-injection"), std::string::npos);
+}
+
+TEST(DegradationTest, StateCheckRecoversWithARoomierBudget) {
+  rel::Database db = holdsState();
+  Constraint c = Constraint::parse(
+      "c", "panic :- T(v), T(w), v != w.", db.cvars());
+  smt::NativeSolver solver(db.cvars());
+  ResourceLimits tight;
+  tight.maxSteps = 1;
+  ResourceGuard guard(tight);
+  solver.setGuard(&guard);
+  ASSERT_EQ(RelativeVerifier::checkOnState(c, db, solver).verdict,
+            Verdict::Unknown);
+  // Same guard re-armed with room to finish: the degraded UNKNOWN was
+  // transient, exactly as the CLI's "rerun with more resources" advises.
+  ResourceLimits roomy;
+  roomy.maxSteps = 1u << 30;
+  guard.arm(roomy);
+  StateCheck check = RelativeVerifier::checkOnState(c, db, solver);
+  EXPECT_EQ(check.verdict, Verdict::Holds);
+  EXPECT_FALSE(check.incomplete);
+}
+
+TEST(DegradationTest, SubsumptionDegradesToUnknownNotToHolds) {
+  CVarRegistry reg;
+  Constraint narrow =
+      Constraint::parse("narrow", "panic :- R(Mkt, CS, p_).", reg);
+  Constraint broad =
+      Constraint::parse("broad", "panic :- R(xs_, ys_, ps_).", reg);
+  {
+    RelativeVerifier v(reg);
+    ASSERT_EQ(v.checkSubsumption(narrow, {broad}), Verdict::Holds);
+  }
+  ResourceGuard guard;
+  guard.failAfter(1);
+  SubsumptionOptions opts;
+  opts.guard = &guard;
+  RelativeVerifier v(reg, opts);
+  EXPECT_EQ(v.checkSubsumption(narrow, {broad}), Verdict::Unknown);
+  EXPECT_FALSE(v.lastDegradeReason().empty());
+  EXPECT_NE(v.lastDegradeReason().find("fault-injection"),
+            std::string::npos);
+}
+
+TEST(DegradationTest, GenuineUnknownCarriesNoDegradeReason) {
+  CVarRegistry reg;
+  Constraint narrow =
+      Constraint::parse("narrow", "panic :- R(Mkt, CS, p_).", reg);
+  Constraint broad =
+      Constraint::parse("broad", "panic :- R(xs_, ys_, ps_).", reg);
+  RelativeVerifier v(reg);
+  // Unknown because the information is genuinely insufficient, not
+  // because a budget tripped: no degrade reason.
+  EXPECT_EQ(v.checkSubsumption(broad, {narrow}), Verdict::Unknown);
+  EXPECT_TRUE(v.lastDegradeReason().empty());
+  EXPECT_TRUE(v.lastWitness().has_value());
+}
+
+TEST(DegradationTest, SubsumptionResultCarriesTheTripCode) {
+  CVarRegistry reg;
+  Constraint narrow =
+      Constraint::parse("narrow", "panic :- R(Mkt, CS, p_).", reg);
+  Constraint broad =
+      Constraint::parse("broad", "panic :- R(xs_, ys_, ps_).", reg);
+  ResourceLimits limits;
+  limits.maxSolverChecks = 1;
+  ResourceGuard guard(limits);
+  SubsumptionOptions opts;
+  opts.guard = &guard;
+  SubsumptionResult r = subsumes(narrow, {broad}, reg, opts);
+  EXPECT_FALSE(r.subsumed);
+  EXPECT_TRUE(r.incomplete);
+  EXPECT_EQ(r.reason, "solver-checks(limit=1)");
+}
+
+}  // namespace
+}  // namespace faure::verify

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: plain build + tests, then a second build with
+# ASan/UBSan instrumentation (-DFAURE_SANITIZE=address;undefined) running
+# the same suite. Mirrors .github/workflows/ci.yml so the jobs can be
+# reproduced locally with a single command.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+echo "==> plain build"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> sanitizer build (address;undefined)"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  "-DFAURE_SANITIZE=address;undefined"
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> all green"

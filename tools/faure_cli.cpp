@@ -11,11 +11,25 @@
 //   --relation NAME   print only this derived relation
 //   --simplify        semantically simplify result conditions
 //   --solver z3       use the Z3 backend (if built in)
-//   --stats           print evaluation statistics
+//   --stats           print evaluation + solver statistics
+//
+// Resource governance (run and check; see DESIGN.md "Resource
+// governance & degradation"): on budget exhaustion the engine degrades —
+// run prints the tuples derived so far plus `incomplete: <reason>` and
+// exits 3; check answers `unknown` with the reason.
+//   --deadline S            wall-clock deadline in seconds
+//   --max-steps N           relational work budget
+//   --max-tuples N          derivation budget
+//   --max-solver-checks N   satisfiability-check budget
+//   --fail-after N          deterministic fault injection (testing)
+// Environment defaults: FAURE_DEADLINE, FAURE_MAX_STEPS,
+// FAURE_MAX_TUPLES, FAURE_MAX_SOLVER_CHECKS, FAURE_MAX_MEMORY,
+// FAURE_FAIL_AFTER.
 //
 // Database files use the textio format (see src/faurelog/textio.hpp);
 // programs are fauré-log text (see src/datalog/lexer.hpp).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -26,6 +40,7 @@
 #include "relational/worlds.hpp"
 #include "smt/z3_solver.hpp"
 #include "util/error.hpp"
+#include "util/resource_guard.hpp"
 #include "verify/verifier.hpp"
 
 using namespace faure;
@@ -46,10 +61,49 @@ int usage() {
       "usage:\n"
       "  faure run <db.fdb> <program.fl> [--relation NAME] [--simplify]\n"
       "            [--solver native|z3] [--stats] [--db-out FILE]\n"
-      "  faure check <db.fdb> <constraint.fl>\n"
+      "            [budget options]\n"
+      "  faure check <db.fdb> <constraint.fl> [--stats] [budget options]\n"
       "  faure worlds <db.fdb> [cap]\n"
-      "  faure fmt <db.fdb>\n");
+      "  faure fmt <db.fdb>\n"
+      "budget options (degrade to incomplete/unknown, never hang):\n"
+      "  --deadline S  --max-steps N  --max-tuples N\n"
+      "  --max-solver-checks N  --fail-after N\n");
   return 2;
+}
+
+/// Parses one budget flag at argv[i] (advancing i past its value);
+/// returns false when argv[i] is not a budget flag.
+bool parseBudgetFlag(int argc, char** argv, int& i, ResourceLimits& limits) {
+  auto need = [&](uint64_t& out) {
+    if (i + 1 >= argc) throw Error("missing value for budget option");
+    out = std::strtoull(argv[++i], nullptr, 10);
+  };
+  if (std::strcmp(argv[i], "--deadline") == 0) {
+    if (i + 1 >= argc) throw Error("missing value for --deadline");
+    limits.deadlineSeconds = std::strtod(argv[++i], nullptr);
+  } else if (std::strcmp(argv[i], "--max-steps") == 0) {
+    need(limits.maxSteps);
+  } else if (std::strcmp(argv[i], "--max-tuples") == 0) {
+    need(limits.maxTuples);
+  } else if (std::strcmp(argv[i], "--max-solver-checks") == 0) {
+    need(limits.maxSolverChecks);
+  } else if (std::strcmp(argv[i], "--fail-after") == 0) {
+    need(limits.failAfter);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void printSolverStats(const smt::SolverStats& s) {
+  std::printf(
+      "solver: %llu checks, %llu unsat, %llu unknown, "
+      "%llu budget-trips, %llu enumerations, %.3fs\n",
+      static_cast<unsigned long long>(s.checks),
+      static_cast<unsigned long long>(s.unsat),
+      static_cast<unsigned long long>(s.unknown),
+      static_cast<unsigned long long>(s.budgetTrips),
+      static_cast<unsigned long long>(s.enumerations), s.seconds);
 }
 
 std::unique_ptr<smt::SolverBase> makeSolver(const rel::Database& db,
@@ -72,6 +126,7 @@ int cmdRun(int argc, char** argv) {
   const char* dbOut = nullptr;
   bool simplify = false;
   bool stats = false;
+  ResourceLimits limits = ResourceLimits::fromEnv();
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--relation") == 0 && i + 1 < argc) {
       relation = argv[++i];
@@ -83,6 +138,8 @@ int cmdRun(int argc, char** argv) {
       solverName = argv[++i];
     } else if (std::strcmp(argv[i], "--db-out") == 0 && i + 1 < argc) {
       dbOut = argv[++i];
+    } else if (parseBudgetFlag(argc, argv, i, limits)) {
+      continue;
     } else {
       return usage();
     }
@@ -90,8 +147,13 @@ int cmdRun(int argc, char** argv) {
   rel::Database db = fl::parseDatabase(readFile(argv[0]));
   dl::Program program = dl::parseProgram(readFile(argv[1]), db.cvars());
   auto solver = makeSolver(db, solverName);
+  ResourceGuard guard(limits);
   fl::EvalOptions opts;
   opts.simplifyResults = simplify;
+  if (guard.active()) {
+    opts.guard = &guard;
+    solver->setGuard(&guard);
+  }
   fl::EvalResult res = fl::evalFaure(program, db, solver.get(), opts);
   for (const auto& [pred, table] : res.idb) {
     if (relation != nullptr && pred != relation) continue;
@@ -108,25 +170,47 @@ int cmdRun(int argc, char** argv) {
   if (stats) {
     std::printf(
         "stats: %llu derivations, %llu inserted, %llu pruned-unsat, "
-        "%llu subsumed, %zu rounds, sql %.3fs, solver %.3fs "
-        "(%llu checks)\n",
+        "%llu subsumed, %zu rounds, %llu budget-trips, sql %.3fs, "
+        "solver %.3fs (%llu checks)\n",
         static_cast<unsigned long long>(res.stats.derivations),
         static_cast<unsigned long long>(res.stats.inserted),
         static_cast<unsigned long long>(res.stats.prunedUnsat),
         static_cast<unsigned long long>(res.stats.subsumed),
-        res.stats.iterations, res.stats.sqlSeconds,
-        res.stats.solverSeconds,
+        res.stats.iterations,
+        static_cast<unsigned long long>(res.stats.budgetTrips),
+        res.stats.sqlSeconds, res.stats.solverSeconds,
         static_cast<unsigned long long>(res.stats.solverChecks));
+    printSolverStats(solver->stats());
+  }
+  if (res.incomplete) {
+    std::fprintf(stderr,
+                 "incomplete: %s — results above are the tuples derived "
+                 "before the budget tripped\n",
+                 res.degradeReason.c_str());
+    return 3;
   }
   return 0;
 }
 
 int cmdCheck(int argc, char** argv) {
-  if (argc != 2) return usage();
+  if (argc < 2) return usage();
+  bool stats = false;
+  ResourceLimits limits = ResourceLimits::fromEnv();
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (parseBudgetFlag(argc, argv, i, limits)) {
+      continue;
+    } else {
+      return usage();
+    }
+  }
   rel::Database db = fl::parseDatabase(readFile(argv[0]));
   verify::Constraint c =
       verify::Constraint::parse("constraint", readFile(argv[1]), db.cvars());
   smt::NativeSolver solver(db.cvars());
+  ResourceGuard guard(limits);
+  if (guard.active()) solver.setGuard(&guard);
   verify::StateCheck check =
       verify::RelativeVerifier::checkOnState(c, db, solver);
   std::printf("verdict: %s\n",
@@ -135,6 +219,11 @@ int cmdCheck(int argc, char** argv) {
     std::printf("violated exactly when: %s\n",
                 check.condition.toString(&db.cvars()).c_str());
   }
+  if (check.incomplete) {
+    std::printf("reason: %s (budget tripped; rerun with more resources)\n",
+                check.reason.c_str());
+  }
+  if (stats) printSolverStats(solver.stats());
   return check.verdict == verify::Verdict::Holds ? 0 : 1;
 }
 
