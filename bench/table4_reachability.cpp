@@ -13,17 +13,29 @@
 // Sizes: 1000 and 10000 by default; set FAURE_TABLE4_FULL=1 to add
 // 100000 (a few minutes) — the 922067-prefix point needs more memory
 // than a CI box and is reported as extrapolation in EXPERIMENTS.md.
+// FAURE_TABLE4_SIZES=10,20 overrides the size list entirely (CI smoke).
 //
 // Resource governance: the FAURE_DEADLINE / FAURE_MAX_* / FAURE_FAIL_AFTER
 // knobs (util/resource_guard.hpp) budget each size's pipeline run; rows
 // that hit a budget are annotated with the trip reason and count instead
 // of the paper's silent '-'.
+//
+// Besides the console tables, the run is traced (obs/) and exported as a
+// machine-readable run report — per-size `table4[size=N]` spans, per-query
+// sql/solver/tuple gauges, and the full metric registry — to
+// BENCH_table4.json (override the path with FAURE_BENCH_JSON; set it to
+// "0" to skip the file). FAURE_BENCH_TRACE=0 detaches the tracer entirely
+// — the timing configuration for overhead comparisons (no report file).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "net/pipeline.hpp"
+#include "obs/report.hpp"
 #include "smt/z3_solver.hpp"
 #include "util/resource_guard.hpp"
+#include "util/timer.hpp"
 
 using namespace faure;
 
@@ -68,6 +80,23 @@ void printPaperTable() {
   }
 }
 
+/// Records one pipeline row into the registry under a size-scoped prefix,
+/// e.g. `table4[1000].q6.solver_seconds`.
+void recordRow(obs::Registry& reg, size_t n, const net::Table4Result& r,
+               double wallSeconds) {
+  const std::string base = "table4[" + std::to_string(n) + "].";
+  auto query = [&](const char* name, const net::QueryTiming& t) {
+    reg.gauge(base + name + ".sql_seconds").set(t.sqlSeconds);
+    reg.gauge(base + name + ".solver_seconds").set(t.solverSeconds);
+    reg.gauge(base + name + ".tuples").set(static_cast<double>(t.tuples));
+  };
+  query("q45", r.q45);
+  query("q6", r.q6);
+  query("q7", r.q7);
+  query("q8", r.q8);
+  reg.gauge(base + "wall_seconds").set(wallSeconds);
+}
+
 }  // namespace
 
 int main() {
@@ -78,12 +107,32 @@ int main() {
       full != nullptr && full[0] == '1') {
     sizes.push_back(100000);
   }
+  if (const char* list = std::getenv("FAURE_TABLE4_SIZES");
+      list != nullptr && list[0] != '\0') {
+    sizes.clear();
+    for (const char* p = list; *p != '\0';) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      if (n > 0) sizes.push_back(static_cast<size_t>(n));
+      p = (*end == ',') ? end + 1 : end;
+    }
+    if (sizes.empty()) sizes = {1000, 10000};
+  }
+
+  obs::Tracer tracer;
+  bool traceOn = true;
+  if (const char* t = std::getenv("FAURE_BENCH_TRACE");
+      t != nullptr && t[0] == '0') {
+    traceOn = false;
+  }
 
   std::printf(
       "\n---- this implementation (native engine + native solver, "
       "synthetic RIB) ----\n%s\n",
       net::table4Header().c_str());
   ResourceLimits limits = ResourceLimits::fromEnv();
+  util::Stopwatch watch;
   for (size_t n : sizes) {
     net::RibConfig cfg;
     cfg.numPrefixes = n;
@@ -92,11 +141,22 @@ int main() {
     smt::NativeSolver solver(db.cvars());
     ResourceGuard guard(limits);
     fl::EvalOptions opts;
+    if (traceOn) opts.tracer = &tracer;
     if (guard.active()) {
       opts.guard = &guard;
       solver.setGuard(&guard);
+      if (traceOn) {
+        guard.onTrip([&tracer](Budget, const std::string& reason) {
+          tracer.event("budget.trip", reason);
+        });
+      }
     }
-    net::Table4Result r = net::runTable4(db, rib, solver, opts);
+    net::Table4Result r;
+    {
+      obs::Span span(opts.tracer, "table4[size=" + std::to_string(n) + "]");
+      r = net::runTable4(db, rib, solver, opts);
+    }
+    if (traceOn) recordRow(tracer.metrics(), n, r, watch.lap());
     std::printf("%s\n", net::formatTable4Row(n, r).c_str());
     if (guard.active()) {
       std::printf(
@@ -107,6 +167,26 @@ int main() {
           static_cast<unsigned long long>(solver.stats().budgetTrips));
     }
     std::fflush(stdout);
+  }
+
+  const char* jsonPath = std::getenv("FAURE_BENCH_JSON");
+  if (jsonPath == nullptr) jsonPath = "BENCH_table4.json";
+  if (traceOn && std::strcmp(jsonPath, "0") != 0) {
+    obs::ReportMeta meta;
+    meta.command = "bench.table4";
+    std::string sizeList;
+    for (size_t n : sizes) {
+      if (!sizeList.empty()) sizeList += ",";
+      sizeList += std::to_string(n);
+    }
+    meta.add("sizes", sizeList);
+    std::ofstream out(jsonPath);
+    if (out) {
+      out << obs::runReportJson(tracer, meta);
+      std::printf("\nrun report written to %s\n", jsonPath);
+    } else {
+      std::fprintf(stderr, "cannot write '%s'\n", jsonPath);
+    }
   }
 
   // The paper's own backend: per-derived-tuple Z3 checks. One (small)

@@ -23,10 +23,34 @@ void Session::setResourceLimits(const ResourceLimits& limits) {
   guard_.arm(limits);
 }
 
+void Session::setTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  solver_->setTracer(tracer);
+  if (tracer != nullptr) {
+    // Budget trips become first-class trace events carrying the guard's
+    // machine-readable reason (e.g. "deadline(limit=0.5s)").
+    guard_.onTrip([tracer](Budget, const std::string& reason) {
+      tracer->event("budget.trip", reason);
+    });
+  } else {
+    guard_.onTrip(nullptr);
+  }
+}
+
+void Session::resetStats() {
+  solver_->resetStats();
+  if (tracer_ != nullptr) tracer_->metrics().reset();
+}
+
 ResourceGuard* Session::armGuard() {
   if (!guard_.active()) return nullptr;
   guard_.rearm();
   return &guard_;
+}
+
+ResourceGuard* Session::beginOperation() {
+  if (resetPerOp_) resetStats();
+  return armGuard();
 }
 
 void Session::load(std::string_view databaseText) {
@@ -36,7 +60,9 @@ void Session::load(std::string_view databaseText) {
 fl::EvalResult Session::run(std::string_view programText) {
   dl::Program program = dl::parseProgram(programText, db_.cvars());
   fl::EvalOptions opts = opts_;
-  opts.guard = armGuard();
+  opts.guard = beginOperation();
+  opts.tracer = tracer_;
+  obs::Span span(tracer_, "session.run");
   fl::EvalResult res = fl::evalFaure(program, db_, solver_.get(), opts);
   for (auto& [pred, table] : res.idb) {
     db_.put(table);
@@ -48,7 +74,8 @@ verify::StateCheck Session::check(std::string_view constraintText,
                                   std::string name) {
   verify::Constraint c =
       verify::Constraint::parse(std::move(name), constraintText, db_.cvars());
-  smt::ResourceGuardScope scope(solver_.get(), armGuard());
+  smt::ResourceGuardScope scope(solver_.get(), beginOperation());
+  obs::Span span(tracer_, "session.check");
   return verify::RelativeVerifier::checkOnState(c, db_, *solver_);
 }
 
@@ -56,7 +83,9 @@ verify::Verdict Session::subsumed(
     const verify::Constraint& target,
     const std::vector<verify::Constraint>& known) {
   verify::SubsumptionOptions opts;
-  opts.guard = armGuard();
+  opts.guard = beginOperation();
+  opts.tracer = tracer_;
+  obs::Span span(tracer_, "session.subsumed");
   verify::RelativeVerifier v(db_.cvars(), opts);
   return v.checkSubsumption(target, known);
 }
@@ -65,7 +94,9 @@ verify::Verdict Session::subsumedAfterUpdate(
     const verify::Constraint& target,
     const std::vector<verify::Constraint>& known, const verify::Update& u) {
   verify::SubsumptionOptions opts;
-  opts.guard = armGuard();
+  opts.guard = beginOperation();
+  opts.tracer = tracer_;
+  obs::Span span(tracer_, "session.subsumed_after_update");
   verify::RelativeVerifier v(db_.cvars(), opts);
   return v.checkWithUpdate(target, known, u);
 }

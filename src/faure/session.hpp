@@ -48,6 +48,27 @@ class Session {
   /// cancel() it from another thread to stop a running evaluation.
   ResourceGuard& guard() { return guard_; }
 
+  /// Attaches a tracer (obs/trace.hpp) to the session: run()/check()/
+  /// subsumed() open `session.*` spans, the evaluator and solver record
+  /// their span trees and metrics into it, and guard budget trips become
+  /// `budget.trip` events carrying the guard's machine-readable reason.
+  /// Null detaches. The tracer must outlive the session (or a later
+  /// setTracer(nullptr)).
+  void setTracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// When true (default), solver statistics — and with a tracer attached,
+  /// the metrics registry — accumulate across operations: SolverStats
+  /// after two run() calls covers both. resetStatsPerOperation(true) makes
+  /// each run()/check()/subsumed() start from zero instead, so per-call
+  /// stats can be read without bookkeeping deltas.
+  void resetStatsPerOperation(bool enable) { resetPerOp_ = enable; }
+
+  /// Zeroes solver statistics and (when a tracer is attached) every
+  /// metric in its registry, keeping handles valid. Span/event history is
+  /// untouched.
+  void resetStats();
+
   /// The session solver (rebuilt if you exchange the registry wholesale).
   smt::SolverBase& solver();
 
@@ -81,11 +102,16 @@ class Session {
   /// pointer to wire into options/solver, or nullptr when ungoverned.
   ResourceGuard* armGuard();
 
+  /// Per-operation prologue: optional stats reset, then guard re-arm.
+  ResourceGuard* beginOperation();
+
   Backend backend_;
   rel::Database db_;
   std::unique_ptr<smt::SolverBase> solver_;
   fl::EvalOptions opts_;
   ResourceGuard guard_;
+  obs::Tracer* tracer_ = nullptr;
+  bool resetPerOp_ = false;
 };
 
 }  // namespace faure

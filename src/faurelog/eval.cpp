@@ -50,7 +50,12 @@ class FaureEvaluator {
  public:
   FaureEvaluator(const Program& p, const rel::Database& db,
                  smt::SolverBase* solver, const EvalOptions& opts)
-      : p_(p), db_(db), solver_(solver), opts_(opts), guard_(opts.guard) {
+      : p_(p),
+        db_(db),
+        solver_(solver),
+        opts_(opts),
+        guard_(opts.guard),
+        tracer_(opts.tracer) {
     if (solver_ == nullptr &&
         (opts_.pruneWithSolver || opts_.mergeSubsumption)) {
       throw EvalError(
@@ -59,14 +64,17 @@ class FaureEvaluator {
   }
 
   EvalResult run() {
+    obs::Span evalSpan(tracer_, "eval");
     util::Stopwatch total;
     double solverBefore = solver_ != nullptr ? solver_->stats().seconds : 0.0;
     uint64_t checksBefore = solver_ != nullptr ? solver_->stats().checks : 0;
 
     // Solver work counts against the same guard: a deadline that expires
     // inside a condition check trips the whole evaluation, not just the
-    // one answer. Restored on exit so callers keep their own wiring.
+    // one answer. Likewise solver metrics land in the same registry.
+    // Restored on exit so callers keep their own wiring.
     smt::ResourceGuardScope solverGuard(solver_, guard_);
+    smt::TracerScope solverTracer(solver_, tracer_);
 
     dl::checkSafety(p_);
     std::unordered_map<std::string, size_t> external;
@@ -75,6 +83,10 @@ class FaureEvaluator {
     }
     dl::checkArities(p_, external);
     dl::Stratification strat = dl::stratify(p_);
+    if (evalSpan) {
+      evalSpan.note("rules", std::to_string(p_.rules.size()));
+      evalSpan.note("strata", std::to_string(strat.ruleStrata.size()));
+    }
 
     bool degraded = false;
     try {
@@ -84,7 +96,21 @@ class FaureEvaluator {
     } catch (const BudgetTrip&) {
       degraded = true;
       ++stats_.budgetTrips;
-      if (opts_.throwOnBudget) guard_->throwTripped();
+    }
+    // Timing totals + registry mirror; called on every exit path so a
+    // strict-budget throw still leaves complete metrics behind.
+    auto finish = [&] {
+      if (solver_ != nullptr) {
+        stats_.solverSeconds = solver_->stats().seconds - solverBefore;
+        stats_.solverChecks = solver_->stats().checks - checksBefore;
+      }
+      stats_.sqlSeconds = total.elapsed() - stats_.solverSeconds;
+      flushMetrics(degraded);
+    };
+    if (degraded && opts_.throwOnBudget) {
+      if (evalSpan) evalSpan.note("incomplete", guard_->reason());
+      finish();
+      guard_->throwTripped();
     }
     if (opts_.consolidate) {
       for (auto& [pred, table] : idb_) table.consolidate();
@@ -102,6 +128,7 @@ class FaureEvaluator {
             [](const rel::Row& row) { return row.cond.isFalse(); });
       }
     }
+    finish();
 
     EvalResult result;
     result.idb = std::move(idb_);
@@ -110,12 +137,8 @@ class FaureEvaluator {
       result.incomplete = true;
       result.tripped = guard_->trippedBudget();
       result.degradeReason = guard_->reason();
+      if (evalSpan) evalSpan.note("incomplete", result.degradeReason);
     }
-    if (solver_ != nullptr) {
-      result.stats.solverSeconds = solver_->stats().seconds - solverBefore;
-      result.stats.solverChecks = solver_->stats().checks - checksBefore;
-    }
-    result.stats.sqlSeconds = total.elapsed() - result.stats.solverSeconds;
     return result;
   }
 
@@ -154,6 +177,14 @@ class FaureEvaluator {
   void evalStratum(const dl::Stratification& strat, size_t s) {
     const auto& ruleIdx = strat.ruleStrata[s];
     if (ruleIdx.empty()) return;
+    obs::Span span;
+    obs::Counter* rounds = nullptr;
+    if (tracer_ != nullptr) {
+      std::string tag = "stratum[" + std::to_string(s) + "]";
+      rounds = &tracer_->metrics().counter("eval." + tag + ".rounds");
+      span = obs::Span(tracer_, tag);
+      span.note("rules", std::to_string(ruleIdx.size()));
+    }
     std::set<std::string> thisStratum;
     for (size_t ri : ruleIdx) thisStratum.insert(p_.rules[ri].head.pred);
     for (size_t ri : ruleIdx) {
@@ -166,6 +197,7 @@ class FaureEvaluator {
     bool first = true;
     for (size_t iter = 0; iter < opts_.maxIterations; ++iter) {
       ++stats_.iterations;
+      if (rounds != nullptr) rounds->add();
       chargeSteps(1);
       std::unordered_map<std::string, size_t> fullEnd;
       for (const auto& pred : thisStratum) {
@@ -183,11 +215,12 @@ class FaureEvaluator {
         }
         if (!first && recursivePositions.empty()) continue;
         if (first || !opts_.semiNaive || recursivePositions.empty()) {
-          changed |= evalRule(rule, SIZE_MAX, deltaStart, fullEnd,
+          changed |= evalRule(ri, rule, SIZE_MAX, deltaStart, fullEnd,
                               thisStratum);
         } else {
           for (size_t pos : recursivePositions) {
-            changed |= evalRule(rule, pos, deltaStart, fullEnd, thisStratum);
+            changed |=
+                evalRule(ri, rule, pos, deltaStart, fullEnd, thisStratum);
           }
         }
       }
@@ -215,10 +248,15 @@ class FaureEvaluator {
     return Range{0, end};
   }
 
-  bool evalRule(const Rule& rule, size_t deltaPos,
+  bool evalRule(size_t ri, const Rule& rule, size_t deltaPos,
                 const std::unordered_map<std::string, size_t>& deltaStart,
                 const std::unordered_map<std::string, size_t>& fullEnd,
                 const std::set<std::string>& thisStratum) {
+    obs::Span span;
+    if (tracer_ != nullptr) {
+      curRule_ = &ruleMetrics(ri);
+      span = obs::Span(tracer_, ruleTag(ri));
+    }
     std::vector<std::string> vars = dl::ruleVariables(rule);
     std::unordered_map<std::string, size_t> slotOf;
     for (size_t i = 0; i < vars.size(); ++i) slotOf[vars[i]] = i;
@@ -236,7 +274,13 @@ class FaureEvaluator {
       }
       Range range = rangeFor(lit.atom.pred, deltaPos, i, deltaStart, fullEnd,
                              thisStratum, *table);
-      joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
+      if (tracer_ != nullptr && tracer_->options().fineSpans) {
+        obs::Span join(tracer_, "join");
+        join.note("pred", lit.atom.pred);
+        joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
+      } else {
+        joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
+      }
     }
     // Explicit comparisons become condition atoms.
     for (const auto& cmp : rule.cmps) {
@@ -266,6 +310,7 @@ class FaureEvaluator {
       }
       changed |= derive(out, std::move(head), f.cond);
     }
+    curRule_ = nullptr;
     return changed;
   }
 
@@ -287,17 +332,20 @@ class FaureEvaluator {
   bool derive(rel::CTable& out, std::vector<Value> vals, smt::Formula cond) {
     if (cond.isFalse()) return false;
     ++stats_.derivations;
+    if (curRule_ != nullptr) curRule_->derivations->add();
     chargeTuple();
     // Syntactic subsumption first: most re-derivations repeat a condition
     // (or a weaker conjunction of one) already recorded for the data part.
     smt::Formula existing = out.conditionOf(vals);
     if (smt::impliesSyntactically(cond, existing)) {
       ++stats_.subsumed;
+      if (curRule_ != nullptr) curRule_->subsumed->add();
       return false;
     }
     if (opts_.pruneWithSolver &&
         solver_->check(cond) == smt::Sat::Unsat) {
       ++stats_.prunedUnsat;
+      if (curRule_ != nullptr) curRule_->prunedUnsat->add();
       return false;
     }
     bool smallEnough =
@@ -306,12 +354,14 @@ class FaureEvaluator {
     if (opts_.mergeSubsumption && !existing.isFalse() && smallEnough &&
         solver_->implies(cond, existing)) {
       ++stats_.subsumed;
+      if (curRule_ != nullptr) curRule_->subsumed->add();
       return false;
     }
     size_t rowBytes = sizeof(rel::Row) + vals.size() * sizeof(Value);
     bool appended = out.append(std::move(vals), std::move(cond));
     if (appended) {
       ++stats_.inserted;
+      if (curRule_ != nullptr) curRule_->inserted->add();
       chargeMemory(rowBytes);
     }
     return appended;
@@ -565,13 +615,70 @@ class FaureEvaluator {
     frames = std::move(kept);
   }
 
+  // ---- observability (no-ops when tracer_ is null) ----
+
+  /// Per-rule registry handles, resolved once per rule index so the hot
+  /// derive() path is pointer bumps, not name lookups.
+  struct RuleMetrics {
+    obs::Counter* derivations = nullptr;
+    obs::Counter* inserted = nullptr;
+    obs::Counter* prunedUnsat = nullptr;
+    obs::Counter* subsumed = nullptr;
+  };
+
+  /// Stable display tag for rule `ri`, e.g. "rule[2:Reach]".
+  const std::string& ruleTag(size_t ri) {
+    if (ruleTags_.empty()) ruleTags_.resize(p_.rules.size());
+    std::string& tag = ruleTags_[ri];
+    if (tag.empty()) {
+      tag = "rule[" + std::to_string(ri) + ":" + p_.rules[ri].head.pred + "]";
+    }
+    return tag;
+  }
+
+  RuleMetrics& ruleMetrics(size_t ri) {
+    if (ruleMetrics_.empty()) ruleMetrics_.resize(p_.rules.size());
+    RuleMetrics& m = ruleMetrics_[ri];
+    if (m.derivations == nullptr) {
+      obs::Registry& reg = tracer_->metrics();
+      const std::string base = "eval." + ruleTag(ri) + ".";
+      m.derivations = &reg.counter(base + "derivations");
+      m.inserted = &reg.counter(base + "inserted");
+      m.prunedUnsat = &reg.counter(base + "pruned_unsat");
+      m.subsumed = &reg.counter(base + "subsumed");
+    }
+    return m;
+  }
+
+  /// Mirrors the aggregate EvalStats into the registry (`eval.*`). The
+  /// per-rule and per-stratum counters accumulate live; the aggregates
+  /// flush once per evaluation so both views stay consistent.
+  void flushMetrics(bool degraded) {
+    if (tracer_ == nullptr) return;
+    obs::Registry& reg = tracer_->metrics();
+    reg.counter("eval.evaluations").add();
+    reg.counter("eval.derivations").add(stats_.derivations);
+    reg.counter("eval.inserted").add(stats_.inserted);
+    reg.counter("eval.pruned_unsat").add(stats_.prunedUnsat);
+    reg.counter("eval.subsumed").add(stats_.subsumed);
+    reg.counter("eval.rounds").add(stats_.iterations);
+    reg.counter("eval.budget_trips").add(stats_.budgetTrips);
+    if (degraded) reg.counter("eval.incomplete").add();
+    reg.histogram("eval.sql_seconds").observe(stats_.sqlSeconds);
+    reg.histogram("eval.solver_seconds").observe(stats_.solverSeconds);
+  }
+
   const Program& p_;
   const rel::Database& db_;
   smt::SolverBase* solver_;
   EvalOptions opts_;
   ResourceGuard* guard_;
+  obs::Tracer* tracer_;
   EvalStats stats_;
   std::map<std::string, rel::CTable> idb_;
+  std::vector<std::string> ruleTags_;
+  std::vector<RuleMetrics> ruleMetrics_;
+  RuleMetrics* curRule_ = nullptr;  // set around derive() by evalRule
 };
 
 }  // namespace

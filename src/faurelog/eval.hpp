@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "datalog/ast.hpp"
+#include "obs/trace.hpp"
 #include "relational/database.hpp"
 #include "smt/solver.hpp"
 #include "util/resource_guard.hpp"
@@ -73,8 +74,21 @@ struct EvalOptions {
   /// Strict budgets: throw BudgetExceeded instead of returning an
   /// incomplete result when the guard trips.
   bool throwOnBudget = false;
+  /// Observability (obs/trace.hpp): evaluation records an
+  /// eval → stratum → rule span tree and mirrors its statistics —
+  /// aggregate, per-stratum and per-rule — into the tracer's metrics
+  /// registry (`eval.*` names; DESIGN.md "Observability"). The tracer is
+  /// also scope-attached to the solver so `solver.*` metrics land in the
+  /// same registry. Null (the default) disables tracing at the cost of
+  /// one pointer test per site.
+  obs::Tracer* tracer = nullptr;
 };
 
+/// Compatibility accessor over one evaluation's counters. The canonical,
+/// superset store for an *observed* run is the obs metrics registry
+/// (`eval.*`, including per-stratum `eval.stratum[s].*` and per-rule
+/// `eval.rule[i:head].*` breakdowns this struct cannot express); every
+/// field here is mirrored there when EvalOptions::tracer is set.
 struct EvalStats {
   uint64_t derivations = 0;   // candidate head tuples (pre-prune)
   uint64_t inserted = 0;      // rows appended

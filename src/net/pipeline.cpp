@@ -16,6 +16,17 @@ QueryTiming timingOf(const fl::EvalResult& res, const std::string& pred) {
   return t;
 }
 
+/// Annotates a closed per-query span with the paper's Table-4 columns.
+void noteTiming(obs::Span& span, const QueryTiming& t) {
+  if (!span) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", t.sqlSeconds);
+  span.note("sql_seconds", buf);
+  std::snprintf(buf, sizeof(buf), "%.6f", t.solverSeconds);
+  span.note("solver_seconds", buf);
+  span.note("tuples", std::to_string(t.tuples));
+}
+
 void noteDegradation(const fl::EvalResult& res, Table4Result& out) {
   out.budgetTrips += res.stats.budgetTrips;
   if (res.incomplete && !out.incomplete) {
@@ -29,30 +40,36 @@ void noteDegradation(const fl::EvalResult& res, Table4Result& out) {
 Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
                        smt::SolverBase& solver, const fl::EvalOptions& opts) {
   Table4Result out;
+  obs::Span pipelineSpan(opts.tracer, "table4");
 
   // q4-q5: all-pairs reachability by recursion.
   {
+    obs::Span span(opts.tracer, "table4.q45");
     auto res = fl::evalFaure(
         dl::parseProgram("R(f,n1,n2) :- F(f,n1,n2).\n"
                          "R(f,n1,n2) :- F(f,n1,n3), R(f,n3,n2).\n",
                          db.cvars()),
         db, &solver, opts);
     out.q45 = timingOf(res, "R");
+    noteTiming(span, out.q45);
     noteDegradation(res, out);
     db.put(std::move(res.idb.at("R")));
   }
   // q6: reachability under a 2-link failure (exactly one of x_,y_,z_ up).
   {
+    obs::Span span(opts.tracer, "table4.q6");
     auto res = fl::evalFaure(
         dl::parseProgram(
             "T1(f,n1,n2) :- R(f,n1,n2), x_ + y_ + z_ = 1.", db.cvars()),
         db, &solver, opts);
     out.q6 = timingOf(res, "T1");
+    noteTiming(span, out.q6);
     noteDegradation(res, out);
     db.put(std::move(res.idb.at("T1")));
   }
   // q7: hubA -> hubB under the q6 pattern where (2,3) — bit y_ — failed.
   {
+    obs::Span span(opts.tracer, "table4.q7");
     std::string text = "T2(f," + std::to_string(rib.hubA) + "," +
                        std::to_string(rib.hubB) + ") :- T1(f," +
                        std::to_string(rib.hubA) + "," +
@@ -60,19 +77,25 @@ Table4Result runTable4(rel::Database& db, const RibGenResult& rib,
     auto res = fl::evalFaure(dl::parseProgram(text, db.cvars()), db, &solver,
                              opts);
     out.q7 = timingOf(res, "T2");
+    noteTiming(span, out.q7);
     noteDegradation(res, out);
     db.put(std::move(res.idb.at("T2")));
   }
   // q8: reachability from hubA with at least one of y_, z_ failed.
   {
+    obs::Span span(opts.tracer, "table4.q8");
     std::string text = "T3(f," + std::to_string(rib.hubA) +
                        ",n2) :- R(f," + std::to_string(rib.hubA) +
                        ",n2), y_ + z_ < 2.";
     auto res = fl::evalFaure(dl::parseProgram(text, db.cvars()), db, &solver,
                              opts);
     out.q8 = timingOf(res, "T3");
+    noteTiming(span, out.q8);
     noteDegradation(res, out);
     db.put(std::move(res.idb.at("T3")));
+  }
+  if (pipelineSpan && out.incomplete) {
+    pipelineSpan.note("incomplete", out.degradeReason);
   }
   return out;
 }

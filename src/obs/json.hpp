@@ -1,0 +1,86 @@
+// Minimal JSON support for the observability exporters: a string-builder
+// writer (enough to emit run reports and Chrome trace files) and a strict
+// little parser used to validate reports in tests and tools. No external
+// dependencies; numbers are doubles (report values fit comfortably).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faure::obs::json {
+
+/// Escapes `s` per RFC 8259 and wraps it in double quotes.
+std::string quote(std::string_view s);
+
+/// Formats a double compactly ("0.25", "3", "1e-07"); never emits the
+/// non-JSON tokens nan/inf (they clamp to 0 / ±1e308).
+std::string number(double v);
+
+/// Incremental writer for objects/arrays. Keys and structure are the
+/// caller's responsibility; the writer handles quoting, commas and
+/// indentation-free compact output.
+class Writer {
+ public:
+  Writer& beginObject();
+  Writer& endObject();
+  Writer& beginArray();
+  Writer& endArray();
+
+  /// Starts a member inside an object: emits `"key":`. Follow with a
+  /// value call (or begin*).
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view s);  // string value
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double v);
+  Writer& value(uint64_t v);
+  Writer& value(int64_t v);
+  Writer& value(int v) { return value(static_cast<int64_t>(v)); }
+  Writer& value(bool b);
+  Writer& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  Writer& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  // per open scope: no member emitted yet
+  bool pendingKey_ = false;
+};
+
+/// Parsed JSON value (object keys sorted; duplicate keys keep the last).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> items;                 // Array
+  std::map<std::string, Value> fields;      // Object
+
+  bool isObject() const { return kind == Kind::Object; }
+  bool isArray() const { return kind == Kind::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed).
+/// Throws faure::Error on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace faure::obs::json

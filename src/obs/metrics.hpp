@@ -1,0 +1,113 @@
+// Metrics registry: named counters, gauges and histograms with stable,
+// cheap handles.
+//
+// The registry is the canonical store for engine statistics — the legacy
+// per-layer structs (smt::SolverStats, fl::EvalStats) remain as
+// compatibility accessors, but an observed run additionally records the
+// same quantities here, plus what the structs cannot express: per-rule and
+// per-stratum counters, latency histograms, and ResourceGuard budget-trip
+// events (obs/trace.hpp). Exporters (obs/report.hpp) snapshot the registry
+// into one machine-readable run report.
+//
+// Cost model: looking a metric up by name takes a mutex; the returned
+// handle is a stable pointer valid for the registry's lifetime, and
+// updating it is a relaxed atomic op. Engine layers resolve handles once
+// (when a tracer is attached) and update them on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faure::obs {
+
+/// Monotonically increasing count (derivations, solver checks, ...).
+class Counter {
+ public:
+  void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-written value (sizes, configuration echoes, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Streaming summary of observations (per-call latencies, batch sizes):
+/// count / sum / min / max, enough for rate and mean without bucket
+/// configuration. Not lock-free — observations take a spinlock-sized
+/// mutex — but histograms sit off the per-tuple hot path.
+class Histogram {
+ public:
+  void observe(double x);
+
+  struct Summary {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 while count == 0
+    double max = 0.0;
+  };
+  Summary summary() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  Summary s_;
+};
+
+/// Point-in-time copy of every metric, sorted by name (deterministic
+/// export order).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Summary>> histograms;
+
+  /// Counter value by exact name; 0 when absent.
+  uint64_t counter(std::string_view name) const;
+  /// Histogram summary by exact name; empty summary when absent.
+  Histogram::Summary histogram(std::string_view name) const;
+};
+
+/// Named metric store. Thread-safe; handles are stable for the registry's
+/// lifetime. Names are dotted paths ("eval.derivations",
+/// "eval.rule[0:R].inserted") — the catalogue lives in DESIGN.md
+/// ("Observability").
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every existing metric (handles stay valid). Used by the
+  /// per-operation stats-reset path (faure::Session::resetStats).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: stable node addresses and sorted iteration for snapshot().
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace faure::obs

@@ -1,0 +1,107 @@
+#include "obs/report.hpp"
+
+#include "obs/json.hpp"
+
+namespace faure::obs {
+
+namespace {
+
+void writeMeta(json::Writer& w, const ReportMeta& meta) {
+  w.member("schema", kReportSchema);
+  w.member("tool", meta.tool);
+  w.member("command", meta.command);
+  w.key("info").beginObject();
+  for (const auto& [k, v] : meta.info) w.member(k, v);
+  w.endObject();
+}
+
+void writeMetrics(json::Writer& w, const Registry& metrics) {
+  MetricsSnapshot snap = metrics.snapshot();
+  w.key("metrics").beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [name, v] : snap.counters) w.member(name, v);
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, v] : snap.gauges) w.member(name, v);
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, s] : snap.histograms) {
+    w.key(name).beginObject();
+    w.member("count", s.count);
+    w.member("sum", s.sum);
+    w.member("min", s.min);
+    w.member("max", s.max);
+    w.member("mean", s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0);
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+}
+
+void writeSpans(json::Writer& w, const std::vector<SpanRecord>& spans) {
+  w.key("spans").beginArray();
+  for (const SpanRecord& s : spans) {
+    w.beginObject();
+    w.member("id", static_cast<uint64_t>(s.id));
+    if (s.parent == kNoSpan) {
+      w.key("parent").null();
+    } else {
+      w.member("parent", static_cast<uint64_t>(s.parent));
+    }
+    w.member("name", s.name);
+    w.member("start", s.start);
+    w.member("dur", s.end < 0 ? 0.0 : s.duration());
+    if (!s.attrs.empty()) {
+      w.key("attrs").beginObject();
+      for (const auto& [k, v] : s.attrs) w.member(k, v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+}
+
+void writeEvents(json::Writer& w, const std::vector<EventRecord>& events) {
+  w.key("events").beginArray();
+  for (const EventRecord& e : events) {
+    w.beginObject();
+    w.member("ts", e.ts);
+    if (e.span == kNoSpan) {
+      w.key("span").null();
+    } else {
+      w.member("span", static_cast<uint64_t>(e.span));
+    }
+    w.member("name", e.name);
+    w.member("detail", e.detail);
+    w.endObject();
+  }
+  w.endArray();
+}
+
+}  // namespace
+
+std::string runReportJson(const Tracer& tracer, const ReportMeta& meta) {
+  json::Writer w;
+  w.beginObject();
+  writeMeta(w, meta);
+  w.member("wall_seconds", tracer.elapsedSeconds());
+  w.member("dropped_spans", tracer.droppedSpans());
+  writeSpans(w, tracer.spans());
+  writeEvents(w, tracer.events());
+  writeMetrics(w, tracer.metrics());
+  w.endObject();
+  return w.take();
+}
+
+std::string runReportJson(const Registry& metrics, const ReportMeta& meta) {
+  json::Writer w;
+  w.beginObject();
+  writeMeta(w, meta);
+  w.key("spans").beginArray().endArray();
+  w.key("events").beginArray().endArray();
+  writeMetrics(w, metrics);
+  w.endObject();
+  return w.take();
+}
+
+}  // namespace faure::obs

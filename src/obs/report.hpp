@@ -1,0 +1,41 @@
+// Machine-readable run reports: one self-contained JSON document per
+// engine run — span tree, metrics snapshot, budget-trip events and
+// verdict provenance. The schema is versioned (kReportSchema); consumers
+// key on the "schema" field and DESIGN.md ("Observability") documents
+// every member. BENCH_*.json perf trajectories and the CLI's
+// --metrics output both use this format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace faure::obs {
+
+/// Schema identifier stamped into every report ("schema" field). Bump the
+/// trailing version on any incompatible change.
+inline constexpr std::string_view kReportSchema = "faure.run_report/1";
+
+/// Caller-supplied context for a report: which tool produced it, which
+/// operation ran, and free-form provenance (input files, verdict, degrade
+/// reason, ...) exported as the "info" object.
+struct ReportMeta {
+  std::string tool = "faure";
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> info;
+
+  void add(std::string_view key, std::string_view value) {
+    info.emplace_back(std::string(key), std::string(value));
+  }
+};
+
+/// Renders the full run report for `tracer` (spans + events + metrics).
+std::string runReportJson(const Tracer& tracer, const ReportMeta& meta);
+
+/// Metrics-only variant for callers without a tracer (spans/events empty).
+std::string runReportJson(const Registry& metrics, const ReportMeta& meta);
+
+}  // namespace faure::obs

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "util/timer.hpp"
+
+namespace faure::obs {
+
+Tracer::Tracer(TracerOptions opts)
+    : opts_(opts), epoch_(util::monotonicSeconds()) {}
+
+size_t Tracer::beginSpan(std::string_view name) {
+  double now = util::monotonicSeconds() - epoch_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= opts_.maxSpans) {
+    ++dropped_;
+    stack_.push_back(kNoSpan);  // keep push/pop balanced for endSpan
+    return kNoSpan;
+  }
+  SpanRecord rec;
+  rec.id = spans_.size();
+  rec.parent = stack_.empty() ? kNoSpan : stack_.back();
+  rec.name = std::string(name);
+  rec.start = now;
+  spans_.push_back(std::move(rec));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::endSpan(size_t id) {
+  double now = util::monotonicSeconds() - epoch_;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Close the innermost open span; `id` identifies it when recorded.
+  if (!stack_.empty()) stack_.pop_back();
+  if (id != kNoSpan && id < spans_.size()) spans_[id].end = now;
+}
+
+void Tracer::annotate(size_t id, std::string_view key,
+                      std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kNoSpan || id >= spans_.size()) return;
+  spans_[id].attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::event(std::string_view name, std::string_view detail) {
+  double now = util::monotonicSeconds() - epoch_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EventRecord rec;
+    rec.ts = now;
+    // Innermost *recorded* span (skip dropped sentinels).
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (*it != kNoSpan) {
+        rec.span = *it;
+        break;
+      }
+    }
+    rec.name = std::string(name);
+    rec.detail = std::string(detail);
+    events_.push_back(std::move(rec));
+  }
+  metrics_.counter("events." + std::string(name)).add();
+}
+
+double Tracer::elapsedSeconds() const {
+  return util::monotonicSeconds() - epoch_;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<EventRecord> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t Tracer::droppedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+void appendSpanLine(std::string& out, const SpanRecord& s, int depth,
+                    const std::vector<EventRecord>& events) {
+  char buf[64];
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += s.name;
+  if (s.end < 0) {
+    out += "  (open)";
+  } else {
+    std::snprintf(buf, sizeof(buf), "  %.6fs", s.duration());
+    out += buf;
+  }
+  for (const auto& [k, v] : s.attrs) {
+    out += "  ";
+    out += k;
+    out += "=";
+    out += v;
+  }
+  out += "\n";
+  for (const auto& e : events) {
+    if (e.span != s.id) continue;
+    out.append(static_cast<size_t>(depth + 1) * 2, ' ');
+    out += "! ";
+    out += e.name;
+    if (!e.detail.empty()) {
+      out += ": ";
+      out += e.detail;
+    }
+    std::snprintf(buf, sizeof(buf), "  @%.6fs", e.ts);
+    out += buf;
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+std::string Tracer::dumpTree() const {
+  std::vector<SpanRecord> spans = this->spans();
+  std::vector<EventRecord> events = this->events();
+
+  // Children per span, in recording (= start) order.
+  std::vector<std::vector<size_t>> kids(spans.size());
+  std::vector<size_t> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent == kNoSpan) {
+      roots.push_back(s.id);
+    } else {
+      kids[s.parent].push_back(s.id);
+    }
+  }
+
+  std::string out;
+  // Iterative DFS to keep deep recursion traces safe.
+  std::vector<std::pair<size_t, int>> work;  // (span, depth)
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    work.emplace_back(*it, 0);
+  }
+  while (!work.empty()) {
+    auto [id, depth] = work.back();
+    work.pop_back();
+    appendSpanLine(out, spans[id], depth, events);
+    for (auto it = kids[id].rbegin(); it != kids[id].rend(); ++it) {
+      work.emplace_back(*it, depth + 1);
+    }
+  }
+  uint64_t dropped = droppedSpans();
+  if (dropped > 0) {
+    out += "(" + std::to_string(dropped) + " spans dropped past maxSpans)\n";
+  }
+  return out;
+}
+
+std::string Tracer::chromeTrace() const {
+  std::vector<SpanRecord> spans = this->spans();
+  std::vector<EventRecord> events = this->events();
+
+  json::Writer w;
+  w.beginArray();
+  for (const SpanRecord& s : spans) {
+    w.beginObject();
+    w.member("name", s.name);
+    w.member("ph", "X");
+    w.member("pid", 1);
+    w.member("tid", 1);
+    w.member("ts", s.start * 1e6);
+    w.member("dur", (s.end < 0 ? 0.0 : s.duration()) * 1e6);
+    if (!s.attrs.empty()) {
+      w.key("args").beginObject();
+      for (const auto& [k, v] : s.attrs) w.member(k, v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  for (const EventRecord& e : events) {
+    w.beginObject();
+    w.member("name", e.name);
+    w.member("ph", "i");
+    w.member("s", "g");
+    w.member("pid", 1);
+    w.member("tid", 1);
+    w.member("ts", e.ts * 1e6);
+    w.key("args").beginObject().member("detail", e.detail).endObject();
+    w.endObject();
+  }
+  w.endArray();
+  return w.take();
+}
+
+}  // namespace faure::obs

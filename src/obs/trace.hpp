@@ -1,0 +1,155 @@
+// Span tracer: a hierarchical timing tree over one engine run.
+//
+// A Tracer owns (a) the span tree — session → query → stratum → rule →
+// join/solver-check, each span a named interval with key=value
+// annotations; (b) timestamped events (ResourceGuard budget trips are the
+// canonical producer); and (c) the metrics Registry (obs/metrics.hpp).
+// Exporters turn the three into a human-readable tree (dumpTree), a
+// Chrome trace_event file for about://tracing (chromeTrace), or one
+// self-contained JSON run report (obs/report.hpp).
+//
+// Cost contract: every instrumentation site in the engine takes an
+// `obs::Tracer*` and treats null as "tracing disabled" — the disabled
+// path is a single pointer test, no strings are built and no clocks are
+// sampled, so an untraced run is indistinguishable from the
+// pre-observability engine. Metric updates are thread-safe; the span
+// *tree* assumes the engine's single evaluation thread (a mutex keeps
+// concurrent use memory-safe, but parentage interleaves).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace faure::obs {
+
+/// Sentinel span id: "no enclosing span".
+constexpr size_t kNoSpan = static_cast<size_t>(-1);
+
+struct TracerOptions {
+  /// Also record the finest spans (per-join, per-solver-check). Off by
+  /// default: on solver-heavy runs they dominate the span count.
+  bool fineSpans = false;
+  /// Span-tree size cap; spans beyond it are dropped (counted in
+  /// droppedSpans()) while metrics keep accumulating.
+  size_t maxSpans = size_t{1} << 16;
+};
+
+struct SpanRecord {
+  size_t id = kNoSpan;
+  size_t parent = kNoSpan;
+  std::string name;
+  double start = 0.0;  // seconds since the tracer epoch
+  double end = -1.0;   // < 0 while the span is still open
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  double duration() const { return end < 0 ? 0.0 : end - start; }
+};
+
+struct EventRecord {
+  double ts = 0.0;      // seconds since the tracer epoch
+  size_t span = kNoSpan;  // innermost open span when emitted
+  std::string name;
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions opts = {});
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  const TracerOptions& options() const { return opts_; }
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+
+  /// Opens a span under the innermost open span; returns its id (or
+  /// kNoSpan once maxSpans is exceeded). Prefer the Span RAII wrapper.
+  size_t beginSpan(std::string_view name);
+  void endSpan(size_t id);
+  void annotate(size_t id, std::string_view key, std::string_view value);
+
+  /// Records a timestamped event under the innermost open span and bumps
+  /// the counter `events.<name>`.
+  void event(std::string_view name, std::string_view detail);
+
+  /// Seconds since the tracer was constructed.
+  double elapsedSeconds() const;
+
+  std::vector<SpanRecord> spans() const;
+  std::vector<EventRecord> events() const;
+  uint64_t droppedSpans() const;
+
+  // ---- exporters ----
+
+  /// Human-readable span tree with durations, annotations and inline
+  /// events, e.g. for `faure run --trace` on stderr.
+  std::string dumpTree() const;
+
+  /// Chrome trace_event JSON (complete "X" events + instant "i" events):
+  /// load in about://tracing or Perfetto.
+  std::string chromeTrace() const;
+
+ private:
+  TracerOptions opts_;
+  Registry metrics_;
+  double epoch_;  // monotonicSeconds() at construction
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<EventRecord> events_;
+  std::vector<size_t> stack_;  // open spans, innermost last
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span: opens on construction (no-op for a null tracer), closes on
+/// destruction — exception-safe, so budget-trip unwinding still closes
+/// the tree. Move-only.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* t, std::string_view name)
+      : t_(t), id_(t != nullptr ? t->beginSpan(name) : kNoSpan) {}
+  ~Span() { close(); }
+
+  Span(Span&& other) noexcept : t_(other.t_), id_(other.id_) {
+    other.t_ = nullptr;
+    other.id_ = kNoSpan;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      close();
+      t_ = other.t_;
+      id_ = other.id_;
+      other.t_ = nullptr;
+      other.id_ = kNoSpan;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key=value annotation; no-op when tracing is off.
+  void note(std::string_view key, std::string_view value) {
+    if (t_ != nullptr) t_->annotate(id_, key, value);
+  }
+
+  explicit operator bool() const { return t_ != nullptr; }
+  size_t id() const { return id_; }
+
+ private:
+  void close() {
+    if (t_ != nullptr) t_->endSpan(id_);
+    t_ = nullptr;
+  }
+
+  Tracer* t_ = nullptr;
+  size_t id_ = kNoSpan;
+};
+
+}  // namespace faure::obs

@@ -33,6 +33,43 @@ bool SolverBase::admitCheck() {
   return true;
 }
 
+void SolverBase::setTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  obs::Registry& reg = tracer_->metrics();
+  metrics_.checks = &reg.counter("solver.checks");
+  metrics_.unsat = &reg.counter("solver.unsat");
+  metrics_.unknown = &reg.counter("solver.unknown");
+  metrics_.budgetTrips = &reg.counter("solver.budget_trips");
+  metrics_.enumerations = &reg.counter("solver.enumerations");
+  metrics_.checkSeconds = &reg.histogram("solver.check_seconds");
+}
+
+SolverBase::CheckScope::CheckScope(SolverBase* solver)
+    : solver_(solver), before_(solver->stats_) {
+  if (solver_->tracer_ != nullptr &&
+      solver_->tracer_->options().fineSpans) {
+    span_ = obs::Span(solver_->tracer_, "solver.check");
+  }
+}
+
+SolverBase::CheckScope::~CheckScope() {
+  double seconds = watch_.elapsed();
+  solver_->stats_.seconds += seconds;
+  if (solver_->tracer_ == nullptr) return;
+  const SolverStats& now = solver_->stats_;
+  const MetricHandles& m = solver_->metrics_;
+  m.checks->add(now.checks - before_.checks);
+  m.unsat->add(now.unsat - before_.unsat);
+  m.unknown->add(now.unknown - before_.unknown);
+  m.budgetTrips->add(now.budgetTrips - before_.budgetTrips);
+  m.enumerations->add(now.enumerations - before_.enumerations);
+  m.checkSeconds->observe(seconds);
+}
+
 bool SolverBase::implies(const Formula& a, const Formula& b) {
   if (a.isFalse() || b.isTrue()) return true;
   if (a == b) return true;
@@ -564,7 +601,7 @@ class CubeChecker {
 }  // namespace
 
 Sat NativeSolver::check(const Formula& f) {
-  util::Stopwatch watch;
+  CheckScope scope(this);
   if (!admitCheck()) return Sat::Unknown;
   Sat result;
   if (f.isTrue()) {
@@ -600,7 +637,6 @@ Sat NativeSolver::check(const Formula& f) {
   }
   if (result == Sat::Unsat) ++stats_.unsat;
   if (result == Sat::Unknown) ++stats_.unknown;
-  stats_.seconds += watch.elapsed();
   return result;
 }
 

@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/trace.hpp"
 #include "smt/formula.hpp"
 #include "smt/transform.hpp"
 #include "util/resource_guard.hpp"
+#include "util/timer.hpp"
 #include "value/value.hpp"
 
 namespace faure::smt {
@@ -31,6 +33,11 @@ enum class Sat : uint8_t { Unsat, Sat, Unknown };
 
 std::string_view satText(Sat s);
 
+/// Compatibility accessor over the solver's own counters. The canonical,
+/// superset store for an *observed* run is the obs metrics registry
+/// (`solver.*` names; see setTracer and DESIGN.md "Observability") —
+/// when a tracer is attached every field here is mirrored there live,
+/// plus a per-check latency histogram the struct cannot express.
 struct SolverStats {
   uint64_t checks = 0;
   uint64_t unsat = 0;
@@ -76,14 +83,54 @@ class SolverBase {
   void setGuard(ResourceGuard* guard) { guard_ = guard; }
   ResourceGuard* guard() const { return guard_; }
 
+  /// Attaches a tracer (obs/trace.hpp): every check() mirrors its stats
+  /// delta live into the tracer's metrics registry under `solver.*`
+  /// (checks, unsat, unknown, budget_trips, enumerations, plus the
+  /// `solver.check_seconds` latency histogram), and — with
+  /// TracerOptions::fineSpans — records a `solver.check` span per call.
+  /// Null detaches; the tracer must outlive the solver's use of it.
+  void setTracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
+
  protected:
   /// Charges one check against the guard; returns false when this check
   /// must degrade to Unknown (records stats for the degraded check).
   bool admitCheck();
 
+  /// RAII wrapped around one check() by each backend: accumulates the
+  /// call's wall time into stats_.seconds and, when a tracer is
+  /// attached, mirrors the stats delta into the registry (and opens a
+  /// fine-grained span). Exception-safe.
+  class CheckScope {
+   public:
+    explicit CheckScope(SolverBase* solver);
+    ~CheckScope();
+    CheckScope(const CheckScope&) = delete;
+    CheckScope& operator=(const CheckScope&) = delete;
+
+   private:
+    SolverBase* solver_;
+    SolverStats before_;
+    util::Stopwatch watch_;
+    obs::Span span_;
+  };
+
   const CVarRegistry& reg_;
   SolverStats stats_;
   ResourceGuard* guard_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+
+ private:
+  /// Registry handles, resolved once in setTracer; valid iff tracer_.
+  struct MetricHandles {
+    obs::Counter* checks = nullptr;
+    obs::Counter* unsat = nullptr;
+    obs::Counter* unknown = nullptr;
+    obs::Counter* budgetTrips = nullptr;
+    obs::Counter* enumerations = nullptr;
+    obs::Histogram* checkSeconds = nullptr;
+  };
+  MetricHandles metrics_;
 };
 
 /// RAII: attaches `guard` to `solver` for a scope — unless the solver
@@ -108,6 +155,30 @@ class ResourceGuardScope {
  private:
   SolverBase* solver_;
   ResourceGuard* prev_;
+};
+
+/// RAII: attaches `tracer` to `solver` for a scope — unless the solver
+/// already carries one (the caller's wiring wins) — and restores the
+/// previous attachment on exit. Either pointer may be null (no-op).
+class TracerScope {
+ public:
+  TracerScope(SolverBase* solver, obs::Tracer* tracer)
+      : solver_(solver),
+        prev_(solver != nullptr ? solver->tracer() : nullptr) {
+    if (solver_ != nullptr && tracer != nullptr && prev_ == nullptr) {
+      solver_->setTracer(tracer);
+    }
+  }
+  ~TracerScope() {
+    if (solver_ != nullptr) solver_->setTracer(prev_);
+  }
+
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+
+ private:
+  SolverBase* solver_;
+  obs::Tracer* prev_;
 };
 
 /// Built-in backend. See file comment for the completeness envelope.

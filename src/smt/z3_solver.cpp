@@ -7,7 +7,6 @@
 #include <z3++.h>
 
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 namespace faure::smt {
 
@@ -22,7 +21,7 @@ class Z3Solver : public SolverBase {
   explicit Z3Solver(const CVarRegistry& reg) : SolverBase(reg) {}
 
   Sat check(const Formula& f) override {
-    util::Stopwatch watch;
+    CheckScope scope(this);
     if (!admitCheck()) return Sat::Unknown;
     z3::context ctx;
     std::unordered_map<CVarId, z3::expr> vars;
@@ -68,7 +67,6 @@ class Z3Solver : public SolverBase {
       ++stats_.unknown;
       if (guard_ != nullptr && !guard_->checkDeadline()) ++stats_.budgetTrips;
     }
-    stats_.seconds += watch.elapsed();
     return result;
   }
 

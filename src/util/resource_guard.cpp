@@ -1,10 +1,10 @@
 #include "util/resource_guard.hpp"
 
-#include <chrono>
 #include <cstdlib>
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace faure {
 
@@ -14,12 +14,6 @@ namespace {
 /// ns, frequent enough that a deadline is observed well within 2x the
 /// configured limit on any realistic workload.
 constexpr uint32_t kClockStride = 64;
-
-double nowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 uint64_t envU64(const char* name) {
   const char* s = std::getenv(name);
@@ -81,7 +75,7 @@ void ResourceGuard::rearm() {
   counters_ = Counters{};
   cancelled_.store(false, std::memory_order_relaxed);
   clockCountdown_ = 0;
-  if (limits_.deadlineSeconds > 0.0) startSeconds_ = nowSeconds();
+  if (limits_.deadlineSeconds > 0.0) startSeconds_ = util::monotonicSeconds();
 }
 
 void ResourceGuard::failAfter(uint64_t n) {
@@ -120,12 +114,13 @@ std::string ResourceGuard::reason() const {
 
 bool ResourceGuard::trip(Budget kind) {
   tripped_ = kind;
+  if (onTrip_) onTrip_(kind, reason());
   return false;
 }
 
 bool ResourceGuard::sampleDeadline() {
   if (limits_.deadlineSeconds <= 0.0) return true;
-  if (nowSeconds() - startSeconds_ >= limits_.deadlineSeconds) {
+  if (util::monotonicSeconds() - startSeconds_ >= limits_.deadlineSeconds) {
     return trip(Budget::Deadline);
   }
   return true;
@@ -185,7 +180,8 @@ double ResourceGuard::remainingSeconds() const {
   if (limits_.deadlineSeconds <= 0.0) {
     return std::numeric_limits<double>::infinity();
   }
-  double left = limits_.deadlineSeconds - (nowSeconds() - startSeconds_);
+  double left =
+      limits_.deadlineSeconds - (util::monotonicSeconds() - startSeconds_);
   return left > 0.0 ? left : 0.0;
 }
 

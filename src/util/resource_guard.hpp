@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -129,6 +130,15 @@ class ResourceGuard {
   /// Precondition: tripped().
   [[noreturn]] void throwTripped() const;
 
+  /// Observer invoked exactly once per trip, with the tripped budget and
+  /// the machine-readable reason() string. Observability wiring (a
+  /// Session or the CLI) points this at obs::Tracer::event so budget
+  /// trips become first-class trace events; the guard itself stays free
+  /// of any obs dependency. Cold path: runs only when a budget trips.
+  void onTrip(std::function<void(Budget, const std::string&)> fn) {
+    onTrip_ = std::move(fn);
+  }
+
  private:
   bool charge(Budget kind, uint64_t n, uint64_t& used, uint64_t limit);
   bool common();           // cancellation + fault injection + deadline
@@ -137,6 +147,7 @@ class ResourceGuard {
 
   ResourceLimits limits_;
   Counters counters_;
+  std::function<void(Budget, const std::string&)> onTrip_;
   bool active_ = false;
   Budget tripped_ = Budget::None;
   std::atomic<bool> cancelled_{false};

@@ -1,27 +1,79 @@
-// Monotonic stopwatch used by benchmarks and the Table-4 harness.
+// Monotonic time utilities shared by the engine, the observability layer
+// and the benchmark harnesses.
 #pragma once
 
 #include <chrono>
 
 namespace faure::util {
 
-/// Wall-clock stopwatch over std::chrono::steady_clock.
+/// Seconds on the monotonic clock (std::chrono::steady_clock), measured
+/// from an arbitrary epoch. The single clock-sampling helper everything
+/// else (Stopwatch, ResourceGuard deadlines, obs::Tracer timestamps)
+/// builds on — no hand-rolled chrono arithmetic elsewhere.
+inline double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock stopwatch over the monotonic clock.
 /// Starts running on construction; elapsed() can be sampled repeatedly.
+/// pause()/resume() exclude stretches from the total, and lap() carves
+/// the running total into consecutive segments.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(monotonicSeconds()), lapStart_(start_) {}
 
-  /// Restarts the stopwatch.
-  void reset() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction or the last reset().
-  double elapsed() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+  /// Restarts the stopwatch (running, totals and laps cleared).
+  void reset() {
+    start_ = monotonicSeconds();
+    lapStart_ = start_;
+    accumulated_ = 0.0;
+    lapAccumulated_ = 0.0;
+    running_ = true;
   }
 
+  /// Seconds elapsed since construction or the last reset(), excluding
+  /// paused stretches.
+  double elapsed() const {
+    return accumulated_ + (running_ ? monotonicSeconds() - start_ : 0.0);
+  }
+
+  /// Seconds since the last lap()/reset() (paused stretches excluded),
+  /// and starts the next lap. The overall elapsed() keeps running.
+  double lap() {
+    double now = running_ ? monotonicSeconds() : 0.0;
+    double seg = lapAccumulated_ + (running_ ? now - lapStart_ : 0.0);
+    lapAccumulated_ = 0.0;
+    if (running_) lapStart_ = now;
+    return seg;
+  }
+
+  /// Stops accumulating time until resume(). Idempotent.
+  void pause() {
+    if (!running_) return;
+    double now = monotonicSeconds();
+    accumulated_ += now - start_;
+    lapAccumulated_ += now - lapStart_;
+    running_ = false;
+  }
+
+  /// Restarts accumulation after pause(). Idempotent.
+  void resume() {
+    if (running_) return;
+    start_ = monotonicSeconds();
+    lapStart_ = start_;
+    running_ = true;
+  }
+
+  bool running() const { return running_; }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  double start_;           // clock at last resume/reset (while running)
+  double lapStart_;        // clock at last lap boundary (while running)
+  double accumulated_ = 0.0;     // completed running stretches
+  double lapAccumulated_ = 0.0;  // completed stretches of the current lap
+  bool running_ = true;
 };
 
 }  // namespace faure::util

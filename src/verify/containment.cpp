@@ -142,6 +142,7 @@ bool ruleCovered(const Rule& r, const dl::Program& constraintUnion,
 
   smt::NativeSolver solver(canonical.cvars(), opts.solverOptions);
   solver.setGuard(opts.guard);
+  solver.setTracer(opts.tracer);
   if (solver.check(premise) == smt::Sat::Unsat) {
     return true;  // the target rule can never fire: vacuously covered
   }
@@ -149,6 +150,7 @@ bool ruleCovered(const Rule& r, const dl::Program& constraintUnion,
   fl::EvalOptions evalOpts;
   evalOpts.openWorldNegation = &negatives;
   evalOpts.guard = opts.guard;
+  evalOpts.tracer = opts.tracer;
   auto res = fl::evalFaure(constraintUnion, canonical, &solver, evalOpts);
   if (res.incomplete) {
     *incomplete = true;
@@ -191,10 +193,27 @@ SubsumptionResult subsumes(const Constraint& target,
   std::vector<Rule> flat =
       unfoldGoalRules(target.program, Constraint::kGoal, opts.maxUnfoldRules);
 
+  obs::Span span(opts.tracer, "verify.subsumption");
+  if (span) {
+    span.note("target", target.name);
+    span.note("goal_rules", std::to_string(flat.size()));
+  }
+
   SubsumptionResult result;
   for (size_t i = 0; i < flat.size(); ++i) {
+    obs::Span ruleSpan;
+    if (opts.tracer != nullptr) {
+      ruleSpan = obs::Span(opts.tracer,
+                           "verify.rule[" + std::to_string(i) + "]");
+    }
     bool incomplete = false;
-    if (!ruleCovered(flat[i], constraintUnion, srcReg, opts, &incomplete)) {
+    bool covered =
+        ruleCovered(flat[i], constraintUnion, srcReg, opts, &incomplete);
+    if (ruleSpan) {
+      ruleSpan.note("covered", covered ? "true" : "false");
+      if (incomplete) ruleSpan.note("incomplete", "true");
+    }
+    if (!covered) {
       result.subsumed = false;
       result.uncoveredRule = i;
       result.witness = flat[i];
@@ -202,10 +221,12 @@ SubsumptionResult subsumes(const Constraint& target,
       if (incomplete && opts.guard != nullptr) {
         result.reason = opts.guard->reason();
       }
+      if (span) span.note("subsumed", incomplete ? "unknown" : "false");
       return result;
     }
   }
   result.subsumed = true;
+  if (span) span.note("subsumed", "true");
   return result;
 }
 

@@ -31,6 +31,10 @@ struct SubsumptionOptions {
   /// charge this guard; a trip degrades the whole test to "not subsumed"
   /// (the verifier's UNKNOWN) with SubsumptionResult::incomplete set.
   ResourceGuard* guard = nullptr;
+  /// Observability: a `verify.subsumption` span wrapping one
+  /// `verify.rule[i]` span per unfolded goal rule, with the per-check
+  /// solver and evaluation wired into the same tracer (obs/trace.hpp).
+  obs::Tracer* tracer = nullptr;
 };
 
 struct SubsumptionResult {

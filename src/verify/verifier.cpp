@@ -1,6 +1,7 @@
 #include "verify/verifier.hpp"
 
 #include "faurelog/eval.hpp"
+#include "obs/trace.hpp"
 #include "smt/simplify.hpp"
 
 namespace faure::verify {
@@ -39,12 +40,17 @@ Verdict RelativeVerifier::checkWithUpdate(const Constraint& target,
   return checkSubsumption(rewritten, known);
 }
 
-StateCheck RelativeVerifier::checkOnState(const Constraint& target,
-                                          const rel::Database& db,
-                                          smt::SolverBase& solver) {
+namespace {
+
+// The actual containment check; the public wrapper adds the
+// `verify.check_on_state` span so every return path shares one
+// verdict-annotation point.
+StateCheck checkOnStateImpl(const Constraint& target, const rel::Database& db,
+                            smt::SolverBase& solver) {
   StateCheck out;
   fl::EvalOptions evalOpts;
-  evalOpts.guard = solver.guard();  // govern eval and solver alike
+  evalOpts.guard = solver.guard();    // govern eval and solver alike
+  evalOpts.tracer = solver.tracer();  // and observe them alike
   auto res = fl::evalFaure(target.program, db, &solver, evalOpts);
   if (res.incomplete) {
     // Derived-so-far panic tuples cannot decide the verdict: the missing
@@ -107,6 +113,28 @@ StateCheck RelativeVerifier::checkOnState(const Constraint& target,
     out.verdict = Verdict::Violated;
   } else {
     out.verdict = Verdict::ConditionallyViolated;
+  }
+  return out;
+}
+
+}  // namespace
+
+StateCheck RelativeVerifier::checkOnState(const Constraint& target,
+                                          const rel::Database& db,
+                                          smt::SolverBase& solver) {
+  obs::Tracer* tracer = solver.tracer();
+  obs::Span span(tracer, "verify.check_on_state");
+  if (span) span.note("constraint", target.name);
+  StateCheck out = checkOnStateImpl(target, db, solver);
+  std::string_view verdict = verdictText(out.verdict);
+  if (span) {
+    span.note("verdict", verdict);
+    if (out.incomplete) span.note("incomplete", out.reason);
+  }
+  if (tracer != nullptr) {
+    tracer->metrics()
+        .counter("verify.verdict." + std::string(verdict))
+        .add();
   }
   return out;
 }

@@ -133,5 +133,97 @@ TEST(SessionTest, Z3BackendIfAvailable) {
   EXPECT_TRUE(res.relation("Q").empty());  // pruned by Z3
 }
 
+TEST(SessionTest, TracerRecordsSpansMetricsAndBudgetTrips) {
+  Session s;
+  obs::Tracer tracer;
+  s.setTracer(&tracer);
+  EXPECT_EQ(s.tracer(), &tracer);
+  s.load(
+      "table E(a int, b int)\n"
+      "row E 1 2\nrow E 2 3\nrow E 3 4\n");
+  auto res = s.run(
+      "R(x,y) :- E(x,y).\n"
+      "R(x,y) :- E(x,z), R(z,y).\n");
+  EXPECT_EQ(res.relation("R").size(), 6u);
+
+  // session.run -> eval -> stratum -> rule nesting.
+  auto spans = tracer.spans();
+  bool sawRun = false, sawEval = false, sawRule = false;
+  for (const auto& sp : spans) {
+    if (sp.name == "session.run") sawRun = true;
+    if (sp.name == "eval") sawEval = true;
+    if (sp.name.rfind("rule[", 0) == 0) sawRule = true;
+  }
+  EXPECT_TRUE(sawRun);
+  EXPECT_TRUE(sawEval);
+  EXPECT_TRUE(sawRule);
+  obs::MetricsSnapshot snap = tracer.metrics().snapshot();
+  EXPECT_EQ(snap.counter("eval.inserted"), 6u);
+  EXPECT_GT(snap.counter("solver.checks"), 0u);
+
+  // A governed, starved operation surfaces its trip as a budget.trip
+  // event carrying the guard's reason.
+  ResourceLimits limits;
+  limits.maxTuples = 1;
+  s.setResourceLimits(limits);
+  auto degraded = s.run(
+      "S(x,y) :- E(x,y).\n"
+      "S(x,y) :- E(x,z), S(z,y).\n");
+  EXPECT_TRUE(degraded.incomplete);
+  auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "budget.trip");
+  EXPECT_EQ(events[0].detail, "tuples(limit=1)");
+
+  // Detaching stops recording.
+  s.setTracer(nullptr);
+  s.setResourceLimits(ResourceLimits{});
+  s.run("T(x) :- E(x, y).");
+  EXPECT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.metrics().snapshot().counter("eval.evaluations"), 2u);
+}
+
+TEST(SessionTest, ResetStatsZeroesSolverAndRegistry) {
+  Session s;
+  obs::Tracer tracer;
+  s.setTracer(&tracer);
+  s.load("table E(a int, b int)\nrow E 1 2\n");
+  s.run("R(x,y) :- E(x,y).");
+  EXPECT_GT(s.solver().stats().checks, 0u);
+  EXPECT_GT(tracer.metrics().snapshot().counter("solver.checks"), 0u);
+  s.resetStats();
+  EXPECT_EQ(s.solver().stats().checks, 0u);
+  EXPECT_EQ(tracer.metrics().snapshot().counter("solver.checks"), 0u);
+  EXPECT_EQ(tracer.metrics().snapshot().counter("eval.evaluations"), 0u);
+}
+
+TEST(SessionTest, PerOperationResetMakesStatsPerCall) {
+  Session s;
+  s.load(
+      "table E(a int, b int)\n"
+      "row E 1 2\nrow E 2 3\nrow E 3 4\n");
+
+  // Default: stats accumulate across operations.
+  s.run("R(x,y) :- E(x,y).");
+  uint64_t afterFirst = s.solver().stats().checks;
+  EXPECT_GT(afterFirst, 0u);
+  s.run("S(x,y) :- E(x,y).");
+  EXPECT_GT(s.solver().stats().checks, afterFirst);
+
+  // Per-operation mode: each call starts from zero.
+  s.resetStatsPerOperation(true);
+  s.run("T(x,y) :- E(x,y).");
+  uint64_t perOp = s.solver().stats().checks;
+  EXPECT_GT(perOp, 0u);
+  s.run("U(x,y) :- E(x,y).");
+  EXPECT_EQ(s.solver().stats().checks, perOp);  // same work, fresh counter
+
+  // Switching back restores accumulation.
+  s.resetStatsPerOperation(false);
+  uint64_t base = s.solver().stats().checks;
+  s.run("V(x,y) :- E(x,y).");
+  EXPECT_GT(s.solver().stats().checks, base);
+}
+
 }  // namespace
 }  // namespace faure

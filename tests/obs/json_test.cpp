@@ -1,0 +1,87 @@
+// JSON writer/parser (obs/json.hpp): escaping, compact numbers, writer
+// structure, and writer -> parser round trips — the exporters and the
+// report tests both lean on these guarantees.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace faure::obs::json {
+namespace {
+
+TEST(JsonTest, QuoteEscapes) {
+  EXPECT_EQ(quote("plain"), "\"plain\"");
+  EXPECT_EQ(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(JsonTest, NumberIsCompactAndFinite) {
+  EXPECT_EQ(number(3.0), "3");
+  EXPECT_EQ(number(0.25), "0.25");
+  EXPECT_EQ(number(-2.0), "-2");
+  // Non-finite values must never produce non-JSON tokens.
+  EXPECT_EQ(number(std::nan("")), "0");
+  Value v = parse(number(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(v.kind, Value::Kind::Number);
+}
+
+TEST(JsonTest, WriterBuildsNestedStructure) {
+  Writer w;
+  w.beginObject()
+      .member("name", "faure")
+      .member("count", uint64_t{3})
+      .key("nested")
+      .beginArray()
+      .value(1)
+      .value(true)
+      .null()
+      .endArray()
+      .endObject();
+  EXPECT_EQ(w.str(), "{\"name\":\"faure\",\"count\":3,"
+                     "\"nested\":[1,true,null]}");
+}
+
+TEST(JsonTest, RoundTripThroughParser) {
+  Writer w;
+  w.beginObject()
+      .member("schema", "faure.run_report/1")
+      .member("wall", 0.125)
+      .key("spans")
+      .beginArray()
+      .beginObject()
+      .member("id", 0)
+      .member("name", "eval \"quoted\"")
+      .endObject()
+      .endArray()
+      .endObject();
+  Value v = parse(w.str());
+  ASSERT_TRUE(v.isObject());
+  ASSERT_NE(v.find("schema"), nullptr);
+  EXPECT_EQ(v.find("schema")->str, "faure.run_report/1");
+  EXPECT_DOUBLE_EQ(v.find("wall")->num, 0.125);
+  ASSERT_TRUE(v.find("spans")->isArray());
+  ASSERT_EQ(v.find("spans")->items.size(), 1u);
+  EXPECT_EQ(v.find("spans")->items[0].find("name")->str, "eval \"quoted\"");
+}
+
+TEST(JsonTest, ParserHandlesEscapesAndLiterals) {
+  Value v = parse(R"({"s":"a\u0041\n","t":true,"f":false,"n":null})");
+  EXPECT_EQ(v.find("s")->str, "aA\n");
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_FALSE(v.find("f")->boolean);
+  EXPECT_EQ(v.find("n")->kind, Value::Kind::Null);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1,]"), Error);
+  EXPECT_THROW(parse("{} trailing"), Error);
+  EXPECT_THROW(parse("'single'"), Error);
+}
+
+}  // namespace
+}  // namespace faure::obs::json

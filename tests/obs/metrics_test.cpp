@@ -1,0 +1,110 @@
+// Metrics registry (obs/metrics.hpp): handle stability, accumulation,
+// snapshot determinism, and the reset semantics Session::resetStats
+// relies on.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace faure::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("eval.derivations");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, HandlesAreStableAcrossLookups) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  // Enough churn to force rehashing in a node-unstable container.
+  for (int i = 0; i < 256; ++i) {
+    reg.counter("churn." + std::to_string(i));
+  }
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(MetricsTest, GaugeKeepsLastValue) {
+  Registry reg;
+  Gauge& g = reg.gauge("table4[1000].wall_seconds");
+  g.set(1.5);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(MetricsTest, HistogramSummarises) {
+  Registry reg;
+  Histogram& h = reg.histogram("solver.check_seconds");
+  EXPECT_EQ(h.summary().count, 0u);
+  h.observe(0.25);
+  h.observe(0.75);
+  h.observe(0.5);
+  Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 1.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 0.75);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndComplete) {
+  Registry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("g").set(3.0);
+  reg.histogram("h").observe(4.0);
+  MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a");
+  EXPECT_EQ(snap.counters[1].first, "b");
+  EXPECT_EQ(snap.counter("b"), 2u);
+  EXPECT_EQ(snap.counter("absent"), 0u);
+  EXPECT_EQ(snap.histogram("h").count, 1u);
+  EXPECT_EQ(snap.histogram("absent").count, 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 3.0);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsHandles) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.add(5);
+  g.set(5.0);
+  h.observe(5.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.summary().count, 0u);
+  // Handles stay live and usable after the reset.
+  c.add(1);
+  EXPECT_EQ(reg.snapshot().counter("c"), 1u);
+}
+
+TEST(MetricsTest, ConcurrentCounterUpdatesAreLossless) {
+  Registry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace faure::obs

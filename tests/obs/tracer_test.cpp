@@ -1,0 +1,217 @@
+// Span tracer (obs/trace.hpp) wired through the evaluator: span nesting
+// under recursion, event attribution, the span cap, and the contract
+// that a disabled tracer changes nothing about evaluation results.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "datalog/parser.hpp"
+#include "faurelog/eval.hpp"
+#include "obs/json.hpp"
+
+namespace faure::obs {
+namespace {
+
+rel::Schema anySchema(const std::string& name, size_t arity) {
+  std::vector<rel::Attribute> attrs(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    attrs[i] = rel::Attribute{"a" + std::to_string(i), ValueType::Any};
+  }
+  return rel::Schema(name, attrs);
+}
+
+/// Chain graph 0 -> 1 -> ... -> n plus the transitive-closure program:
+/// recursion deep enough for a multi-round fixpoint.
+void loadChain(rel::Database& db, int n) {
+  auto& e = db.create(anySchema("E", 2));
+  for (int i = 0; i < n; ++i) {
+    e.insertConcrete({Value::fromInt(i), Value::fromInt(i + 1)});
+  }
+}
+
+constexpr const char* kClosure =
+    "R(x,y) :- E(x,y).\n"
+    "R(x,y) :- E(x,z), R(z,y).\n";
+
+int depthOf(const std::vector<SpanRecord>& spans, const SpanRecord& s) {
+  int depth = 0;
+  size_t parent = s.parent;
+  while (parent != kNoSpan) {
+    ++depth;
+    parent = spans[parent].parent;
+  }
+  return depth;
+}
+
+TEST(TracerTest, SpanBasics) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    outer.note("k", "v");
+    Span inner(&tracer, "inner");
+  }
+  auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  for (const auto& s : spans) {
+    EXPECT_GE(s.end, s.start);  // all closed
+  }
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "k");
+}
+
+TEST(TracerTest, NullTracerSpansAreNoops) {
+  Span s(nullptr, "ghost");
+  s.note("k", "v");
+  EXPECT_FALSE(static_cast<bool>(s));
+}
+
+TEST(TracerTest, RecursiveEvaluationNestsAtLeastThreeLevels) {
+  rel::Database db;
+  loadChain(db, 8);
+  Tracer tracer;
+  fl::EvalOptions opts;
+  opts.tracer = &tracer;
+  smt::NativeSolver solver(db.cvars());
+  auto res = fl::evalFaure(dl::parseProgram(kClosure, db.cvars()), db,
+                           &solver, opts);
+  EXPECT_EQ(res.relation("R").size(), 36u);
+
+  auto spans = tracer.spans();
+  int maxDepth = 0;
+  bool sawEval = false, sawStratum = false, sawRule = false;
+  for (const auto& s : spans) {
+    maxDepth = std::max(maxDepth, depthOf(spans, s));
+    if (s.name == "eval") sawEval = true;
+    if (s.name == "stratum[0]") sawStratum = true;
+    if (s.name == "rule[1:R]") sawRule = true;
+  }
+  // eval (0) -> stratum (1) -> rule (2): three levels of nesting.
+  EXPECT_GE(maxDepth, 2);
+  EXPECT_TRUE(sawEval);
+  EXPECT_TRUE(sawStratum);
+  EXPECT_TRUE(sawRule);
+
+  // The recursive rule runs once per fixpoint round: more rule spans
+  // than rules proves the tree tracks rounds, not just program shape.
+  size_t ruleSpans = 0;
+  for (const auto& s : spans) {
+    if (s.name.rfind("rule[", 0) == 0) ++ruleSpans;
+  }
+  EXPECT_GT(ruleSpans, 2u);
+
+  // Per-rule counters: the base rule inserts the 8 edges; both rules
+  // together account for every aggregate derivation.
+  MetricsSnapshot snap = tracer.metrics().snapshot();
+  EXPECT_EQ(snap.counter("eval.rule[0:R].inserted"), 8u);
+  EXPECT_EQ(snap.counter("eval.rule[0:R].inserted") +
+                snap.counter("eval.rule[1:R].inserted"),
+            snap.counter("eval.inserted"));
+  EXPECT_EQ(snap.counter("eval.rule[0:R].derivations") +
+                snap.counter("eval.rule[1:R].derivations"),
+            snap.counter("eval.derivations"));
+  EXPECT_EQ(snap.counter("eval.inserted"), 36u);
+}
+
+TEST(TracerTest, DisabledTracerYieldsIdenticalResults) {
+  auto evalOnce = [](Tracer* tracer) {
+    rel::Database db;
+    loadChain(db, 10);
+    fl::EvalOptions opts;
+    opts.tracer = tracer;
+    smt::NativeSolver solver(db.cvars());
+    return fl::evalFaure(dl::parseProgram(kClosure, db.cvars()), db, &solver,
+                         opts);
+  };
+  Tracer tracer;
+  auto traced = evalOnce(&tracer);
+  auto plain = evalOnce(nullptr);
+  EXPECT_EQ(plain.relation("R").size(), traced.relation("R").size());
+  EXPECT_EQ(plain.stats.derivations, traced.stats.derivations);
+  EXPECT_EQ(plain.stats.inserted, traced.stats.inserted);
+  EXPECT_EQ(plain.stats.iterations, traced.stats.iterations);
+}
+
+TEST(TracerTest, EventsAttachToInnermostSpanAndCount) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    {
+      Span inner(&tracer, "inner");
+      tracer.event("budget.trip", "tuples(limit=1)");
+    }
+    tracer.event("budget.trip", "steps(limit=2)");
+  }
+  auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].span, 1u);  // inner
+  EXPECT_EQ(events[0].detail, "tuples(limit=1)");
+  EXPECT_EQ(events[1].span, 0u);  // outer again after inner closed
+  EXPECT_EQ(tracer.metrics().snapshot().counter("events.budget.trip"), 2u);
+}
+
+TEST(TracerTest, SpanCapDropsButStaysBalanced) {
+  TracerOptions opts;
+  opts.maxSpans = 2;
+  Tracer tracer(opts);
+  {
+    Span a(&tracer, "a");
+    Span b(&tracer, "b");
+    Span c(&tracer, "c");  // over the cap: dropped
+    Span d(&tracer, "d");  // dropped too
+  }
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.droppedSpans(), 2u);
+  // The stack unwound cleanly: a new root span is recorded as a root.
+  {
+    Span e(&tracer, "e");
+  }
+  EXPECT_EQ(tracer.droppedSpans(), 3u);  // still capped, but balanced
+}
+
+TEST(TracerTest, DumpTreeShowsHierarchyDurationsAndEvents) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "eval");
+    outer.note("rules", "2");
+    Span inner(&tracer, "stratum[0]");
+    tracer.event("budget.trip", "deadline(limit=0.1s)");
+  }
+  std::string tree = tracer.dumpTree();
+  EXPECT_NE(tree.find("eval"), std::string::npos);
+  EXPECT_NE(tree.find("  stratum[0]"), std::string::npos);
+  EXPECT_NE(tree.find("rules=2"), std::string::npos);
+  EXPECT_NE(tree.find("budget.trip"), std::string::npos);
+  EXPECT_NE(tree.find("s"), std::string::npos);  // durations present
+}
+
+TEST(TracerTest, ChromeTraceIsValidJson) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "run");
+    outer.note("database", "x.fdb");
+    Span inner(&tracer, "eval");
+    tracer.event("budget.trip", "tuples(limit=1)");
+  }
+  json::Value v = json::parse(tracer.chromeTrace());
+  ASSERT_TRUE(v.isArray());
+  // Two complete events + one instant event.
+  ASSERT_EQ(v.items.size(), 3u);
+  bool sawComplete = false, sawInstant = false;
+  for (const auto& ev : v.items) {
+    ASSERT_NE(ev.find("ph"), nullptr);
+    if (ev.find("ph")->str == "X") sawComplete = true;
+    if (ev.find("ph")->str == "i") sawInstant = true;
+  }
+  EXPECT_TRUE(sawComplete);
+  EXPECT_TRUE(sawInstant);
+}
+
+}  // namespace
+}  // namespace faure::obs

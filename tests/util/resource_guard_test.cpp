@@ -177,5 +177,38 @@ TEST(ResourceGuardTest, ThrowTrippedCarriesKindAndLimit) {
   EXPECT_THROW(h.throwTripped(), Error);
 }
 
+TEST(ResourceGuardTest, OnTripCallbackFiresOnceWithReason) {
+  ResourceLimits limits;
+  limits.maxTuples = 2;
+  ResourceGuard guard(limits);
+  int fired = 0;
+  Budget seenKind = Budget::None;
+  std::string seenReason;
+  guard.onTrip([&](Budget kind, const std::string& reason) {
+    ++fired;
+    seenKind = kind;
+    seenReason = reason;
+  });
+  EXPECT_TRUE(guard.chargeTuples(1));
+  EXPECT_TRUE(guard.chargeTuples(1));
+  EXPECT_FALSE(guard.chargeTuples(1));  // trips here
+  EXPECT_FALSE(guard.chargeTuples(1));  // already tripped: no re-fire
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(seenKind, Budget::Tuples);
+  EXPECT_EQ(seenReason, guard.reason());
+  EXPECT_EQ(seenReason, "tuples(limit=2)");
+
+  // rearm() restores the budget; the callback stays attached.
+  guard.rearm();
+  EXPECT_TRUE(guard.chargeTuples(2));
+  EXPECT_FALSE(guard.chargeTuples(1));
+  EXPECT_EQ(fired, 2);
+
+  guard.onTrip(nullptr);  // detach
+  guard.rearm();
+  guard.chargeTuples(3);
+  EXPECT_EQ(fired, 2);
+}
+
 }  // namespace
 }  // namespace faure

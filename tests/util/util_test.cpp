@@ -1,4 +1,5 @@
-// Unit tests for util: interning, string helpers, deterministic RNG.
+// Unit tests for util: interning, string helpers, deterministic RNG,
+// and the monotonic stopwatch.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -6,6 +7,7 @@
 #include "util/interner.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/timer.hpp"
 
 namespace faure::util {
 namespace {
@@ -101,6 +103,66 @@ TEST(RngTest, RangeCoversAllValues) {
   std::set<int64_t> seen;
   for (int i = 0; i < 200; ++i) seen.insert(rng.range(0, 4));
   EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch w;
+  double a = w.elapsed();
+  double b = w.elapsed();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_TRUE(w.running());
+}
+
+TEST(StopwatchTest, ResetClearsTotals) {
+  Stopwatch w;
+  while (w.elapsed() <= 0.0) {
+  }
+  w.reset();
+  EXPECT_LT(w.elapsed(), 1.0);
+  EXPECT_TRUE(w.running());
+}
+
+TEST(StopwatchTest, LapCarvesConsecutiveSegments) {
+  Stopwatch w;
+  double lap1 = w.lap();
+  double lap2 = w.lap();
+  EXPECT_GE(lap1, 0.0);
+  EXPECT_GE(lap2, 0.0);
+  // Laps partition the running total: their sum never exceeds elapsed.
+  EXPECT_LE(lap1 + lap2, w.elapsed() + lap1 + lap2);
+  double total = w.elapsed();
+  EXPECT_GE(total, lap1 + lap2);
+}
+
+TEST(StopwatchTest, PauseExcludesTime) {
+  Stopwatch w;
+  w.pause();
+  EXPECT_FALSE(w.running());
+  double frozen = w.elapsed();
+  // Burn some real time while paused; the reading must not move.
+  double spinUntil = monotonicSeconds() + 0.01;
+  while (monotonicSeconds() < spinUntil) {
+  }
+  EXPECT_DOUBLE_EQ(w.elapsed(), frozen);
+  w.pause();  // idempotent
+  EXPECT_DOUBLE_EQ(w.elapsed(), frozen);
+  w.resume();
+  w.resume();  // idempotent
+  EXPECT_TRUE(w.running());
+  EXPECT_GE(w.elapsed(), frozen);
+}
+
+TEST(StopwatchTest, LapWhilePausedReturnsAccumulatedSegment) {
+  Stopwatch w;
+  double spinUntil = monotonicSeconds() + 0.002;
+  while (monotonicSeconds() < spinUntil) {
+  }
+  w.pause();
+  double lap = w.lap();
+  EXPECT_GT(lap, 0.0);
+  // The lap was consumed: the next one (still paused) is empty.
+  EXPECT_DOUBLE_EQ(w.lap(), 0.0);
 }
 
 }  // namespace

@@ -13,6 +13,15 @@
 //   --solver z3       use the Z3 backend (if built in)
 //   --stats           print evaluation + solver statistics
 //
+// Observability (run and check; see DESIGN.md "Observability"):
+//   --trace           human-readable span tree on stderr
+//   --trace=FILE      Chrome trace_event JSON to FILE (about://tracing)
+//   --metrics         JSON run report on stdout (replaces normal output,
+//                     so the stream stays parseable)
+//   --metrics=FILE    JSON run report to FILE, normal output kept
+// FAURE_TRACE_FINE=1 additionally records per-join / per-solver-check
+// spans (they dominate the span count on solver-heavy runs).
+//
 // Resource governance (run and check; see DESIGN.md "Resource
 // governance & degradation"): on budget exhaustion the engine degrades —
 // run prints the tuples derived so far plus `incomplete: <reason>` and
@@ -37,6 +46,8 @@
 #include "datalog/parser.hpp"
 #include "faurelog/eval.hpp"
 #include "faurelog/textio.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "relational/worlds.hpp"
 #include "smt/z3_solver.hpp"
 #include "util/error.hpp"
@@ -61,10 +72,14 @@ int usage() {
       "usage:\n"
       "  faure run <db.fdb> <program.fl> [--relation NAME] [--simplify]\n"
       "            [--solver native|z3] [--stats] [--db-out FILE]\n"
-      "            [budget options]\n"
-      "  faure check <db.fdb> <constraint.fl> [--stats] [budget options]\n"
+      "            [observability options] [budget options]\n"
+      "  faure check <db.fdb> <constraint.fl> [--stats]\n"
+      "            [observability options] [budget options]\n"
       "  faure worlds <db.fdb> [cap]\n"
       "  faure fmt <db.fdb>\n"
+      "observability options (DESIGN.md \"Observability\"):\n"
+      "  --trace[=FILE]    span tree on stderr / Chrome trace to FILE\n"
+      "  --metrics[=FILE]  JSON run report on stdout / to FILE\n"
       "budget options (degrade to incomplete/unknown, never hang):\n"
       "  --deadline S  --max-steps N  --max-tuples N\n"
       "  --max-solver-checks N  --fail-after N\n");
@@ -95,15 +110,104 @@ bool parseBudgetFlag(int argc, char** argv, int& i, ResourceLimits& limits) {
   return true;
 }
 
-void printSolverStats(const smt::SolverStats& s) {
+/// Observability flags shared by run and check.
+struct ObsFlags {
+  bool stats = false;
+  bool trace = false;
+  const char* traceFile = nullptr;  // null: human tree on stderr
+  bool metrics = false;
+  const char* metricsFile = nullptr;  // null: report on stdout
+
+  bool any() const { return stats || trace || metrics; }
+  /// Bare --metrics owns stdout: normal output is suppressed so the
+  /// stream is a single parseable JSON document.
+  bool quietStdout() const { return metrics && metricsFile == nullptr; }
+};
+
+bool parseObsFlag(const char* arg, ObsFlags& obs) {
+  if (std::strcmp(arg, "--stats") == 0) {
+    obs.stats = true;
+  } else if (std::strcmp(arg, "--trace") == 0) {
+    obs.trace = true;
+  } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+    obs.trace = true;
+    obs.traceFile = arg + 8;
+  } else if (std::strcmp(arg, "--metrics") == 0) {
+    obs.metrics = true;
+  } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+    obs.metrics = true;
+    obs.metricsFile = arg + 10;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// One tracer per invocation when any observability output is requested
+/// (--stats reads its numbers back from the registry).
+std::unique_ptr<obs::Tracer> makeTracer(const ObsFlags& flags) {
+  if (!flags.any()) return nullptr;
+  obs::TracerOptions topts;
+  const char* fine = std::getenv("FAURE_TRACE_FINE");
+  topts.fineSpans = fine != nullptr && *fine != '\0' && *fine != '0';
+  return std::make_unique<obs::Tracer>(topts);
+}
+
+void writeFileOrThrow(const char* path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw Error(std::string("cannot write '") + path + "'");
+  out << text;
+}
+
+/// Emits the requested --trace / --metrics artifacts. Called after the
+/// top-level span is closed so the exported tree is complete.
+void exportObs(const obs::Tracer& tracer, const ObsFlags& flags,
+               const obs::ReportMeta& meta) {
+  if (flags.trace) {
+    if (flags.traceFile != nullptr) {
+      writeFileOrThrow(flags.traceFile, tracer.chromeTrace());
+    } else {
+      std::fputs(tracer.dumpTree().c_str(), stderr);
+    }
+  }
+  if (flags.metrics) {
+    std::string report = obs::runReportJson(tracer, meta);
+    if (flags.metricsFile != nullptr) {
+      writeFileOrThrow(flags.metricsFile, report);
+    } else {
+      std::printf("%s\n", report.c_str());
+    }
+  }
+}
+
+/// `--stats` output, sourced from the metrics registry (the canonical
+/// store; the line format predates it and is kept stable for scripts).
+void printSolverStats(const obs::MetricsSnapshot& snap) {
   std::printf(
       "solver: %llu checks, %llu unsat, %llu unknown, "
       "%llu budget-trips, %llu enumerations, %.3fs\n",
-      static_cast<unsigned long long>(s.checks),
-      static_cast<unsigned long long>(s.unsat),
-      static_cast<unsigned long long>(s.unknown),
-      static_cast<unsigned long long>(s.budgetTrips),
-      static_cast<unsigned long long>(s.enumerations), s.seconds);
+      static_cast<unsigned long long>(snap.counter("solver.checks")),
+      static_cast<unsigned long long>(snap.counter("solver.unsat")),
+      static_cast<unsigned long long>(snap.counter("solver.unknown")),
+      static_cast<unsigned long long>(snap.counter("solver.budget_trips")),
+      static_cast<unsigned long long>(snap.counter("solver.enumerations")),
+      snap.histogram("solver.check_seconds").sum);
+}
+
+void printEvalStats(const obs::MetricsSnapshot& snap) {
+  std::printf(
+      "stats: %llu derivations, %llu inserted, %llu pruned-unsat, "
+      "%llu subsumed, %zu rounds, %llu budget-trips, sql %.3fs, "
+      "solver %.3fs (%llu checks)\n",
+      static_cast<unsigned long long>(snap.counter("eval.derivations")),
+      static_cast<unsigned long long>(snap.counter("eval.inserted")),
+      static_cast<unsigned long long>(snap.counter("eval.pruned_unsat")),
+      static_cast<unsigned long long>(snap.counter("eval.subsumed")),
+      static_cast<size_t>(snap.counter("eval.rounds")),
+      static_cast<unsigned long long>(snap.counter("eval.budget_trips")),
+      snap.histogram("eval.sql_seconds").sum,
+      snap.histogram("eval.solver_seconds").sum,
+      static_cast<unsigned long long>(snap.counter("solver.checks")));
 }
 
 std::unique_ptr<smt::SolverBase> makeSolver(const rel::Database& db,
@@ -125,19 +229,19 @@ int cmdRun(int argc, char** argv) {
   const char* solverName = "native";
   const char* dbOut = nullptr;
   bool simplify = false;
-  bool stats = false;
+  ObsFlags obsFlags;
   ResourceLimits limits = ResourceLimits::fromEnv();
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--relation") == 0 && i + 1 < argc) {
       relation = argv[++i];
     } else if (std::strcmp(argv[i], "--simplify") == 0) {
       simplify = true;
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
-      stats = true;
     } else if (std::strcmp(argv[i], "--solver") == 0 && i + 1 < argc) {
       solverName = argv[++i];
     } else if (std::strcmp(argv[i], "--db-out") == 0 && i + 1 < argc) {
       dbOut = argv[++i];
+    } else if (parseObsFlag(argv[i], obsFlags)) {
+      continue;
     } else if (parseBudgetFlag(argc, argv, i, limits)) {
       continue;
     } else {
@@ -147,15 +251,31 @@ int cmdRun(int argc, char** argv) {
   rel::Database db = fl::parseDatabase(readFile(argv[0]));
   dl::Program program = dl::parseProgram(readFile(argv[1]), db.cvars());
   auto solver = makeSolver(db, solverName);
+  std::unique_ptr<obs::Tracer> tracer = makeTracer(obsFlags);
   ResourceGuard guard(limits);
   fl::EvalOptions opts;
   opts.simplifyResults = simplify;
+  opts.tracer = tracer.get();
   if (guard.active()) {
     opts.guard = &guard;
     solver->setGuard(&guard);
+    if (tracer != nullptr) {
+      guard.onTrip([&tracer](Budget, const std::string& reason) {
+        tracer->event("budget.trip", reason);
+      });
+    }
   }
-  fl::EvalResult res = fl::evalFaure(program, db, solver.get(), opts);
+  fl::EvalResult res;
+  {
+    obs::Span top(tracer.get(), "run");
+    if (top) {
+      top.note("database", argv[0]);
+      top.note("program", argv[1]);
+    }
+    res = fl::evalFaure(program, db, solver.get(), opts);
+  }
   for (const auto& [pred, table] : res.idb) {
+    if (obsFlags.quietStdout()) break;
     if (relation != nullptr && pred != relation) continue;
     std::printf("%s\n", table.toString(&db.cvars()).c_str());
   }
@@ -167,20 +287,19 @@ int cmdRun(int argc, char** argv) {
     if (!out) throw Error(std::string("cannot write '") + dbOut + "'");
     out << fl::formatDatabase(db);
   }
-  if (stats) {
-    std::printf(
-        "stats: %llu derivations, %llu inserted, %llu pruned-unsat, "
-        "%llu subsumed, %zu rounds, %llu budget-trips, sql %.3fs, "
-        "solver %.3fs (%llu checks)\n",
-        static_cast<unsigned long long>(res.stats.derivations),
-        static_cast<unsigned long long>(res.stats.inserted),
-        static_cast<unsigned long long>(res.stats.prunedUnsat),
-        static_cast<unsigned long long>(res.stats.subsumed),
-        res.stats.iterations,
-        static_cast<unsigned long long>(res.stats.budgetTrips),
-        res.stats.sqlSeconds, res.stats.solverSeconds,
-        static_cast<unsigned long long>(res.stats.solverChecks));
-    printSolverStats(solver->stats());
+  if (obsFlags.stats && !obsFlags.quietStdout()) {
+    obs::MetricsSnapshot snap = tracer->metrics().snapshot();
+    printEvalStats(snap);
+    printSolverStats(snap);
+  }
+  if (tracer != nullptr) {
+    obs::ReportMeta meta;
+    meta.command = "run";
+    meta.add("database", argv[0]);
+    meta.add("program", argv[1]);
+    meta.add("solver", solverName);
+    if (res.incomplete) meta.add("incomplete", res.degradeReason);
+    exportObs(*tracer, obsFlags, meta);
   }
   if (res.incomplete) {
     std::fprintf(stderr,
@@ -194,11 +313,11 @@ int cmdRun(int argc, char** argv) {
 
 int cmdCheck(int argc, char** argv) {
   if (argc < 2) return usage();
-  bool stats = false;
+  ObsFlags obsFlags;
   ResourceLimits limits = ResourceLimits::fromEnv();
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats") == 0) {
-      stats = true;
+    if (parseObsFlag(argv[i], obsFlags)) {
+      continue;
     } else if (parseBudgetFlag(argc, argv, i, limits)) {
       continue;
     } else {
@@ -209,21 +328,50 @@ int cmdCheck(int argc, char** argv) {
   verify::Constraint c =
       verify::Constraint::parse("constraint", readFile(argv[1]), db.cvars());
   smt::NativeSolver solver(db.cvars());
+  std::unique_ptr<obs::Tracer> tracer = makeTracer(obsFlags);
+  solver.setTracer(tracer.get());
   ResourceGuard guard(limits);
-  if (guard.active()) solver.setGuard(&guard);
-  verify::StateCheck check =
-      verify::RelativeVerifier::checkOnState(c, db, solver);
-  std::printf("verdict: %s\n",
-              std::string(verify::verdictText(check.verdict)).c_str());
-  if (check.verdict == verify::Verdict::ConditionallyViolated) {
-    std::printf("violated exactly when: %s\n",
-                check.condition.toString(&db.cvars()).c_str());
+  if (guard.active()) {
+    solver.setGuard(&guard);
+    if (tracer != nullptr) {
+      guard.onTrip([&tracer](Budget, const std::string& reason) {
+        tracer->event("budget.trip", reason);
+      });
+    }
   }
-  if (check.incomplete) {
-    std::printf("reason: %s (budget tripped; rerun with more resources)\n",
-                check.reason.c_str());
+  verify::StateCheck check;
+  {
+    obs::Span top(tracer.get(), "check");
+    if (top) {
+      top.note("database", argv[0]);
+      top.note("constraint", argv[1]);
+    }
+    check = verify::RelativeVerifier::checkOnState(c, db, solver);
   }
-  if (stats) printSolverStats(solver.stats());
+  if (!obsFlags.quietStdout()) {
+    std::printf("verdict: %s\n",
+                std::string(verify::verdictText(check.verdict)).c_str());
+    if (check.verdict == verify::Verdict::ConditionallyViolated) {
+      std::printf("violated exactly when: %s\n",
+                  check.condition.toString(&db.cvars()).c_str());
+    }
+    if (check.incomplete) {
+      std::printf("reason: %s (budget tripped; rerun with more resources)\n",
+                  check.reason.c_str());
+    }
+    if (obsFlags.stats) {
+      printSolverStats(tracer->metrics().snapshot());
+    }
+  }
+  if (tracer != nullptr) {
+    obs::ReportMeta meta;
+    meta.command = "check";
+    meta.add("database", argv[0]);
+    meta.add("constraint", argv[1]);
+    meta.add("verdict", std::string(verify::verdictText(check.verdict)));
+    if (check.incomplete) meta.add("incomplete", check.reason);
+    exportObs(*tracer, obsFlags, meta);
+  }
   return check.verdict == verify::Verdict::Holds ? 0 : 1;
 }
 
