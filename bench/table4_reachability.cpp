@@ -15,6 +15,15 @@
 // than a CI box and is reported as extrapolation in EXPERIMENTS.md.
 // FAURE_TABLE4_SIZES=10,20 overrides the size list entirely (CI smoke).
 //
+// Thread sweep: each size also runs under the parallel engine
+// (EvalOptions::threads; DESIGN.md §7) for every count in
+// FAURE_TABLE4_THREADS (default "1,4"). Thread count 1 is the paper
+// row and the speedup baseline; other counts add
+// `table4[N].threads[T].*` gauges and a `table4[N].speedup[T]` gauge
+// (serial wall / threaded wall) to the run report. Each (size,threads)
+// run regenerates the RIB so no run sees a predecessor's derived
+// tables.
+//
 // Resource governance: the FAURE_DEADLINE / FAURE_MAX_* / FAURE_FAIL_AFTER
 // knobs (util/resource_guard.hpp) budget each size's pipeline run; rows
 // that hit a budget are annotated with the trip reason and count instead
@@ -97,6 +106,36 @@ void recordRow(obs::Registry& reg, size_t n, const net::Table4Result& r,
   reg.gauge(base + "wall_seconds").set(wallSeconds);
 }
 
+/// Records a threaded repeat of one size under
+/// `table4[N].threads[T].*`, plus the serial-relative speedup.
+void recordThreadedRow(obs::Registry& reg, size_t n, unsigned threads,
+                       const net::Table4Result& r, double wallSeconds,
+                       double serialWallSeconds) {
+  const std::string base = "table4[" + std::to_string(n) + "].threads[" +
+                           std::to_string(threads) + "].";
+  reg.gauge(base + "wall_seconds").set(wallSeconds);
+  reg.gauge(base + "solver_seconds")
+      .set(r.q45.solverSeconds + r.q6.solverSeconds + r.q7.solverSeconds +
+           r.q8.solverSeconds);
+  if (serialWallSeconds > 0.0 && wallSeconds > 0.0) {
+    reg.gauge("table4[" + std::to_string(n) + "].speedup[" +
+              std::to_string(threads) + "]")
+        .set(serialWallSeconds / wallSeconds);
+  }
+}
+
+std::vector<size_t> parseList(const char* text) {
+  std::vector<size_t> out;
+  for (const char* p = text; *p != '\0';) {
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    if (n > 0) out.push_back(static_cast<size_t>(n));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -109,15 +148,15 @@ int main() {
   }
   if (const char* list = std::getenv("FAURE_TABLE4_SIZES");
       list != nullptr && list[0] != '\0') {
-    sizes.clear();
-    for (const char* p = list; *p != '\0';) {
-      char* end = nullptr;
-      unsigned long long n = std::strtoull(p, &end, 10);
-      if (end == p) break;
-      if (n > 0) sizes.push_back(static_cast<size_t>(n));
-      p = (*end == ',') ? end + 1 : end;
-    }
+    sizes = parseList(list);
     if (sizes.empty()) sizes = {1000, 10000};
+  }
+
+  std::vector<size_t> threadCounts = {1, 4};
+  if (const char* list = std::getenv("FAURE_TABLE4_THREADS");
+      list != nullptr && list[0] != '\0') {
+    threadCounts = parseList(list);
+    if (threadCounts.empty()) threadCounts = {1};
   }
 
   obs::Tracer tracer;
@@ -134,39 +173,65 @@ int main() {
   ResourceLimits limits = ResourceLimits::fromEnv();
   util::Stopwatch watch;
   for (size_t n : sizes) {
-    net::RibConfig cfg;
-    cfg.numPrefixes = n;
-    rel::Database db;
-    net::RibGenResult rib = net::generateRib(db, cfg);
-    smt::NativeSolver solver(db.cvars());
-    ResourceGuard guard(limits);
-    fl::EvalOptions opts;
-    if (traceOn) opts.tracer = &tracer;
-    if (guard.active()) {
-      opts.guard = &guard;
-      solver.setGuard(&guard);
-      if (traceOn) {
-        guard.onTrip([&tracer](Budget, const std::string& reason) {
-          tracer.event("budget.trip", reason);
-        });
+    double serialWall = 0.0;
+    for (size_t threads : threadCounts) {
+      // Fresh state per (size, threads): a previous run stored its
+      // derived R/T1/T2/T3 back into the database, which would seed —
+      // and skew — a repeat on the same instance.
+      net::RibConfig cfg;
+      cfg.numPrefixes = n;
+      rel::Database db;
+      net::RibGenResult rib = net::generateRib(db, cfg);
+      smt::NativeSolver solver(db.cvars());
+      ResourceGuard guard(limits);
+      fl::EvalOptions opts;
+      opts.threads = static_cast<unsigned>(threads);
+      if (traceOn) opts.tracer = &tracer;
+      if (guard.active()) {
+        opts.guard = &guard;
+        solver.setGuard(&guard);
+        if (traceOn) {
+          guard.onTrip([&tracer](Budget, const std::string& reason) {
+            tracer.event("budget.trip", reason);
+          });
+        }
       }
+      net::Table4Result r;
+      {
+        std::string tag = "table4[size=" + std::to_string(n) + "]";
+        if (threads != 1) tag += "[threads=" + std::to_string(threads) + "]";
+        obs::Span span(opts.tracer, tag);
+        watch.lap();
+        r = net::runTable4(db, rib, solver, opts);
+      }
+      double wall = watch.lap();
+      if (threads == 1) {
+        serialWall = wall;
+        if (traceOn) recordRow(tracer.metrics(), n, r, wall);
+        std::printf("%s\n", net::formatTable4Row(n, r).c_str());
+      } else {
+        if (traceOn) {
+          recordThreadedRow(tracer.metrics(), n,
+                            static_cast<unsigned>(threads), r, wall,
+                            serialWall);
+        }
+        std::printf("%s   (threads=%zu", net::formatTable4Row(n, r).c_str(),
+                    threads);
+        if (serialWall > 0.0 && wall > 0.0) {
+          std::printf(", %.2fx vs serial", serialWall / wall);
+        }
+        std::printf(")\n");
+      }
+      if (guard.active()) {
+        std::printf(
+            "%9s governed: %s, %llu eval budget-trips, %llu degraded solver "
+            "checks\n",
+            "", r.incomplete ? r.degradeReason.c_str() : "within budget",
+            static_cast<unsigned long long>(r.budgetTrips),
+            static_cast<unsigned long long>(solver.stats().budgetTrips));
+      }
+      std::fflush(stdout);
     }
-    net::Table4Result r;
-    {
-      obs::Span span(opts.tracer, "table4[size=" + std::to_string(n) + "]");
-      r = net::runTable4(db, rib, solver, opts);
-    }
-    if (traceOn) recordRow(tracer.metrics(), n, r, watch.lap());
-    std::printf("%s\n", net::formatTable4Row(n, r).c_str());
-    if (guard.active()) {
-      std::printf(
-          "%9s governed: %s, %llu eval budget-trips, %llu degraded solver "
-          "checks\n",
-          "", r.incomplete ? r.degradeReason.c_str() : "within budget",
-          static_cast<unsigned long long>(r.budgetTrips),
-          static_cast<unsigned long long>(solver.stats().budgetTrips));
-    }
-    std::fflush(stdout);
   }
 
   const char* jsonPath = std::getenv("FAURE_BENCH_JSON");
@@ -180,6 +245,12 @@ int main() {
       sizeList += std::to_string(n);
     }
     meta.add("sizes", sizeList);
+    std::string threadList;
+    for (size_t t : threadCounts) {
+      if (!threadList.empty()) threadList += ",";
+      threadList += std::to_string(t);
+    }
+    meta.add("threads", threadList);
     std::ofstream out(jsonPath);
     if (out) {
       out << obs::runReportJson(tracer, meta);

@@ -37,6 +37,12 @@ class Session {
   /// Evaluation defaults applied by run()/check().
   fl::EvalOptions& options() { return opts_; }
 
+  /// Parallel evaluation for subsequent run() calls: total evaluation
+  /// threads (0 = hardware concurrency, 1 = serial). Results are
+  /// bit-identical for every setting (DESIGN.md §7); only wall-clock
+  /// and the eval.par.* metrics change. Shorthand for options().threads.
+  void setThreads(unsigned n) { opts_.threads = n; }
+
   /// Arms resource governance (util/resource_guard.hpp) for subsequent
   /// run()/check()/subsumed() calls; each call re-arms the guard, so a
   /// deadline applies per operation. Pass {} (all-zero limits) to

@@ -1,6 +1,8 @@
 #include "faurelog/eval.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -8,7 +10,9 @@
 #include "datalog/analysis.hpp"
 #include "relational/algebra.hpp"
 #include "smt/simplify.hpp"
+#include "smt/solver_pool.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace faure::fl {
@@ -44,7 +48,28 @@ struct CFrame {
 
 /// Internal control-flow signal: a guard budget tripped mid-fixpoint.
 /// Caught in run(), where the partial IDB becomes the degraded result.
+/// In a parallel round it may be thrown on a worker thread; the
+/// ThreadPool cancels the batch and rethrows it on the engine thread,
+/// so the degradation path is shared with serial evaluation.
 struct BudgetTrip {};
+
+/// A derived-tuple candidate produced by the (possibly parallel)
+/// generation phase of a round: the grounded head values, the
+/// accumulated condition, and — when a SolverPool lane pre-checked the
+/// condition — the physical verdict to be replayed through the main
+/// solver's accounting (smt::SolverBase::consumeDelegated).
+struct Candidate {
+  std::vector<Value> vals;
+  smt::Formula cond;
+  bool hasPrecheck = false;
+  smt::Sat verdict = smt::Sat::Unknown;
+  double seconds = 0.0;
+  uint64_t enumerations = 0;
+};
+
+/// Partitioning floor: a scan range shorter than this is not worth
+/// splitting (chunk bookkeeping would dominate the join work).
+constexpr size_t kPartitionMinRows = 1024;
 
 class FaureEvaluator {
  public:
@@ -55,11 +80,21 @@ class FaureEvaluator {
         solver_(solver),
         opts_(opts),
         guard_(opts.guard),
-        tracer_(opts.tracer) {
+        tracer_(opts.tracer),
+        threads_(resolveThreads(opts)) {
     if (solver_ == nullptr &&
         (opts_.pruneWithSolver || opts_.mergeSubsumption)) {
       throw EvalError(
           "evalFaure: solver required for pruning / merge subsumption");
+    }
+    if (threads_ > 1) {
+      // threads_ counts total lanes: the engine thread participates in
+      // every pool barrier, so spawn one worker fewer.
+      threadPool_ = std::make_unique<util::ThreadPool>(threads_ - 1);
+      if (opts_.pruneWithSolver) {
+        solverPool_ = std::make_unique<smt::SolverPool>(
+            *solver_, threadPool_->workers() + 1);
+      }
     }
   }
 
@@ -104,7 +139,10 @@ class FaureEvaluator {
         stats_.solverSeconds = solver_->stats().seconds - solverBefore;
         stats_.solverChecks = solver_->stats().checks - checksBefore;
       }
-      stats_.sqlSeconds = total.elapsed() - stats_.solverSeconds;
+      // Under parallel evaluation solverSeconds is cumulative across
+      // lanes (delegated checks carry their worker-measured time), so
+      // the wall-clock residual is clamped rather than trusted negative.
+      stats_.sqlSeconds = std::max(0.0, total.elapsed() - stats_.solverSeconds);
       flushMetrics(degraded);
     };
     if (degraded && opts_.throwOnBudget) {
@@ -204,23 +242,28 @@ class FaureEvaluator {
         fullEnd[pred] = idb_.at(pred).size();
       }
       bool changed = false;
-      for (size_t ri : ruleIdx) {
-        const Rule& rule = p_.rules[ri];
-        std::vector<size_t> recursivePositions;
-        for (size_t i = 0; i < rule.body.size(); ++i) {
-          const dl::Literal& lit = rule.body[i];
-          if (!lit.negated && thisStratum.count(lit.atom.pred) != 0) {
-            recursivePositions.push_back(i);
+      if (threadPool_ != nullptr) {
+        changed = parallelRound(ruleIdx, first, deltaStart, fullEnd,
+                                thisStratum);
+      } else {
+        for (size_t ri : ruleIdx) {
+          const Rule& rule = p_.rules[ri];
+          std::vector<size_t> recursivePositions;
+          for (size_t i = 0; i < rule.body.size(); ++i) {
+            const dl::Literal& lit = rule.body[i];
+            if (!lit.negated && thisStratum.count(lit.atom.pred) != 0) {
+              recursivePositions.push_back(i);
+            }
           }
-        }
-        if (!first && recursivePositions.empty()) continue;
-        if (first || !opts_.semiNaive || recursivePositions.empty()) {
-          changed |= evalRule(ri, rule, SIZE_MAX, deltaStart, fullEnd,
-                              thisStratum);
-        } else {
-          for (size_t pos : recursivePositions) {
-            changed |=
-                evalRule(ri, rule, pos, deltaStart, fullEnd, thisStratum);
+          if (!first && recursivePositions.empty()) continue;
+          if (first || !opts_.semiNaive || recursivePositions.empty()) {
+            changed |= evalRule(ri, rule, SIZE_MAX, deltaStart, fullEnd,
+                                thisStratum);
+          } else {
+            for (size_t pos : recursivePositions) {
+              changed |=
+                  evalRule(ri, rule, pos, deltaStart, fullEnd, thisStratum);
+            }
           }
         }
       }
@@ -248,15 +291,22 @@ class FaureEvaluator {
     return Range{0, end};
   }
 
-  bool evalRule(size_t ri, const Rule& rule, size_t deltaPos,
-                const std::unordered_map<std::string, size_t>& deltaStart,
-                const std::unordered_map<std::string, size_t>& fullEnd,
-                const std::set<std::string>& thisStratum) {
-    obs::Span span;
-    if (tracer_ != nullptr) {
-      curRule_ = &ruleMetrics(ri);
-      span = obs::Span(tracer_, ruleTag(ri));
-    }
+  /// Candidate generation — the pure part of one rule application: join
+  /// positives over the round snapshot, filter comparisons and
+  /// negations, ground heads. Reads only snapshot-bounded table state
+  /// (rangeFor) and the shared guard, so the parallel round runs it on
+  /// worker threads unchanged; `tracer` must be null off the engine
+  /// thread (the span tree is single-threaded). With `clampLit` set,
+  /// the scan range of that body literal is overridden by `clamp` — the
+  /// delta-partitioning hook; candidate order is the serial row-major
+  /// order restricted to the clamp, so concatenating chunk results in
+  /// range order reproduces the serial candidate stream exactly.
+  std::vector<Candidate> collectCandidates(
+      const Rule& rule, size_t deltaPos,
+      const std::unordered_map<std::string, size_t>& deltaStart,
+      const std::unordered_map<std::string, size_t>& fullEnd,
+      const std::set<std::string>& thisStratum, size_t clampLit, Range clamp,
+      obs::Tracer* tracer) {
     std::vector<std::string> vars = dl::ruleVariables(rule);
     std::unordered_map<std::string, size_t> slotOf;
     for (size_t i = 0; i < vars.size(); ++i) slotOf[vars[i]] = i;
@@ -272,10 +322,12 @@ class FaureEvaluator {
       if (table == nullptr) {
         throw EvalError("unknown relation '" + lit.atom.pred + "'");
       }
-      Range range = rangeFor(lit.atom.pred, deltaPos, i, deltaStart, fullEnd,
-                             thisStratum, *table);
-      if (tracer_ != nullptr && tracer_->options().fineSpans) {
-        obs::Span join(tracer_, "join");
+      Range range = i == clampLit
+                        ? clamp
+                        : rangeFor(lit.atom.pred, deltaPos, i, deltaStart,
+                                   fullEnd, thisStratum, *table);
+      if (tracer != nullptr && tracer->options().fineSpans) {
+        obs::Span join(tracer, "join");
         join.note("pred", lit.atom.pred);
         joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
       } else {
@@ -299,18 +351,227 @@ class FaureEvaluator {
       if (!lit.negated) continue;
       applyNegation(lit.atom, slotOf, frames);
     }
-    // Derive heads.
+    // Ground heads.
+    std::vector<Candidate> cands;
+    cands.reserve(frames.size());
+    for (auto& f : frames) {
+      Candidate c;
+      c.vals.reserve(rule.head.args.size());
+      for (const auto& t : rule.head.args) {
+        c.vals.push_back(groundTerm(t, f, slotOf));
+      }
+      c.cond = std::move(f.cond);
+      cands.push_back(std::move(c));
+    }
+    return cands;
+  }
+
+  bool evalRule(size_t ri, const Rule& rule, size_t deltaPos,
+                const std::unordered_map<std::string, size_t>& deltaStart,
+                const std::unordered_map<std::string, size_t>& fullEnd,
+                const std::set<std::string>& thisStratum) {
+    obs::Span span;
+    if (tracer_ != nullptr) {
+      curRule_ = &ruleMetrics(ri);
+      span = obs::Span(tracer_, ruleTag(ri));
+    }
+    std::vector<Candidate> cands = collectCandidates(
+        rule, deltaPos, deltaStart, fullEnd, thisStratum, SIZE_MAX, Range{},
+        tracer_);
     bool changed = false;
     rel::CTable& out = idbTable(rule.head.pred, rule.head.args.size());
-    for (const auto& f : frames) {
-      std::vector<Value> head;
-      head.reserve(rule.head.args.size());
-      for (const auto& t : rule.head.args) {
-        head.push_back(groundTerm(t, f, slotOf));
-      }
-      changed |= derive(out, std::move(head), f.cond);
+    for (auto& c : cands) {
+      changed |= derive(out, std::move(c.vals), std::move(c.cond), nullptr);
     }
     curRule_ = nullptr;
+    return changed;
+  }
+
+  // ---- parallel round (DESIGN.md §7 "Parallel execution") ----
+  //
+  // One fixpoint round splits into three phases:
+  //   A1  candidate generation — one task per (rule, delta position),
+  //       large first-literal scans further split into row chunks — on
+  //       the thread pool; tasks read only the round snapshot, so they
+  //       are mutually independent;
+  //   A2  solver prechecks — the candidates are partitioned across
+  //       SolverPool lanes and their conditions decided concurrently
+  //       (skipped entirely for non-cloneable backends such as Z3);
+  //   B   replay — the engine thread consumes candidates in serial task
+  //       order through derive(), which performs all order-sensitive
+  //       work (subsumption against the growing table, appends, stats,
+  //       guard tuple/memory charges) and feeds precomputed verdicts
+  //       through the main solver's accounting. Replay order equals
+  //       serial derivation order, so tables, conditions and logical
+  //       counters are bit-identical to threads=1.
+
+  /// One (rule, delta position) application of the parallel round;
+  /// `chunks` partitions the scan of body literal `clampLit` (one whole-
+  /// range chunk when clampLit is SIZE_MAX).
+  struct RoundTask {
+    size_t ri = 0;
+    size_t deltaPos = SIZE_MAX;
+    size_t clampLit = SIZE_MAX;
+    std::vector<Range> chunks;
+    std::vector<std::vector<Candidate>> results;  // parallel to chunks
+  };
+
+  /// Decides delta-partitioning for one task: split the scan of the
+  /// first positive body literal when it is long enough and the literal
+  /// carries no constant argument. (A constant argument keys the join
+  /// index, which enumerates indexed rows before wild rows — chunking
+  /// such a scan would reorder the candidate stream relative to serial.
+  /// Constant-free first literals join with the plain row-order loop,
+  /// where chunk concatenation is exactly the serial order.)
+  void planPartition(RoundTask& t, const Rule& rule,
+                     const std::unordered_map<std::string, size_t>& deltaStart,
+                     const std::unordered_map<std::string, size_t>& fullEnd,
+                     const std::set<std::string>& thisStratum) {
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const dl::Literal& lit = rule.body[i];
+      if (lit.negated) continue;
+      for (const Term& term : lit.atom.args) {
+        if (term.kind == Term::Kind::Const) return;
+      }
+      const rel::CTable* table = findRelation(lit.atom.pred);
+      if (table == nullptr) return;  // surfaces as EvalError in phase A1
+      Range range = rangeFor(lit.atom.pred, t.deltaPos, i, deltaStart,
+                             fullEnd, thisStratum, *table);
+      size_t n = range.hi - range.lo;
+      if (n < kPartitionMinRows) return;
+      // 2x headroom for work stealing. Kept low because chunks re-build
+      // the keyed join index of *later* literals per chunk — more chunks
+      // trade balance for duplicated index construction.
+      size_t want = threads_ * 2;
+      size_t rows = std::max<size_t>(kPartitionMinRows / 4, (n + want - 1) / want);
+      t.clampLit = i;
+      t.chunks.clear();
+      for (size_t lo = range.lo; lo < range.hi; lo += rows) {
+        t.chunks.push_back(Range{lo, std::min(range.hi, lo + rows)});
+      }
+      return;  // only the first positive literal can be chunked
+    }
+  }
+
+  bool parallelRound(const std::vector<size_t>& ruleIdx, bool first,
+                     const std::unordered_map<std::string, size_t>& deltaStart,
+                     const std::unordered_map<std::string, size_t>& fullEnd,
+                     const std::set<std::string>& thisStratum) {
+    // Task list in serial evaluation order — replay consumes it in this
+    // order, which is the determinism anchor.
+    std::vector<RoundTask> tasks;
+    for (size_t ri : ruleIdx) {
+      const Rule& rule = p_.rules[ri];
+      std::vector<size_t> recursivePositions;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const dl::Literal& lit = rule.body[i];
+        if (!lit.negated && thisStratum.count(lit.atom.pred) != 0) {
+          recursivePositions.push_back(i);
+        }
+      }
+      if (!first && recursivePositions.empty()) continue;
+      std::vector<size_t> deltas;
+      if (first || !opts_.semiNaive || recursivePositions.empty()) {
+        deltas.push_back(SIZE_MAX);
+      } else {
+        deltas = recursivePositions;
+      }
+      for (size_t pos : deltas) {
+        RoundTask t;
+        t.ri = ri;
+        t.deltaPos = pos;
+        planPartition(t, rule, deltaStart, fullEnd, thisStratum);
+        if (t.chunks.empty()) t.chunks.push_back(Range{});  // unpartitioned
+        t.results.resize(t.chunks.size());
+        tasks.push_back(std::move(t));
+      }
+    }
+    if (tasks.empty()) return false;
+
+    // Phase A1: generate candidates in parallel.
+    {
+      std::vector<std::function<void(size_t)>> jobs;
+      for (auto& t : tasks) {
+        const Rule& rule = p_.rules[t.ri];
+        for (size_t ci = 0; ci < t.chunks.size(); ++ci) {
+          jobs.push_back([this, &t, &rule, ci, &deltaStart, &fullEnd,
+                          &thisStratum](size_t) {
+            t.results[ci] = collectCandidates(
+                rule, t.deltaPos, deltaStart, fullEnd, thisStratum,
+                t.clampLit, t.chunks[ci], nullptr);
+          });
+        }
+      }
+      threadPool_->run(std::move(jobs));
+    }
+
+    // Phase A2: pre-check candidate conditions on the solver pool.
+    // Skipped when the backend cannot be cloned (Z3): replay then
+    // issues the checks itself, exactly like serial evaluation.
+    if (solverPool_ != nullptr && solverPool_->concurrent()) {
+      std::vector<Candidate*> pending;
+      for (auto& t : tasks) {
+        const dl::Atom& head = p_.rules[t.ri].head;
+        const rel::CTable& out = idbTable(head.pred, head.args.size());
+        for (auto& chunk : t.results) {
+          for (auto& c : chunk) {
+            // Replay's first filter is syntactic subsumption against
+            // the (then-current) table; a candidate already subsumed at
+            // snapshot time never reaches the solver there, so checking
+            // it here would be wasted work. Candidates that escape this
+            // filter but get subsumed during replay simply drop their
+            // precheck on the floor — logical accounting stays serial.
+            if (!smt::impliesSyntactically(c.cond, out.conditionOf(c.vals))) {
+              pending.push_back(&c);
+            }
+          }
+        }
+      }
+      if (!pending.empty()) {
+        size_t lanes = threadPool_->workers() + 1;
+        size_t slices = std::min(pending.size(), lanes * 2);
+        size_t per = (pending.size() + slices - 1) / slices;
+        std::vector<std::function<void(size_t)>> jobs;
+        for (size_t lo = 0; lo < pending.size(); lo += per) {
+          size_t hi = std::min(pending.size(), lo + per);
+          jobs.push_back([this, &pending, lo, hi](size_t lane) {
+            // Deadline responsiveness: prechecks charge no budget (the
+            // replay does), so poll the trip flag between checks.
+            if (guard_ != nullptr && !guard_->checkDeadline()) {
+              throw BudgetTrip{};
+            }
+            for (size_t i = lo; i < hi; ++i) {
+              if (guard_ != nullptr && guard_->tripped()) throw BudgetTrip{};
+              smt::SolverPool::Outcome oc =
+                  solverPool_->check(lane, pending[i]->cond);
+              pending[i]->verdict = oc.verdict;
+              pending[i]->seconds = oc.seconds;
+              pending[i]->enumerations = oc.enumerations;
+              pending[i]->hasPrecheck = true;
+            }
+          });
+        }
+        threadPool_->run(std::move(jobs));
+      }
+    }
+
+    // Phase B: serial replay in task order.
+    bool changed = false;
+    for (auto& t : tasks) {
+      const Rule& rule = p_.rules[t.ri];
+      obs::Span span;
+      if (tracer_ != nullptr) {
+        curRule_ = &ruleMetrics(t.ri);
+        span = obs::Span(tracer_, ruleTag(t.ri));
+      }
+      rel::CTable& out = idbTable(rule.head.pred, rule.head.args.size());
+      for (auto& chunk : t.results) {
+        for (auto& c : chunk) {
+          changed |= derive(out, std::move(c.vals), std::move(c.cond), &c);
+        }
+      }
+      curRule_ = nullptr;
+    }
     return changed;
   }
 
@@ -329,7 +590,16 @@ class FaureEvaluator {
     if (guard_ != nullptr && !guard_->chargeMemory(bytes)) throw BudgetTrip{};
   }
 
-  bool derive(rel::CTable& out, std::vector<Value> vals, smt::Formula cond) {
+  /// Appends one candidate unless subsumed or contradictory. This is
+  /// the order-sensitive core both evaluation modes share: in a
+  /// parallel round it runs on the engine thread only, in serial task
+  /// order. `pre` (parallel mode) carries a SolverPool verdict for the
+  /// condition; it is consumed through the main solver's accounting so
+  /// the logical `solver.*` stream matches serial evaluation, and is
+  /// simply ignored when subsumption decides first — exactly the checks
+  /// a serial run performs are accounted, in the same order.
+  bool derive(rel::CTable& out, std::vector<Value> vals, smt::Formula cond,
+              const Candidate* pre) {
     if (cond.isFalse()) return false;
     ++stats_.derivations;
     if (curRule_ != nullptr) curRule_->derivations->add();
@@ -342,11 +612,17 @@ class FaureEvaluator {
       if (curRule_ != nullptr) curRule_->subsumed->add();
       return false;
     }
-    if (opts_.pruneWithSolver &&
-        solver_->check(cond) == smt::Sat::Unsat) {
-      ++stats_.prunedUnsat;
-      if (curRule_ != nullptr) curRule_->prunedUnsat->add();
-      return false;
+    if (opts_.pruneWithSolver) {
+      smt::Sat verdict =
+          pre != nullptr && pre->hasPrecheck
+              ? solver_->consumeDelegated(pre->verdict, pre->seconds,
+                                          pre->enumerations)
+              : solver_->check(cond);
+      if (verdict == smt::Sat::Unsat) {
+        ++stats_.prunedUnsat;
+        if (curRule_ != nullptr) curRule_->prunedUnsat->add();
+        return false;
+      }
     }
     bool smallEnough =
         existing.kind() != smt::Formula::Kind::Or ||
@@ -666,6 +942,21 @@ class FaureEvaluator {
     if (degraded) reg.counter("eval.incomplete").add();
     reg.histogram("eval.sql_seconds").observe(stats_.sqlSeconds);
     reg.histogram("eval.solver_seconds").observe(stats_.solverSeconds);
+    // Physical parallel-execution totals. Kept in their own namespace:
+    // everything above is serial-identical by construction, everything
+    // under eval.par.* describes how the work was scheduled and is
+    // expected to vary with the thread count.
+    if (threads_ > 1) {
+      reg.gauge("eval.par.threads").set(static_cast<double>(threads_));
+      if (solverPool_ != nullptr && solverPool_->concurrent()) {
+        smt::SolverStats ps = solverPool_->pooledStats();
+        reg.counter("eval.par.precheck.checks").add(ps.checks);
+        reg.counter("eval.par.precheck.unsat").add(ps.unsat);
+        reg.counter("eval.par.precheck.unknown").add(ps.unknown);
+        reg.counter("eval.par.precheck.enumerations").add(ps.enumerations);
+        reg.gauge("eval.par.precheck.seconds").set(ps.seconds);
+      }
+    }
   }
 
   const Program& p_;
@@ -679,9 +970,26 @@ class FaureEvaluator {
   std::vector<std::string> ruleTags_;
   std::vector<RuleMetrics> ruleMetrics_;
   RuleMetrics* curRule_ = nullptr;  // set around derive() by evalRule
+
+  // Parallel execution (null / 1 in serial mode).
+  size_t threads_ = 1;
+  std::unique_ptr<util::ThreadPool> threadPool_;
+  std::unique_ptr<smt::SolverPool> solverPool_;
 };
 
 }  // namespace
+
+size_t resolveThreads(const EvalOptions& opts) {
+  unsigned long t = 1;
+  if (opts.threads.has_value()) {
+    t = *opts.threads;
+  } else if (const char* env = std::getenv("FAURE_THREADS");
+             env != nullptr && *env != '\0') {
+    t = std::strtoul(env, nullptr, 10);
+  }
+  if (t == 0) return util::ThreadPool::hardwareConcurrency();
+  return static_cast<size_t>(t);
+}
 
 EvalResult evalFaure(const dl::Program& p, const rel::Database& db,
                      smt::SolverBase* solver, const EvalOptions& opts) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,14 @@ struct EvalOptions {
   /// Strict budgets: throw BudgetExceeded instead of returning an
   /// incomplete result when the guard trips.
   bool throwOnBudget = false;
+  /// Parallel evaluation (DESIGN.md §7): total number of threads the
+  /// fixpoint engine may use. Unset (the default) consults the
+  /// FAURE_THREADS environment variable, falling back to serial; 1
+  /// forces serial regardless of the environment; 0 means hardware
+  /// concurrency; N > 1 runs candidate generation and solver prechecks
+  /// on N threads with a deterministic per-round merge — results and
+  /// logical counters are bit-identical to a serial run.
+  std::optional<unsigned> threads;
   /// Observability (obs/trace.hpp): evaluation records an
   /// eval → stratum → rule span tree and mirrors its statistics —
   /// aggregate, per-stratum and per-rule — into the tracer's metrics
@@ -129,5 +138,11 @@ EvalResult evalFaure(const dl::Program& p, const rel::Database& db,
 
 /// Convenience: evaluates with a fresh NativeSolver and default options.
 EvalResult evalFaure(const dl::Program& p, const rel::Database& db);
+
+/// The thread count an evaluation with `opts` will actually use:
+/// resolves the unset-means-FAURE_THREADS default and the 0-means-
+/// hardware-concurrency convention (eval layers and the CLI report the
+/// same number through this).
+size_t resolveThreads(const EvalOptions& opts);
 
 }  // namespace faure::fl

@@ -70,6 +70,30 @@ SolverBase::CheckScope::~CheckScope() {
   m.checkSeconds->observe(seconds);
 }
 
+Sat SolverBase::consumeDelegated(Sat verdict, double seconds,
+                                 uint64_t enumerations) {
+  SolverStats before = stats_;
+  Sat result = verdict;
+  if (!admitCheck()) {
+    result = Sat::Unknown;
+  } else {
+    stats_.enumerations += enumerations;
+    if (result == Sat::Unsat) ++stats_.unsat;
+    if (result == Sat::Unknown) ++stats_.unknown;
+  }
+  stats_.seconds += seconds;
+  if (tracer_ != nullptr) {
+    const SolverStats& now = stats_;
+    metrics_.checks->add(now.checks - before.checks);
+    metrics_.unsat->add(now.unsat - before.unsat);
+    metrics_.unknown->add(now.unknown - before.unknown);
+    metrics_.budgetTrips->add(now.budgetTrips - before.budgetTrips);
+    metrics_.enumerations->add(now.enumerations - before.enumerations);
+    metrics_.checkSeconds->observe(seconds);
+  }
+  return result;
+}
+
 bool SolverBase::implies(const Formula& a, const Formula& b) {
   if (a.isFalse() || b.isTrue()) return true;
   if (a == b) return true;

@@ -71,6 +71,16 @@ class SolverBase {
   /// True when a ⟺ b is certain.
   bool equivalent(const Formula& a, const Formula& b);
 
+  /// Accounts a check whose verdict was computed elsewhere (by a
+  /// SolverPool worker during parallel evaluation): charges this
+  /// solver's guard exactly as a local check() would — a tripped
+  /// solver-check budget degrades the verdict to Unknown — and records
+  /// stats and registry mirrors as if this solver had performed the
+  /// check, with `seconds`/`enumerations` as measured by the actual
+  /// performer. This keeps the logical `solver.*` counter stream
+  /// identical between serial and parallel evaluation (DESIGN.md §7).
+  Sat consumeDelegated(Sat verdict, double seconds, uint64_t enumerations);
+
   const CVarRegistry& registry() const { return reg_; }
   const SolverStats& stats() const { return stats_; }
   void resetStats() { stats_ = SolverStats{}; }
@@ -197,6 +207,10 @@ class NativeSolver : public SolverBase {
       : SolverBase(reg), opts_(opts) {}
 
   Sat check(const Formula& f) override;
+
+  /// Configuration, so a SolverPool can clone equivalently-configured
+  /// per-worker instances.
+  const Options& options() const { return opts_; }
 
  private:
   Sat checkCube(const Cube& cube);

@@ -1,0 +1,52 @@
+#include "smt/solver_pool.hpp"
+
+#include "util/timer.hpp"
+
+namespace faure::smt {
+
+SolverPool::SolverPool(SolverBase& prototype, size_t lanes)
+    : proto_(prototype) {
+  auto* native = dynamic_cast<NativeSolver*>(&prototype);
+  if (native == nullptr) return;  // shared-prototype mode (see header)
+  perLane_.reserve(lanes);
+  for (size_t i = 0; i < lanes; ++i) {
+    perLane_.push_back(std::make_unique<NativeSolver>(prototype.registry(),
+                                                      native->options()));
+  }
+}
+
+SolverPool::Outcome SolverPool::check(size_t lane, const Formula& f) {
+  Outcome out;
+  if (concurrent()) {
+    NativeSolver& solver = *perLane_[lane];
+    const SolverStats before = solver.stats();
+    util::Stopwatch watch;
+    out.verdict = solver.check(f);
+    out.seconds = watch.elapsed();
+    out.enumerations = solver.stats().enumerations - before.enumerations;
+    return out;
+  }
+  std::lock_guard<std::mutex> lock(protoMu_);
+  const SolverStats before = proto_.stats();
+  util::Stopwatch watch;
+  out.verdict = proto_.check(f);
+  out.seconds = watch.elapsed();
+  out.enumerations = proto_.stats().enumerations - before.enumerations;
+  return out;
+}
+
+SolverStats SolverPool::pooledStats() const {
+  SolverStats total;
+  for (const auto& solver : perLane_) {
+    const SolverStats& s = solver->stats();
+    total.checks += s.checks;
+    total.unsat += s.unsat;
+    total.unknown += s.unknown;
+    total.enumerations += s.enumerations;
+    total.budgetTrips += s.budgetTrips;
+    total.seconds += s.seconds;
+  }
+  return total;
+}
+
+}  // namespace faure::smt

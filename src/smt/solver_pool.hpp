@@ -1,0 +1,74 @@
+// Per-worker condition solvers for the parallel fixpoint engine.
+//
+// The parallel evaluator (faurelog/eval.cpp, DESIGN.md §7) pre-checks
+// candidate-tuple conditions on worker threads, then *replays* the
+// verdicts through the evaluation's main solver so logical accounting
+// (guard charges, solver.* stats and metrics) is identical to a serial
+// run. This class owns the physical side: one solver instance per
+// worker lane, so concurrent checks never share mutable state.
+//
+//   * NativeSolver prototypes are cloned per lane — the solver is a
+//     pure decision procedure over the shared (read-only, for the
+//     duration of an evaluation) CVarRegistry, so clones configured
+//     with the same Options produce bit-identical verdicts.
+//   * Any other backend (Z3) falls back to serializing every pooled
+//     check through the prototype behind a mutex: a z3::context is not
+//     thread-safe, and giving each worker its own context would also
+//     need per-context translation caches and per-context formula
+//     images — cost and complexity that the native solver makes
+//     unnecessary. concurrent() reports false in that mode and the
+//     evaluator keeps solver work on the replay thread instead.
+//
+// Pool solvers deliberately carry NO ResourceGuard and NO Tracer:
+// charging happens once, at replay, via SolverBase::consumeDelegated —
+// attaching the guard here would double-charge the solver-check budget
+// and pollute the serial-identical `solver.*` counter stream. Physical
+// pool totals are exported separately under `eval.par.*`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "smt/solver.hpp"
+
+namespace faure::smt {
+
+class SolverPool {
+ public:
+  /// A pool with `lanes` independent checkers cloned from `prototype`
+  /// (falls back to the shared-prototype mode when it cannot clone; see
+  /// file comment). The prototype and its registry must outlive the
+  /// pool and must not be reconfigured while the pool is in use.
+  SolverPool(SolverBase& prototype, size_t lanes);
+
+  size_t lanes() const { return perLane_.size(); }
+
+  /// True when every lane has its own solver instance, i.e. check() may
+  /// be called concurrently from distinct lanes.
+  bool concurrent() const { return !perLane_.empty(); }
+
+  /// One pre-check as performed by `lane`.
+  struct Outcome {
+    Sat verdict = Sat::Unknown;
+    double seconds = 0.0;        // wall time of this check
+    uint64_t enumerations = 0;   // enumeration work of this check
+  };
+
+  /// Decides satisfiability of `f` on the given lane. Thread-safe
+  /// across distinct lanes when concurrent(); always safe (but
+  /// serialized) otherwise.
+  Outcome check(size_t lane, const Formula& f);
+
+  /// Merged physical stats across all lanes (prototype-mode checks are
+  /// excluded: they already live in the prototype's own stats).
+  SolverStats pooledStats() const;
+
+ private:
+  SolverBase& proto_;
+  std::mutex protoMu_;  // guards proto_ in shared-prototype mode
+  std::vector<std::unique_ptr<NativeSolver>> perLane_;
+};
+
+}  // namespace faure::smt

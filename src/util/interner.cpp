@@ -10,6 +10,7 @@ SymbolTable& SymbolTable::instance() {
 }
 
 SymbolId SymbolTable::intern(std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(text);
   if (it != index_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(strings_.size());
@@ -20,8 +21,15 @@ SymbolId SymbolTable::intern(std::string_view text) {
 }
 
 const std::string& SymbolTable::text(SymbolId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(id < strings_.size());
+  // Safe to hand out past the unlock: entries are never removed or moved.
   return strings_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
 }
 
 PathTable& PathTable::instance() {
@@ -30,6 +38,7 @@ PathTable& PathTable::instance() {
 }
 
 PathId PathTable::intern(const std::vector<SymbolId>& elems) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(elems);
   if (it != index_.end()) return it->second;
   PathId id = static_cast<PathId>(paths_.size());
@@ -39,6 +48,7 @@ PathId PathTable::intern(const std::vector<SymbolId>& elems) {
 }
 
 const std::vector<SymbolId>& PathTable::elems(PathId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(id < paths_.size());
   return paths_[id];
 }

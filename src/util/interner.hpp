@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,8 +26,10 @@ using SymbolId = uint32_t;
 /// Id of an interned symbol sequence (a "path").
 using PathId = uint32_t;
 
-/// Process-wide string interner. Not thread-safe; the library is
-/// single-threaded by design (matching the paper's per-query execution).
+/// Process-wide string interner. Thread-safe: the parallel fixpoint
+/// engine formats values (e.g. in error paths) from worker threads, so
+/// both interners serialize behind a mutex. Interning is far off the
+/// join/derive hot path, so the lock is uncontended in practice.
 class SymbolTable {
  public:
   static SymbolTable& instance();
@@ -35,16 +38,18 @@ class SymbolTable {
   SymbolId intern(std::string_view text);
 
   /// The text behind an id. The reference stays valid for the process
-  /// lifetime (strings are never removed).
+  /// lifetime (strings are never removed or moved).
   const std::string& text(SymbolId id) const;
 
   /// Number of distinct symbols interned so far.
-  size_t size() const { return strings_.size(); }
+  size_t size() const;
 
  private:
   SymbolTable() = default;
+  mutable std::mutex mu_;
   // deque: element addresses are stable under growth, so the string_view
-  // keys in index_ (which point into the stored strings) stay valid.
+  // keys in index_ (which point into the stored strings) stay valid, and
+  // references handed out by text() survive later interning.
   std::deque<std::string> strings_;
   std::unordered_map<std::string_view, SymbolId> index_;
 };
@@ -57,16 +62,18 @@ class PathTable {
   /// Returns the id for `elems`, interning on first sight.
   PathId intern(const std::vector<SymbolId>& elems);
 
-  /// The sequence behind an id.
+  /// The sequence behind an id. Stable for the process lifetime.
   const std::vector<SymbolId>& elems(PathId id) const;
 
   /// Renders a path as "[A B C]".
   std::string text(PathId id) const;
 
-  size_t size() const { return paths_.size(); }
+  size_t size() const;
 
  private:
   PathTable() = default;
+
+  mutable std::mutex mu_;
 
   struct VecHash {
     size_t operator()(const std::vector<SymbolId>& v) const {

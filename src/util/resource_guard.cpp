@@ -71,23 +71,39 @@ void ResourceGuard::arm(const ResourceLimits& limits) {
 
 void ResourceGuard::rearm() {
   active_ = limits_.any();
-  tripped_ = Budget::None;
-  counters_ = Counters{};
+  tripped_.store(Budget::None, std::memory_order_release);
+  steps_.store(0, std::memory_order_relaxed);
+  tuples_.store(0, std::memory_order_relaxed);
+  solverChecks_.store(0, std::memory_order_relaxed);
+  memoryBytes_.store(0, std::memory_order_relaxed);
+  charges_.store(0, std::memory_order_relaxed);
   cancelled_.store(false, std::memory_order_relaxed);
-  clockCountdown_ = 0;
+  clockCountdown_.store(0, std::memory_order_relaxed);
   if (limits_.deadlineSeconds > 0.0) startSeconds_ = util::monotonicSeconds();
 }
 
 void ResourceGuard::failAfter(uint64_t n) {
-  limits_.failAfter = n == 0 ? 0 : counters_.charges + n;
+  limits_.failAfter =
+      n == 0 ? 0 : charges_.load(std::memory_order_relaxed) + n;
   active_ = limits_.any();
 }
 
+ResourceGuard::Counters ResourceGuard::counters() const {
+  Counters c;
+  c.steps = steps_.load(std::memory_order_relaxed);
+  c.tuples = tuples_.load(std::memory_order_relaxed);
+  c.solverChecks = solverChecks_.load(std::memory_order_relaxed);
+  c.memoryBytes = memoryBytes_.load(std::memory_order_relaxed);
+  c.charges = charges_.load(std::memory_order_relaxed);
+  return c;
+}
+
 std::string ResourceGuard::reason() const {
-  if (tripped_ == Budget::None) return "";
-  std::string out(budgetText(tripped_));
+  Budget t = trippedBudget();
+  if (t == Budget::None) return "";
+  std::string out(budgetText(t));
   auto limit = [&](const std::string& text) { out += "(limit=" + text + ")"; };
-  switch (tripped_) {
+  switch (t) {
     case Budget::Deadline:
       limit(std::to_string(limits_.deadlineSeconds) + "s");
       break;
@@ -113,8 +129,13 @@ std::string ResourceGuard::reason() const {
 }
 
 bool ResourceGuard::trip(Budget kind) {
-  tripped_ = kind;
-  if (onTrip_) onTrip_(kind, reason());
+  // First tripper wins; racing workers see the trip at their next
+  // charge. The CAS guarantees the observer fires exactly once.
+  Budget expected = Budget::None;
+  if (tripped_.compare_exchange_strong(expected, kind,
+                                       std::memory_order_acq_rel)) {
+    if (onTrip_) onTrip_(kind, reason());
+  }
   return false;
 }
 
@@ -130,44 +151,44 @@ bool ResourceGuard::common() {
   if (cancelled_.load(std::memory_order_relaxed)) {
     return trip(Budget::Cancelled);
   }
-  ++counters_.charges;
-  if (limits_.failAfter != 0 && counters_.charges >= limits_.failAfter) {
+  uint64_t charges = charges_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (limits_.failAfter != 0 && charges >= limits_.failAfter) {
     return trip(Budget::Fault);
   }
-  if (clockCountdown_ == 0) {
-    clockCountdown_ = kClockStride;
+  // fetch_sub hands the zero crossing to exactly one thread, which
+  // resets the stride and samples the clock. The transient wrap-around
+  // other threads may decrement through only stretches the stride.
+  if (clockCountdown_.fetch_sub(1, std::memory_order_relaxed) == 0) {
+    clockCountdown_.store(kClockStride, std::memory_order_relaxed);
     if (!sampleDeadline()) return false;
   }
-  --clockCountdown_;
   return true;
 }
 
-bool ResourceGuard::charge(Budget kind, uint64_t n, uint64_t& used,
-                           uint64_t limit) {
+bool ResourceGuard::charge(Budget kind, uint64_t n,
+                           std::atomic<uint64_t>& used, uint64_t limit) {
   if (!active_) return true;
   if (tripped()) return false;
   if (!common()) return false;
-  used += n;
-  if (limit != 0 && used > limit) return trip(kind);
+  uint64_t now = used.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limit != 0 && now > limit) return trip(kind);
   return true;
 }
 
 bool ResourceGuard::chargeSteps(uint64_t n) {
-  return charge(Budget::Steps, n, counters_.steps, limits_.maxSteps);
+  return charge(Budget::Steps, n, steps_, limits_.maxSteps);
 }
 
 bool ResourceGuard::chargeTuples(uint64_t n) {
-  return charge(Budget::Tuples, n, counters_.tuples, limits_.maxTuples);
+  return charge(Budget::Tuples, n, tuples_, limits_.maxTuples);
 }
 
 bool ResourceGuard::chargeSolverChecks(uint64_t n) {
-  return charge(Budget::SolverChecks, n, counters_.solverChecks,
-                limits_.maxSolverChecks);
+  return charge(Budget::SolverChecks, n, solverChecks_, limits_.maxSolverChecks);
 }
 
 bool ResourceGuard::chargeMemory(uint64_t bytes) {
-  return charge(Budget::Memory, bytes, counters_.memoryBytes,
-                limits_.maxMemoryBytes);
+  return charge(Budget::Memory, bytes, memoryBytes_, limits_.maxMemoryBytes);
 }
 
 bool ResourceGuard::checkDeadline() {

@@ -14,8 +14,12 @@
 //
 // A default-constructed guard is inactive: every charge is a single flag
 // test, nothing ever trips, and engine behaviour is bit-identical to an
-// unguarded run. Only cancel() may be called from another thread; all
-// other members assume the engine's single evaluation thread.
+// unguarded run. Charging, cancel() and the read accessors are
+// thread-safe: the parallel fixpoint engine (DESIGN.md §7) shares one
+// guard across all workers, every worker observes a trip at its next
+// charge, and the trip observer fires exactly once. Configuration
+// (arm/rearm/failAfter/onTrip) still assumes a single thread between
+// governed operations.
 #pragma once
 
 #include <atomic>
@@ -95,8 +99,10 @@ class ResourceGuard {
   void failAfter(uint64_t n);
 
   bool active() const { return active_; }
-  bool tripped() const { return tripped_ != Budget::None; }
-  Budget trippedBudget() const { return tripped_; }
+  bool tripped() const { return trippedBudget() != Budget::None; }
+  Budget trippedBudget() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
 
   /// Machine-readable trip reason, e.g. "steps(limit=100)" or
   /// "deadline(limit=0.05s)"; empty while not tripped.
@@ -124,7 +130,10 @@ class ResourceGuard {
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
   const ResourceLimits& limits() const { return limits_; }
-  const Counters& counters() const { return counters_; }
+
+  /// Consistent-enough snapshot of the work charged so far (each field
+  /// is read atomically; the set is not a transaction).
+  Counters counters() const;
 
   /// Raises BudgetExceeded carrying the tripped budget kind and limit.
   /// Precondition: tripped().
@@ -140,19 +149,29 @@ class ResourceGuard {
   }
 
  private:
-  bool charge(Budget kind, uint64_t n, uint64_t& used, uint64_t limit);
+  bool charge(Budget kind, uint64_t n, std::atomic<uint64_t>& used,
+              uint64_t limit);
   bool common();           // cancellation + fault injection + deadline
   bool sampleDeadline();   // touches the clock
-  bool trip(Budget kind);  // records the trip; always returns false
+  bool trip(Budget kind);  // records the trip once; always returns false
 
   ResourceLimits limits_;
-  Counters counters_;
+  // Counters are individually atomic so concurrent workers can charge
+  // without locks; counters() snapshots them into the POD Counters.
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> tuples_{0};
+  std::atomic<uint64_t> solverChecks_{0};
+  std::atomic<uint64_t> memoryBytes_{0};
+  std::atomic<uint64_t> charges_{0};
   std::function<void(Budget, const std::string&)> onTrip_;
   bool active_ = false;
-  Budget tripped_ = Budget::None;
+  std::atomic<Budget> tripped_{Budget::None};
   std::atomic<bool> cancelled_{false};
-  double startSeconds_ = 0.0;   // monotonic clock at rearm()
-  uint32_t clockCountdown_ = 0;  // charges until the next clock sample
+  double startSeconds_ = 0.0;  // monotonic clock at rearm()
+  // Charges until the next clock sample; exactly one thread observes the
+  // zero crossing (fetch_sub) and samples, so the stride stays amortized
+  // under concurrency.
+  std::atomic<uint32_t> clockCountdown_{0};
 };
 
 }  // namespace faure

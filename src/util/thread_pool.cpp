@@ -1,0 +1,130 @@
+#include "util/thread_pool.hpp"
+
+namespace faure::util {
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) workers = 1;
+  lanes_.reserve(workers + 1);
+  for (size_t i = 0; i < workers + 1; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+size_t ThreadPool::hardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool ThreadPool::popOrSteal(size_t lane, std::function<void(size_t)>& task) {
+  {
+    Lane& own = *lanes_[lane];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.front());
+      own.queue.pop_front();
+      return true;
+    }
+  }
+  // Steal scan, starting just past our own lane so victims differ per
+  // thief. Stealing from the front keeps submission order roughly intact.
+  for (size_t k = 1; k < lanes_.size(); ++k) {
+    Lane& victim = *lanes_[(lane + k) % lanes_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::drain(size_t lane) {
+  std::function<void(size_t)> task;
+  while (popOrSteal(lane, task)) {
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      try {
+        task(lane);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(errorMu_);
+          if (firstError_ == nullptr) firstError_ = std::current_exception();
+        }
+        cancel();  // a failed task invalidates the rest of the batch
+      }
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Notify under mu_ so the completion cannot slip into the gap
+      // between the caller's predicate check and its sleep.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.notify_all();
+    }
+    task = nullptr;
+  }
+}
+
+void ThreadPool::workerLoop(size_t lane) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || batch_ != seen; });
+      if (stop_) return;
+      seen = batch_;
+    }
+    drain(lane);
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void(size_t)>> tasks) {
+  if (tasks.empty()) return;
+  cancelled_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(errorMu_);
+    firstError_ = nullptr;
+  }
+  pending_.store(tasks.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    Lane& lane = *lanes_[i % lanes_.size()];
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.queue.push_back(std::move(tasks[i]));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batch_;
+  }
+  wake_.notify_all();
+
+  // The caller is the extra lane: it drains alongside the workers, then
+  // waits for whatever tasks other lanes are still running.
+  const size_t callerLane = lanes_.size() - 1;
+  drain(callerLane);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock,
+               [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(errorMu_);
+    err = firstError_;
+    firstError_ = nullptr;
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+}  // namespace faure::util

@@ -1,0 +1,114 @@
+// Tests for the per-worker solver pool (smt/solver_pool.hpp): clones
+// agree with the prototype on every verdict, lanes are independent,
+// pooled stats add up, and the delegated-accounting replay path
+// (SolverBase::consumeDelegated) reproduces a serial solver's logical
+// counter stream.
+#include "smt/solver_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/resource_guard.hpp"
+#include "value/value.hpp"
+
+namespace faure::smt {
+namespace {
+
+class SolverPoolTest : public ::testing::Test {
+ protected:
+  CVarRegistry reg_;
+  CVarId x_ = reg_.declareInt("x_", 0, 1);
+  CVarId y_ = reg_.declareInt("y_", 0, 3);
+
+  Formula eq(CVarId v, int64_t n) {
+    return Formula::cmp(Value::cvar(v), CmpOp::Eq, Value::fromInt(n));
+  }
+};
+
+TEST_F(SolverPoolTest, NativePrototypeClonesOneSolverPerLane) {
+  NativeSolver proto(reg_);
+  SolverPool pool(proto, 4);
+  EXPECT_TRUE(pool.concurrent());
+  EXPECT_EQ(pool.lanes(), 4u);
+}
+
+TEST_F(SolverPoolTest, EveryLaneMatchesThePrototypeVerdict) {
+  NativeSolver proto(reg_);
+  SolverPool pool(proto, 3);
+  const Formula cases[] = {
+      eq(x_, 0),                                    // Sat
+      Formula::conj2(eq(x_, 0), eq(x_, 1)),          // Unsat
+      Formula::conj2(eq(y_, 2), eq(x_, 1)),          // Sat
+      Formula::conj2(eq(y_, 5), Formula::top()), // Unsat (domain)
+  };
+  for (const Formula& f : cases) {
+    Sat want = proto.check(f);
+    for (size_t lane = 0; lane < pool.lanes(); ++lane) {
+      SolverPool::Outcome o = pool.check(lane, f);
+      EXPECT_EQ(o.verdict, want);
+      EXPECT_GE(o.seconds, 0.0);
+    }
+  }
+}
+
+TEST_F(SolverPoolTest, PooledStatsSumAcrossLanesWithoutTouchingPrototype) {
+  NativeSolver proto(reg_);
+  SolverPool pool(proto, 2);
+  pool.check(0, eq(x_, 0));
+  pool.check(1, Formula::conj2(eq(x_, 0), eq(x_, 1)));
+  pool.check(1, eq(y_, 3));
+  SolverStats pooled = pool.pooledStats();
+  EXPECT_EQ(pooled.checks, 3u);
+  EXPECT_EQ(pooled.unsat, 1u);
+  // Physical pool work never shows up in the prototype's logical stream.
+  EXPECT_EQ(proto.stats().checks, 0u);
+}
+
+TEST_F(SolverPoolTest, ConsumeDelegatedMatchesALocalCheckLogically) {
+  // Two solvers over the same registry: one checks locally, the other
+  // replays the pool outcome. Their stats must agree field for field —
+  // this is the invariant keeping `solver.*` serial-identical.
+  NativeSolver local(reg_);
+  NativeSolver replay(reg_);
+  SolverPool pool(replay, 1);
+
+  Formula f = Formula::conj2(eq(x_, 0), eq(x_, 1));
+  Sat direct = local.check(f);
+  SolverPool::Outcome o = pool.check(0, f);
+  Sat replayed = replay.consumeDelegated(o.verdict, o.seconds, o.enumerations);
+
+  EXPECT_EQ(replayed, direct);
+  EXPECT_EQ(replay.stats().checks, local.stats().checks);
+  EXPECT_EQ(replay.stats().unsat, local.stats().unsat);
+  EXPECT_EQ(replay.stats().unknown, local.stats().unknown);
+  EXPECT_EQ(replay.stats().enumerations, local.stats().enumerations);
+}
+
+TEST_F(SolverPoolTest, ConsumeDelegatedHonoursATrippedCheckBudget) {
+  // Replay charges the replaying solver's guard exactly like check():
+  // past the budget the delegated verdict degrades to Unknown with a
+  // budget-trip recorded — same machine-readable degradation as serial.
+  NativeSolver solver(reg_);
+  ResourceLimits limits;
+  limits.maxSolverChecks = 1;
+  ResourceGuard guard(limits);
+  solver.setGuard(&guard);
+
+  EXPECT_EQ(solver.consumeDelegated(Sat::Unsat, 0.0, 0), Sat::Unsat);
+  EXPECT_EQ(solver.consumeDelegated(Sat::Unsat, 0.0, 0), Sat::Unknown);
+  EXPECT_EQ(solver.stats().budgetTrips, 1u);
+  EXPECT_TRUE(guard.tripped());
+  EXPECT_EQ(guard.reason(), "solver-checks(limit=1)");
+}
+
+TEST_F(SolverPoolTest, SharedPrototypeFallbackStaysUsable) {
+  // Lanes = 0 forces the shared-prototype mode the Z3 backend would get:
+  // not concurrent, but check() still answers through the prototype.
+  NativeSolver proto(reg_);
+  SolverPool pool(proto, 0);
+  EXPECT_FALSE(pool.concurrent());
+  SolverPool::Outcome o = pool.check(0, Formula::conj2(eq(x_, 0), eq(x_, 1)));
+  EXPECT_EQ(o.verdict, Sat::Unsat);
+}
+
+}  // namespace
+}  // namespace faure::smt

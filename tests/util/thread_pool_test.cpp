@@ -1,0 +1,136 @@
+// Tests for the fixed-size worker pool behind the parallel fixpoint
+// engine (util/thread_pool.hpp): barrier semantics, lane indexing,
+// cross-lane concurrency (work stealing keeps lanes busy), exception
+// transport, cooperative cancellation, and batch reuse.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace faure::util {
+namespace {
+
+std::vector<std::function<void(size_t)>> batchOf(
+    size_t n, const std::function<void(size_t)>& fn) {
+  std::vector<std::function<void(size_t)>> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) tasks.push_back(fn);
+  return tasks;
+}
+
+TEST(ThreadPoolTest, RunIsABarrierAndExecutesEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  std::atomic<int> ran{0};
+  pool.run(batchOf(64, [&](size_t) { ran.fetch_add(1); }));
+  // run() returned, so every task of the batch must have finished.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, LaneIndexIsWithinBounds) {
+  // Which lanes end up executing tasks is scheduling-dependent (work
+  // stealing can empty a queue before its owner drains it), so only
+  // the index contract is asserted: every reported lane is one of the
+  // workers() + 1 lanes, caller last.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<size_t> lanes;
+  pool.run(batchOf(128, [&](size_t lane) {
+    EXPECT_LE(lane, pool.workers());
+    std::lock_guard<std::mutex> lock(mu);
+    lanes.insert(lane);
+  }));
+  EXPECT_GE(lanes.size(), 1u);
+}
+
+TEST(ThreadPoolTest, LanesRunConcurrently) {
+  // One task blocks until the other has run. If the pool executed the
+  // batch on a single thread this would deadlock (guarded by timeout);
+  // completing proves the worker and the caller drain in parallel.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  bool waiterSawRelease = false;
+  std::vector<std::function<void(size_t)>> tasks;
+  tasks.push_back([&](size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    waiterSawRelease = cv.wait_for(lock, std::chrono::seconds(10),
+                                   [&] { return released; });
+  });
+  tasks.push_back([&](size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  });
+  pool.run(std::move(tasks));
+  EXPECT_TRUE(waiterSawRelease);
+}
+
+TEST(ThreadPoolTest, FirstTaskExceptionIsRethrownOnTheCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto tasks = batchOf(32, [&](size_t) { ran.fetch_add(1); });
+  tasks[0] = [](size_t) { throw std::runtime_error("boom"); };
+  try {
+    pool.run(std::move(tasks));
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // The batch still reached the barrier: every task either ran or was
+  // discarded by the failure, never left dangling.
+  EXPECT_LE(ran.load(), 31);
+
+  // The pool stays usable for the next batch after an exception.
+  std::atomic<int> again{0};
+  pool.run(batchOf(8, [&](size_t) { again.fetch_add(1); }));
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ThreadPoolTest, CancelDiscardsQueuedTasksButRunStillReturns) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void(size_t)>> tasks;
+  tasks.push_back([&](size_t) {
+    ran.fetch_add(1);
+    pool.cancel();  // running task keeps going; queued ones are dropped
+  });
+  for (int i = 0; i < 63; ++i) {
+    tasks.push_back([&](size_t) { ran.fetch_add(1); });
+  }
+  pool.run(std::move(tasks));
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 64);
+
+  // Cancellation is per batch: the next run() executes fully.
+  std::atomic<int> again{0};
+  pool.run(batchOf(8, [&](size_t) { again.fetch_add(1); }));
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ThreadPoolTest, EmptyBatchAndRepeatedBatchesAreFine) {
+  ThreadPool pool(2);
+  pool.run({});  // no tasks: immediate return
+  int total = 0;
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    pool.run(batchOf(16, [&](size_t) { ran.fetch_add(1); }));
+    total += ran.load();
+  }
+  EXPECT_EQ(total, 160);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyHasASaneFloor) {
+  EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace faure::util

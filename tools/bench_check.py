@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the Table-4 harness run report.
+
+Compares a fresh BENCH_table4.json (bench/table4_reachability) against
+the committed bench/baseline_table4.json and fails when any measured
+wall time regressed beyond the tolerance. Because absolute seconds are
+machine-dependent (CI runners differ run to run, let alone from the
+box that recorded the baseline), times are *calibrated* first: the
+serial wall of the smallest common size is taken as the machine's speed
+unit, every comparison is done on times rescaled by that unit, and the
+calibration entry itself is exempt. A genuine O(...) regression moves
+the rescaled ratio no matter how fast the runner is; a uniformly
+slower runner moves nothing.
+
+    bench_check.py --current BENCH_table4.json \
+        --baseline bench/baseline_table4.json \
+        [--tolerance 0.30] [--diff-out diff.json] [--update]
+
+Exit status: 0 when every entry is within tolerance (improvements are
+reported, never fatal), 1 on regression or missing entries. --update
+rewrites the baseline from the current report instead of comparing
+(commit the result deliberately).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+WALL = re.compile(
+    r"^table4\[(\d+)\]\.(?:threads\[(\d+)\]\.)?wall_seconds$"
+)
+
+
+def extract(report_path):
+    """-> {(size, threads): wall_seconds} from a table4 run report."""
+    with open(report_path) as fh:
+        report = json.load(fh)
+    walls = {}
+    for name, value in report.get("metrics", {}).get("gauges", {}).items():
+        m = WALL.match(name)
+        if m:
+            size = int(m.group(1))
+            threads = int(m.group(2)) if m.group(2) else 1
+            walls[(size, threads)] = float(value)
+    if not walls:
+        sys.exit(f"error: no table4 wall_seconds gauges in {report_path}")
+    return walls
+
+
+def key_str(key):
+    size, threads = key
+    return f"size={size} threads={threads}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--diff-out", help="write a JSON comparison artifact")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from --current instead of comparing",
+    )
+    opts = parser.parse_args()
+
+    current = extract(opts.current)
+    if opts.update:
+        payload = {
+            "comment": "regenerate with: bench_check.py --update "
+            "(committed values are calibrated, not absolute; see tool doc)",
+            "walls": {key_str(k): v for k, v in sorted(current.items())},
+        }
+        with open(opts.baseline, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline rewritten: {opts.baseline} ({len(current)} entries)")
+        return 0
+
+    with open(opts.baseline) as fh:
+        baseline_raw = json.load(fh)["walls"]
+    baseline = {}
+    for text, value in baseline_raw.items():
+        m = re.match(r"size=(\d+) threads=(\d+)", text)
+        baseline[(int(m.group(1)), int(m.group(2)))] = float(value)
+
+    common = sorted(set(current) & set(baseline))
+    missing = sorted(set(baseline) - set(current))
+    if not common:
+        sys.exit("error: no overlapping (size, threads) entries to compare")
+
+    # Calibration unit: serial wall of the smallest common size.
+    cal = min(k for k in common if k[1] == 1)
+    unit_now, unit_base = current[cal], baseline[cal]
+
+    rows, regressions = [], []
+    for key in common:
+        ratio_now = current[key] / unit_now
+        ratio_base = baseline[key] / unit_base
+        drift = ratio_now / ratio_base - 1.0
+        verdict = "calibration" if key == cal else (
+            "REGRESSED" if drift > opts.tolerance else
+            "improved" if drift < -opts.tolerance else "ok"
+        )
+        rows.append(
+            {
+                "entry": key_str(key),
+                "current_seconds": current[key],
+                "baseline_seconds": baseline[key],
+                "calibrated_drift": round(drift, 4),
+                "verdict": verdict,
+            }
+        )
+        if verdict == "REGRESSED":
+            regressions.append(key)
+        print(
+            f"{key_str(key):28s} {current[key]:9.4f}s vs "
+            f"{baseline[key]:9.4f}s  drift {drift:+7.1%}  {verdict}"
+        )
+    for key in missing:
+        print(f"{key_str(key):28s} MISSING from current report")
+
+    if opts.diff_out:
+        with open(opts.diff_out, "w") as fh:
+            json.dump(
+                {
+                    "schema": "faure.bench_diff/1",
+                    "tolerance": opts.tolerance,
+                    "calibration_entry": key_str(cal),
+                    "rows": rows,
+                    "missing": [key_str(k) for k in missing],
+                },
+                fh,
+                indent=1,
+            )
+            fh.write("\n")
+
+    if regressions or missing:
+        print(
+            f"FAIL: {len(regressions)} regression(s), "
+            f"{len(missing)} missing entr(ies) "
+            f"(tolerance ±{opts.tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate passed ({len(common)} entries, ±{opts.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + tests, then a second build with
-# ASan/UBSan instrumentation (-DFAURE_SANITIZE=address;undefined) running
-# the same suite. Mirrors .github/workflows/ci.yml so the jobs can be
-# reproduced locally with a single command.
+# CI entry point: plain build + tests, an ASan/UBSan build running the
+# same suite, a TSan build with parallel evaluation forced on
+# (FAURE_THREADS=4), and the bench-regression gate against the committed
+# baseline. Mirrors .github/workflows/ci.yml so the jobs can be
+# reproduced locally with a single command. Set SKIP_TSAN=1 / SKIP_ASAN=1
+# / SKIP_BENCH_GATE=1 to drop a stage (e.g. TSan is slow on small boxes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,11 +15,31 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> sanitizer build (address;undefined)"
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  "-DFAURE_SANITIZE=address;undefined"
-cmake --build build-asan -j "$JOBS"
-ASAN_OPTIONS=detect_leaks=0 \
-  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+if [[ "${SKIP_ASAN:-0}" != 1 ]]; then
+  echo "==> sanitizer build (address;undefined)"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DFAURE_SANITIZE=address;undefined"
+  cmake --build build-asan -j "$JOBS"
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${SKIP_TSAN:-0}" != 1 ]]; then
+  echo "==> sanitizer build (thread), parallel evaluation forced"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFAURE_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS"
+  FAURE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${SKIP_BENCH_GATE:-0}" != 1 ]]; then
+  echo "==> bench-regression gate (Table 4, serial + -j2)"
+  (cd build && FAURE_TABLE4_SIZES=200,500 FAURE_TABLE4_THREADS=1,2 \
+    FAURE_BENCH_JSON=BENCH_table4_gate.json ./bench/table4_reachability)
+  python3 tools/bench_check.py --current build/BENCH_table4_gate.json \
+    --baseline bench/baseline_table4.json --tolerance 0.30 \
+    --diff-out build/bench_diff.json
+fi
 
 echo "==> all green"

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Byte-level determinism gate for the parallel fixpoint engine.
+
+The parallel evaluator (DESIGN.md "Parallel execution") promises results
+bit-identical to serial for every thread count. This script enforces the
+promise end to end through the CLI: for each (database, program) pair it
+runs
+
+    faure run <db> <program> --stats          (plain output + counters)
+    faure run <db> <program> --metrics        (machine-readable report)
+
+once per requested FAURE_THREADS value and fails if
+
+  * the plain stdout (tables, conditions, counter lines — wall-clock
+    seconds on the stats lines are masked first) differs by a single
+    byte from the serial run, or the exit code differs, or
+  * the logical counters of the run report differ. Physical metrics are
+    normalized away first: `eval.par.*` (pool-side telemetry that only
+    exists in parallel runs), all gauges/histograms (timings), span
+    trees and wall clocks. Everything logical — derivations, inserts,
+    prunes, per-rule breakdowns, solver.* checks/unsat/enumerations —
+    must match exactly.
+
+Usage:
+    determinism_check.py --faure build/tools/faure [--threads 1,2,8] \
+        db1.fdb prog1.fl [db2.fdb prog2.fl ...]
+
+Exit status: 0 when every pair is deterministic, 1 otherwise (with a
+unified diff of the first divergence on stderr).
+"""
+
+import argparse
+import difflib
+import json
+import os
+import re
+import subprocess
+import sys
+
+# Wall-clock fields on the `stats:` / `solver:` lines — the only
+# legitimately thread-dependent bytes in `run --stats` output.
+SECONDS = re.compile(r"\b(sql|solver|in) \d+\.\d+s|\b\d+\.\d+s\b")
+
+
+def run_cli(faure, args, threads):
+    env = dict(os.environ)
+    env["FAURE_THREADS"] = str(threads)
+    # Fault-injection knobs would make charge clocks (and thus trip
+    # points) schedule-dependent; determinism is only promised without
+    # them (tests/faurelog/eval_budget_test.cpp pins those serial).
+    env.pop("FAURE_FAIL_AFTER", None)
+    proc = subprocess.run(
+        [faure] + args, env=env, capture_output=True, text=True, timeout=600
+    )
+    return proc.returncode, proc.stdout
+
+
+def normalize_stats(text):
+    """Masks wall-clock seconds on stats lines; everything else — every
+    table row, condition, and counter — stays byte-compared."""
+    out = []
+    for line in text.splitlines(keepends=True):
+        if line.startswith(("stats:", "solver:")):
+            line = SECONDS.sub("<t>", line)
+        out.append(line)
+    return "".join(out)
+
+
+def normalize_report(text):
+    """Reduces a run report to its thread-count-invariant core."""
+    report = json.loads(text)
+    counters = {
+        name: value
+        for name, value in report.get("metrics", {}).get("counters", {}).items()
+        if not name.startswith("eval.par.")
+    }
+    info = {
+        key: value
+        for key, value in report.get("info", {}).items()
+        if key != "threads"
+    }
+    # Events keep name + detail (budget trips and their machine-readable
+    # reasons are part of the contract) but drop timestamps and span ids.
+    events = [
+        {"name": e.get("name"), "detail": e.get("detail")}
+        for e in report.get("events", [])
+    ]
+    return json.dumps(
+        {
+            "schema": report.get("schema"),
+            "command": report.get("command"),
+            "info": info,
+            "counters": counters,
+            "events": events,
+        },
+        indent=1,
+        sort_keys=True,
+    )
+
+
+def diff(label, serial, other):
+    lines = difflib.unified_diff(
+        serial.splitlines(keepends=True),
+        other.splitlines(keepends=True),
+        fromfile=f"{label} [threads=serial]",
+        tofile=f"{label} [threads=N]",
+    )
+    return "".join(lines)
+
+
+def check_pair(faure, db, prog, thread_counts):
+    failures = []
+    for mode, args, normalize in (
+        ("run --stats", [db, prog, "--stats"], normalize_stats),
+        ("run --metrics", [db, prog, "--metrics"], normalize_report),
+    ):
+        baseline = None
+        for threads in thread_counts:
+            code, out = run_cli(faure, ["run"] + args, threads)
+            view = normalize(out) if normalize else out
+            if baseline is None:
+                baseline = (threads, code, view)
+                continue
+            base_threads, base_code, base_view = baseline
+            if code != base_code:
+                failures.append(
+                    f"{db} + {prog} ({mode}): exit {base_code} at "
+                    f"threads={base_threads} but {code} at threads={threads}"
+                )
+            if view != base_view:
+                failures.append(
+                    f"{db} + {prog} ({mode}): output diverges at "
+                    f"threads={threads}\n"
+                    + diff(f"{prog} ({mode})", base_view, view)
+                )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--faure", required=True, help="path to the faure CLI")
+    parser.add_argument(
+        "--threads",
+        default="1,2,8",
+        help="comma-separated FAURE_THREADS values (default: 1,2,8)",
+    )
+    parser.add_argument(
+        "pairs",
+        nargs="+",
+        help="alternating database / program paths (db1 prog1 db2 prog2 ...)",
+    )
+    opts = parser.parse_args()
+    if len(opts.pairs) % 2 != 0:
+        parser.error("expected an even number of db/program paths")
+    thread_counts = [int(t) for t in opts.threads.split(",") if t]
+    if len(thread_counts) < 2:
+        parser.error("need at least two thread counts to compare")
+
+    failures = []
+    for i in range(0, len(opts.pairs), 2):
+        db, prog = opts.pairs[i], opts.pairs[i + 1]
+        pair_failures = check_pair(opts.faure, db, prog, thread_counts)
+        failures += pair_failures
+        status = "DIVERGED" if pair_failures else "identical"
+        print(
+            f"{os.path.basename(db)} + {os.path.basename(prog)}: "
+            f"threads {opts.threads} -> {status}"
+        )
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"determinism holds across threads {opts.threads}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,11 +72,16 @@ int usage() {
       "usage:\n"
       "  faure run <db.fdb> <program.fl> [--relation NAME] [--simplify]\n"
       "            [--solver native|z3] [--stats] [--db-out FILE]\n"
+      "            [--threads N | -jN]\n"
       "            [observability options] [budget options]\n"
       "  faure check <db.fdb> <constraint.fl> [--stats]\n"
       "            [observability options] [budget options]\n"
       "  faure worlds <db.fdb> [cap]\n"
       "  faure fmt <db.fdb>\n"
+      "parallelism (DESIGN.md \"Parallel execution\"):\n"
+      "  --threads N / -jN  evaluation threads; 0 = hardware concurrency.\n"
+      "                     Default: FAURE_THREADS env, else serial.\n"
+      "                     Results are identical for every N.\n"
       "observability options (DESIGN.md \"Observability\"):\n"
       "  --trace[=FILE]    span tree on stderr / Chrome trace to FILE\n"
       "  --metrics[=FILE]  JSON run report on stdout / to FILE\n"
@@ -104,6 +109,32 @@ bool parseBudgetFlag(int argc, char** argv, int& i, ResourceLimits& limits) {
     need(limits.maxSolverChecks);
   } else if (std::strcmp(argv[i], "--fail-after") == 0) {
     need(limits.failAfter);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parses a thread-count flag (`--threads N`, `--threads=N`, `-jN`,
+/// `-j N`) at argv[i], advancing i past any separate value; returns
+/// false when argv[i] is not a thread flag.
+bool parseThreadsFlag(int argc, char** argv, int& i,
+                      std::optional<unsigned>& threads) {
+  auto parse = [](const char* s) {
+    return static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+  };
+  if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+    threads = parse(argv[i] + 10);
+  } else if (std::strcmp(argv[i], "--threads") == 0) {
+    if (i + 1 >= argc) throw Error("missing value for --threads");
+    threads = parse(argv[++i]);
+  } else if (std::strncmp(argv[i], "-j", 2) == 0) {
+    if (argv[i][2] != '\0') {
+      threads = parse(argv[i] + 2);
+    } else {
+      if (i + 1 >= argc) throw Error("missing value for -j");
+      threads = parse(argv[++i]);
+    }
   } else {
     return false;
   }
@@ -229,6 +260,7 @@ int cmdRun(int argc, char** argv) {
   const char* solverName = "native";
   const char* dbOut = nullptr;
   bool simplify = false;
+  std::optional<unsigned> threads;
   ObsFlags obsFlags;
   ResourceLimits limits = ResourceLimits::fromEnv();
   for (int i = 2; i < argc; ++i) {
@@ -240,6 +272,8 @@ int cmdRun(int argc, char** argv) {
       solverName = argv[++i];
     } else if (std::strcmp(argv[i], "--db-out") == 0 && i + 1 < argc) {
       dbOut = argv[++i];
+    } else if (parseThreadsFlag(argc, argv, i, threads)) {
+      continue;
     } else if (parseObsFlag(argv[i], obsFlags)) {
       continue;
     } else if (parseBudgetFlag(argc, argv, i, limits)) {
@@ -255,6 +289,7 @@ int cmdRun(int argc, char** argv) {
   ResourceGuard guard(limits);
   fl::EvalOptions opts;
   opts.simplifyResults = simplify;
+  opts.threads = threads;
   opts.tracer = tracer.get();
   if (guard.active()) {
     opts.guard = &guard;
@@ -298,6 +333,7 @@ int cmdRun(int argc, char** argv) {
     meta.add("database", argv[0]);
     meta.add("program", argv[1]);
     meta.add("solver", solverName);
+    meta.add("threads", std::to_string(fl::resolveThreads(opts)));
     if (res.incomplete) meta.add("incomplete", res.degradeReason);
     exportObs(*tracer, obsFlags, meta);
   }
