@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "smt/solver.hpp"
+#include "smt/verdict_cache.hpp"
 #include "smt/z3_solver.hpp"
 #include "util/rng.hpp"
 
@@ -86,6 +87,29 @@ void BM_Z3SolverReachabilityConditions(benchmark::State& state) {
 }
 BENCHMARK(BM_Z3SolverReachabilityConditions);
 
+void BM_NativeSolverCachedReachabilityConditions(benchmark::State& state) {
+  // Steady state of the verdict cache on the same corpus: after one
+  // sweep every check is a hit, so the loop measures pure replay cost
+  // (lookup + consumeDelegated). The physical/logical counters quantify
+  // how much decision-procedure work the cache removed.
+  Fixture& f = fixture();
+  NativeSolver solver(f.reg);
+  VerdictCache cache(f.reg, size_t{1} << 16);
+  solver.setVerdictCache(&cache);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.check(f.corpus[i++ % f.corpus.size()]));
+  }
+  const VerdictCache::Stats cs = cache.stats();
+  state.counters["logical_checks"] =
+      static_cast<double>(solver.stats().checks);
+  state.counters["physical_checks"] =
+      static_cast<double>(solver.stats().checks - cs.hits);
+  state.counters["cache_hits"] = static_cast<double>(cs.hits);
+  state.counters["cache_misses"] = static_cast<double>(cs.misses);
+}
+BENCHMARK(BM_NativeSolverCachedReachabilityConditions);
+
 void BM_NativeImplication(benchmark::State& state) {
   Fixture& f = fixture();
   NativeSolver solver(f.reg);
@@ -98,6 +122,28 @@ void BM_NativeImplication(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NativeImplication);
+
+void BM_NativeCachedImplication(benchmark::State& state) {
+  // implies() memoizes per ordered (a, b) pair; the corpus gives 256
+  // distinct pairs, so steady state is all hits.
+  Fixture& f = fixture();
+  NativeSolver solver(f.reg);
+  VerdictCache cache(f.reg, size_t{1} << 16);
+  solver.setVerdictCache(&cache);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Formula& a = f.corpus[i % f.corpus.size()];
+    const Formula& b = f.corpus[(i + 1) % f.corpus.size()];
+    benchmark::DoNotOptimize(solver.implies(a, b));
+    ++i;
+  }
+  const VerdictCache::Stats cs = cache.stats();
+  state.counters["logical_checks"] =
+      static_cast<double>(solver.stats().checks);
+  state.counters["cache_hits"] = static_cast<double>(cs.hits);
+  state.counters["cache_misses"] = static_cast<double>(cs.misses);
+}
+BENCHMARK(BM_NativeCachedImplication);
 
 void BM_NativeUnsatConjunction(benchmark::State& state) {
   // The common pruning case: a guard conjoined with its complement bit.

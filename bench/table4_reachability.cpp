@@ -24,6 +24,15 @@
 // run regenerates the RIB so no run sees a predecessor's derived
 // tables.
 //
+// Solver verdict cache: every (size,threads) run attaches a fresh
+// VerdictCache sized by FAURE_SOLVER_CACHE (0 disables). The serial row
+// records `table4[N].solver.cache.{hits,misses,evictions}` plus
+// `table4[N].solver_checks_{logical,physical}` (physical = logical -
+// hits: a hit replays a verdict without running the decision
+// procedure), and each size gets one extra cache-off serial pass
+// recorded as `table4[N].nocache.wall_seconds` so the gated baseline
+// (tools/bench_check.py) tracks both configurations.
+//
 // Resource governance: the FAURE_DEADLINE / FAURE_MAX_* / FAURE_FAIL_AFTER
 // knobs (util/resource_guard.hpp) budget each size's pipeline run; rows
 // that hit a budget are annotated with the trip reason and count instead
@@ -39,9 +48,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "net/pipeline.hpp"
 #include "obs/report.hpp"
+#include "smt/verdict_cache.hpp"
 #include "smt/z3_solver.hpp"
 #include "util/resource_guard.hpp"
 #include "util/timer.hpp"
@@ -171,6 +182,7 @@ int main() {
       "synthetic RIB) ----\n%s\n",
       net::table4Header().c_str());
   ResourceLimits limits = ResourceLimits::fromEnv();
+  const size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
   util::Stopwatch watch;
   for (size_t n : sizes) {
     double serialWall = 0.0;
@@ -183,6 +195,11 @@ int main() {
       rel::Database db;
       net::RibGenResult rib = net::generateRib(db, cfg);
       smt::NativeSolver solver(db.cvars());
+      std::unique_ptr<smt::VerdictCache> cache;
+      if (cacheEntries > 0) {
+        cache = std::make_unique<smt::VerdictCache>(db.cvars(), cacheEntries);
+        solver.setVerdictCache(cache.get());
+      }
       ResourceGuard guard(limits);
       fl::EvalOptions opts;
       opts.threads = static_cast<unsigned>(threads);
@@ -209,6 +226,35 @@ int main() {
         serialWall = wall;
         if (traceOn) recordRow(tracer.metrics(), n, r, wall);
         std::printf("%s\n", net::formatTable4Row(n, r).c_str());
+        if (cache != nullptr) {
+          // Serial accounting: every cache hit is one logical check that
+          // skipped the decision procedure, so physical = logical - hits.
+          const smt::VerdictCache::Stats cs = cache->stats();
+          const uint64_t logical = solver.stats().checks;
+          const uint64_t physical = logical - cs.hits;
+          std::printf(
+              "%9s cache: %llu/%llu physical/logical checks, %llu hits, "
+              "%llu misses, %llu evictions\n",
+              "", static_cast<unsigned long long>(physical),
+              static_cast<unsigned long long>(logical),
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.evictions));
+          if (traceOn) {
+            obs::Registry& reg = tracer.metrics();
+            const std::string base = "table4[" + std::to_string(n) + "].";
+            reg.gauge(base + "solver.cache.hits")
+                .set(static_cast<double>(cs.hits));
+            reg.gauge(base + "solver.cache.misses")
+                .set(static_cast<double>(cs.misses));
+            reg.gauge(base + "solver.cache.evictions")
+                .set(static_cast<double>(cs.evictions));
+            reg.gauge(base + "solver_checks_logical")
+                .set(static_cast<double>(logical));
+            reg.gauge(base + "solver_checks_physical")
+                .set(static_cast<double>(physical));
+          }
+        }
       } else {
         if (traceOn) {
           recordThreadedRow(tracer.metrics(), n,
@@ -232,6 +278,47 @@ int main() {
       }
       std::fflush(stdout);
     }
+
+    // Cache-off serial control: same size, no VerdictCache, so the
+    // report carries both configurations for the gated baseline.
+    if (cacheEntries > 0) {
+      net::RibConfig cfg;
+      cfg.numPrefixes = n;
+      rel::Database db;
+      net::RibGenResult rib = net::generateRib(db, cfg);
+      smt::NativeSolver solver(db.cvars());
+      ResourceGuard guard(limits);
+      fl::EvalOptions opts;
+      opts.threads = 1;
+      if (traceOn) opts.tracer = &tracer;
+      if (guard.active()) {
+        opts.guard = &guard;
+        solver.setGuard(&guard);
+      }
+      net::Table4Result r;
+      {
+        std::string tag = "table4[size=" + std::to_string(n) + "][nocache]";
+        obs::Span span(opts.tracer, tag);
+        watch.lap();
+        r = net::runTable4(db, rib, solver, opts);
+      }
+      double wall = watch.lap();
+      if (traceOn) {
+        tracer.metrics()
+            .gauge("table4[" + std::to_string(n) + "].nocache.wall_seconds")
+            .set(wall);
+        tracer.metrics()
+            .gauge("table4[" + std::to_string(n) +
+                   "].nocache.solver_checks_physical")
+            .set(static_cast<double>(solver.stats().checks));
+      }
+      std::printf("%s   (cache off", net::formatTable4Row(n, r).c_str());
+      if (serialWall > 0.0 && wall > 0.0) {
+        std::printf(", cached serial is %.2fx", wall / serialWall);
+      }
+      std::printf(")\n");
+      std::fflush(stdout);
+    }
   }
 
   const char* jsonPath = std::getenv("FAURE_BENCH_JSON");
@@ -251,6 +338,7 @@ int main() {
       threadList += std::to_string(t);
     }
     meta.add("threads", threadList);
+    meta.add("solver_cache", std::to_string(cacheEntries));
     std::ofstream out(jsonPath);
     if (out) {
       out << obs::runReportJson(tracer, meta);

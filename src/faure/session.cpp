@@ -15,6 +15,17 @@ Session::Session(Backend backend) : backend_(backend) {
   } else {
     solver_ = std::make_unique<smt::NativeSolver>(db_.cvars());
   }
+  setSolverCache(smt::VerdictCache::capacityFromEnv());
+}
+
+void Session::setSolverCache(size_t entries) {
+  if (entries == 0) {
+    solver_->setVerdictCache(nullptr);
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<smt::VerdictCache>(db_.cvars(), entries);
+  solver_->setVerdictCache(cache_.get());
 }
 
 smt::SolverBase& Session::solver() { return *solver_; }

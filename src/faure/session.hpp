@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "faurelog/eval.hpp"
+#include "smt/verdict_cache.hpp"
 #include "verify/verifier.hpp"
 
 namespace faure {
@@ -78,6 +79,18 @@ class Session {
   /// The session solver (rebuilt if you exchange the registry wholesale).
   smt::SolverBase& solver();
 
+  /// Resizes the session's solver verdict cache (smt/verdict_cache.hpp):
+  /// `entries` bounds the LRU map, 0 detaches caching entirely. The
+  /// session starts with VerdictCache::capacityFromEnv() (the
+  /// FAURE_SOLVER_CACHE variable, default 65536). The cache is shared by
+  /// every run()/check()/subsumed() call, so a verification session
+  /// amortizes the checks its evaluations already paid for. Resizing
+  /// drops all cached verdicts. Results are byte-identical at any
+  /// setting — only physical solver work (and solver.cache.* metrics)
+  /// changes.
+  void setSolverCache(size_t entries);
+  smt::VerdictCache* solverCache() const { return cache_.get(); }
+
   /// Parses database text (docs/LANGUAGE.md) into the session database.
   /// Declarations and rows accumulate across calls; table redeclaration
   /// throws.
@@ -113,6 +126,7 @@ class Session {
 
   Backend backend_;
   rel::Database db_;
+  std::unique_ptr<smt::VerdictCache> cache_;  // before solver_: it outlives it
   std::unique_ptr<smt::SolverBase> solver_;
   fl::EvalOptions opts_;
   ResourceGuard guard_;

@@ -11,6 +11,7 @@
 #include "relational/algebra.hpp"
 #include "smt/simplify.hpp"
 #include "smt/solver_pool.hpp"
+#include "smt/verdict_cache.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -96,6 +97,8 @@ class FaureEvaluator {
             *solver_, threadPool_->workers() + 1);
       }
     }
+    cache_ = solver_ != nullptr ? solver_->verdictCache() : nullptr;
+    if (cache_ != nullptr) cacheBefore_ = cache_->stats();
   }
 
   EvalResult run() {
@@ -521,9 +524,25 @@ class FaureEvaluator {
             // it here would be wasted work. Candidates that escape this
             // filter but get subsumed during replay simply drop their
             // precheck on the floor — logical accounting stays serial.
-            if (!smt::impliesSyntactically(c.cond, out.conditionOf(c.vals))) {
-              pending.push_back(&c);
+            if (smt::impliesSyntactically(c.cond, out.conditionOf(c.vals))) {
+              continue;
             }
+            // Cache-aware skip: a condition already decided — earlier
+            // this round, a previous round, or a previous evaluation
+            // sharing the cache — needs no lane dispatch; adopt the
+            // memoized verdict as this candidate's precheck. Replay
+            // consumes it through the same consumeDelegated path, so
+            // logical accounting is unchanged.
+            if (cache_ != nullptr && !c.cond.isTrue()) {
+              if (auto hit = cache_->lookupCheck(c.cond)) {
+                c.verdict = hit->sat;
+                c.seconds = 0.0;
+                c.enumerations = hit->enumerations;
+                c.hasPrecheck = true;
+                continue;
+              }
+            }
+            pending.push_back(&c);
           }
         }
       }
@@ -957,6 +976,18 @@ class FaureEvaluator {
         reg.gauge("eval.par.precheck.seconds").set(ps.seconds);
       }
     }
+    // Verdict-cache deltas for this evaluation. Physical like eval.par.*
+    // — which lookup misses depends on scheduling (two lanes can miss
+    // the same formula concurrently) — so the determinism gate
+    // normalizes solver.cache.* away; hit *verdicts* are deterministic.
+    if (cache_ != nullptr) {
+      smt::VerdictCache::Stats cs = cache_->stats();
+      reg.counter("solver.cache.hits").add(cs.hits - cacheBefore_.hits);
+      reg.counter("solver.cache.misses").add(cs.misses - cacheBefore_.misses);
+      reg.counter("solver.cache.evictions")
+          .add(cs.evictions - cacheBefore_.evictions);
+      reg.gauge("solver.cache.entries").set(static_cast<double>(cs.entries));
+    }
   }
 
   const Program& p_;
@@ -975,6 +1006,12 @@ class FaureEvaluator {
   size_t threads_ = 1;
   std::unique_ptr<util::ThreadPool> threadPool_;
   std::unique_ptr<smt::SolverPool> solverPool_;
+
+  // The main solver's verdict cache (null when none attached), with its
+  // stats snapshot at construction so flushMetrics reports this
+  // evaluation's deltas.
+  smt::VerdictCache* cache_ = nullptr;
+  smt::VerdictCache::Stats cacheBefore_;
 };
 
 }  // namespace

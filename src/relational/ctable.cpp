@@ -7,10 +7,8 @@
 namespace faure::rel {
 
 size_t Schema::indexOf(std::string_view name) const {
-  for (size_t i = 0; i < attrs_.size(); ++i) {
-    if (attrs_[i].name == name) return i;
-  }
-  return SIZE_MAX;
+  auto it = byName_.find(name);
+  return it == byName_.end() ? SIZE_MAX : it->second;
 }
 
 void CTable::checkRow(const std::vector<Value>& vals) const {
@@ -68,7 +66,34 @@ std::vector<size_t> CTable::rowsWithData(const std::vector<Value>& vals) const {
 }
 
 void CTable::consolidate() {
+  // Append-mode duplication is the exception, not the rule: scan the
+  // hash index for repeated data parts first and leave the table
+  // untouched — row order included — when nothing would merge. A row
+  // whose condition was forced to `false` (setCondition) also triggers
+  // the rebuild, which drops it, preserving the historical contract.
+  bool rebuild = false;
+  for (const auto& row : rows_) {
+    if (row.cond.isFalse()) {
+      rebuild = true;
+      break;
+    }
+  }
+  for (auto it = index_.begin(); !rebuild && it != index_.end(); ++it) {
+    const std::vector<size_t>& bucket = it->second;
+    for (size_t i = 1; i < bucket.size() && !rebuild; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (rows_[bucket[i]].vals == rows_[bucket[j]].vals) {
+          rebuild = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!rebuild) return;
+
   CTable merged(schema_);
+  merged.rows_.reserve(rows_.size());
+  merged.index_.reserve(index_.size());
   for (auto& row : rows_) {
     merged.insert(std::move(row.vals), std::move(row.cond));
   }

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -28,7 +29,12 @@ class Schema {
  public:
   Schema() = default;
   Schema(std::string name, std::vector<Attribute> attrs)
-      : name_(std::move(name)), attrs_(std::move(attrs)) {}
+      : name_(std::move(name)), attrs_(std::move(attrs)) {
+    byName_.reserve(attrs_.size());
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      byName_.emplace(attrs_[i].name, i);  // first occurrence wins
+    }
+  }
 
   const std::string& name() const { return name_; }
   size_t arity() const { return attrs_.size(); }
@@ -44,8 +50,17 @@ class Schema {
   }
 
  private:
+  // Heterogeneous lookup so indexOf(string_view) never allocates.
+  struct NameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::string name_;
   std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, size_t, NameHash, std::equal_to<>> byName_;
 };
 
 /// One conditional tuple: the data part plus its condition.
@@ -94,7 +109,9 @@ class CTable {
   std::vector<size_t> rowsWithData(const std::vector<Value>& vals) const;
 
   /// Merges duplicate data parts by OR-ing their conditions (undoes
-  /// append-mode duplication). Row order is not preserved.
+  /// append-mode duplication). When nothing merges the table is left
+  /// untouched (no rebuild, row order preserved); otherwise rows keep
+  /// first-occurrence order of their data parts.
   void consolidate();
 
   /// The condition of the data part: OR over all rows carrying it, or

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "smt/interner.hpp"
 #include "util/error.hpp"
 
 namespace faure::smt {
@@ -172,22 +173,24 @@ size_t nodeHash(const FormulaNode& n) {
   return h;
 }
 
+// The boolean constants are interned like every other node, so the
+// pointer-equality contract of operator== covers them uniformly.
 const std::shared_ptr<const FormulaNode>& trueNode() {
   static const std::shared_ptr<const FormulaNode> node = [] {
-    auto n = std::make_shared<FormulaNode>();
-    n->kind = FormulaNode::Kind::True;
-    n->hash = nodeHash(*n);
-    return n;
+    FormulaNode n;
+    n.kind = FormulaNode::Kind::True;
+    n.hash = nodeHash(n);
+    return FormulaInterner::instance().intern(std::move(n));
   }();
   return node;
 }
 
 const std::shared_ptr<const FormulaNode>& falseNode() {
   static const std::shared_ptr<const FormulaNode> node = [] {
-    auto n = std::make_shared<FormulaNode>();
-    n->kind = FormulaNode::Kind::False;
-    n->hash = nodeHash(*n);
-    return n;
+    FormulaNode n;
+    n.kind = FormulaNode::Kind::False;
+    n.hash = nodeHash(n);
+    return FormulaInterner::instance().intern(std::move(n));
   }();
   return node;
 }
@@ -202,29 +205,7 @@ Formula Formula::bottom() { return Formula(falseNode()); }
 
 Formula Formula::makeNode(FormulaNode node) {
   node.hash = nodeHash(node);
-  return Formula(std::make_shared<const FormulaNode>(std::move(node)));
-}
-
-bool Formula::structuralEq(const FormulaNode& a, const FormulaNode& b) {
-  if (a.kind != b.kind || a.hash != b.hash) return false;
-  switch (a.kind) {
-    case FormulaNode::Kind::True:
-    case FormulaNode::Kind::False:
-      return true;
-    case FormulaNode::Kind::Cmp:
-      return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
-    case FormulaNode::Kind::Lin:
-      return a.op == b.op && a.lin == b.lin;
-    case FormulaNode::Kind::And:
-    case FormulaNode::Kind::Or:
-    case FormulaNode::Kind::Not:
-      if (a.kids.size() != b.kids.size()) return false;
-      for (size_t i = 0; i < a.kids.size(); ++i) {
-        if (a.kids[i] != b.kids[i]) return false;
-      }
-      return true;
-  }
-  return false;
+  return Formula(FormulaInterner::instance().intern(std::move(node)));
 }
 
 Formula Formula::cmp(Value lhs, CmpOp op, Value rhs) {

@@ -130,10 +130,17 @@ class Formula {
 
   const FormulaNode& node() const { return *node_; }
 
-  /// Structural equality (after constructor normalization). Semantic
-  /// equivalence is Solver::equivalent.
+  /// The shared node itself — the hash-consed identity of this formula.
+  /// Stable for the node's lifetime; smt::VerdictCache pins it to key
+  /// memoized verdicts.
+  const std::shared_ptr<const FormulaNode>& nodePtr() const { return node_; }
+
+  /// Structural equality (after constructor normalization). Nodes are
+  /// hash-consed (smt/interner.hpp), so this is a pointer comparison:
+  /// structurally equal formulas share one node by construction.
+  /// Semantic equivalence is Solver::equivalent.
   friend bool operator==(const Formula& a, const Formula& b) {
-    return a.node_ == b.node_ || structuralEq(*a.node_, *b.node_);
+    return a.node_ == b.node_;
   }
   friend bool operator!=(const Formula& a, const Formula& b) {
     return !(a == b);
@@ -151,7 +158,6 @@ class Formula {
   explicit Formula(std::shared_ptr<const FormulaNode> node)
       : node_(std::move(node)) {}
 
-  static bool structuralEq(const FormulaNode& a, const FormulaNode& b);
   static Formula makeNode(FormulaNode node);
 
   std::shared_ptr<const FormulaNode> node_;

@@ -1,0 +1,99 @@
+#include "smt/interner.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace faure::smt {
+
+namespace {
+
+/// Structural equality between a candidate table entry and a node being
+/// interned. Children are compared by pointer: they were interned first
+/// (Formula's factories build bottom-up), so structural equality of kids
+/// is exactly node identity.
+bool sameNode(const FormulaNode& a, const FormulaNode& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case FormulaNode::Kind::True:
+    case FormulaNode::Kind::False:
+      return true;
+    case FormulaNode::Kind::Cmp:
+      return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
+    case FormulaNode::Kind::Lin:
+      return a.op == b.op && a.lin == b.lin;
+    case FormulaNode::Kind::And:
+    case FormulaNode::Kind::Or:
+    case FormulaNode::Kind::Not:
+      if (a.kids.size() != b.kids.size()) return false;
+      for (size_t i = 0; i < a.kids.size(); ++i) {
+        if (&a.kids[i].node() != &b.kids[i].node()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FormulaInterner& FormulaInterner::instance() {
+  static FormulaInterner interner;
+  return interner;
+}
+
+void FormulaInterner::sweep(Shard& shard) {
+  for (auto it = shard.buckets.begin(); it != shard.buckets.end();) {
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [](const std::weak_ptr<const FormulaNode>& w) {
+                               return w.expired();
+                             }),
+              vec.end());
+    it = vec.empty() ? shard.buckets.erase(it) : std::next(it);
+  }
+  ++shard.sweeps;
+  shard.sweepAt = std::max(kSweepFloor, shard.buckets.size() * 2);
+}
+
+std::shared_ptr<const FormulaNode> FormulaInterner::intern(FormulaNode&& node) {
+  // Spread the hash before picking a shard: the low bits also select the
+  // unordered_map bucket, so reusing them raw would correlate the two.
+  size_t h = node.hash;
+  Shard& shard = shards_[(h ^ (h >> 17)) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& vec = shard.buckets[h];
+  for (auto it = vec.begin(); it != vec.end();) {
+    if (auto sp = it->lock()) {
+      if (sameNode(*sp, node)) {
+        ++shard.hits;
+        return sp;
+      }
+      ++it;
+    } else {
+      it = vec.erase(it);  // lazy cleanup while we are here anyway
+    }
+  }
+  auto sp = std::make_shared<const FormulaNode>(std::move(node));
+  vec.push_back(sp);
+  ++shard.misses;
+  if (shard.buckets.size() >= shard.sweepAt) sweep(shard);
+  return sp;
+}
+
+FormulaInterner::Stats FormulaInterner::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.sweeps += shard.sweeps;
+    for (const auto& [h, vec] : shard.buckets) {
+      (void)h;
+      for (const auto& w : vec) {
+        if (!w.expired()) ++total.entries;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace faure::smt

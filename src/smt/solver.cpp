@@ -6,6 +6,7 @@
 #include <limits>
 #include <optional>
 
+#include "smt/verdict_cache.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -94,10 +95,62 @@ Sat SolverBase::consumeDelegated(Sat verdict, double seconds,
   return result;
 }
 
+void SolverBase::setVerdictCache(VerdictCache* cache) {
+  if (cache != nullptr && &cache->registry() != &reg_) {
+    throw EvalError(
+        "setVerdictCache: cache is bound to a different c-variable "
+        "registry");
+  }
+  cache_ = cache;
+}
+
+Sat SolverBase::check(const Formula& f) {
+  // Constants are cheaper than a cache probe; and an uncacheable miss
+  // below would pollute the miss counter (physical-check estimate).
+  if (cache_ == nullptr || f.isTrue() || f.isFalse()) {
+    return checkUncached(f);
+  }
+  util::Stopwatch watch;
+  if (auto hit = cache_->lookupCheck(f)) {
+    // Replay with full logical accounting: guard charge (which may
+    // still degrade this call to Unknown — budget behaviour is
+    // identical to recomputing), stats and metric mirrors. Wall time is
+    // the lookup's, the only thing a cache is allowed to change.
+    return consumeDelegated(hit->sat, watch.elapsed(), hit->enumerations);
+  }
+  const SolverStats before = stats_;
+  Sat result = checkUncached(f);
+  // A verdict degraded by a budget trip (deadline mid-check, tripped
+  // check budget, Z3 timeout) is a resource outcome, not a logical one:
+  // never cache it. Every degrade path increments budgetTrips, so the
+  // delta is exactly the signal.
+  if (stats_.budgetTrips == before.budgetTrips) {
+    cache_->storeCheck(f, result, stats_.enumerations - before.enumerations);
+  }
+  return result;
+}
+
 bool SolverBase::implies(const Formula& a, const Formula& b) {
   if (a.isFalse() || b.isTrue()) return true;
   if (a == b) return true;
-  return check(Formula::conj2(a, Formula::neg(b))) == Sat::Unsat;
+  if (cache_ == nullptr) {
+    return check(Formula::conj2(a, Formula::neg(b))) == Sat::Unsat;
+  }
+  util::Stopwatch watch;
+  if (auto hit = cache_->lookupImplies(a, b)) {
+    // Same accounting as the uncached path's inner check; a guard trip
+    // degrades to Unknown and therefore answers "no", exactly as an
+    // uncached tripped check would.
+    return consumeDelegated(hit->sat, watch.elapsed(), hit->enumerations) ==
+           Sat::Unsat;
+  }
+  const SolverStats before = stats_;
+  Sat result = check(Formula::conj2(a, Formula::neg(b)));
+  if (stats_.budgetTrips == before.budgetTrips) {
+    cache_->storeImplies(a, b, result,
+                         stats_.enumerations - before.enumerations);
+  }
+  return result == Sat::Unsat;
 }
 
 bool SolverBase::equivalent(const Formula& a, const Formula& b) {
@@ -624,7 +677,7 @@ class CubeChecker {
 
 }  // namespace
 
-Sat NativeSolver::check(const Formula& f) {
+Sat NativeSolver::checkUncached(const Formula& f) {
   CheckScope scope(this);
   if (!admitCheck()) return Sat::Unknown;
   Sat result;

@@ -29,6 +29,8 @@
 
 namespace faure::smt {
 
+class VerdictCache;
+
 enum class Sat : uint8_t { Unsat, Sat, Unknown };
 
 std::string_view satText(Sat s);
@@ -59,13 +61,17 @@ class SolverBase {
   SolverBase& operator=(const SolverBase&) = delete;
 
   /// Three-valued satisfiability of `f` under the registry's domains.
-  virtual Sat check(const Formula& f) = 0;
+  /// With a VerdictCache attached, a memoized verdict is replayed through
+  /// consumeDelegated — logical accounting (guard charges, stats, metric
+  /// mirrors) is identical to recomputing; only wall time changes.
+  Sat check(const Formula& f);
 
   /// True only when `f` is certainly unsatisfiable.
   bool definitelyUnsat(const Formula& f) { return check(f) == Sat::Unsat; }
 
   /// True when a ⇒ b is certain (i.e. a ∧ ¬b is Unsat). Unknown answers
-  /// conservatively report "no".
+  /// conservatively report "no". Memoized per ordered (a, b) pair when a
+  /// VerdictCache is attached.
   bool implies(const Formula& a, const Formula& b);
 
   /// True when a ⟺ b is certain.
@@ -102,7 +108,19 @@ class SolverBase {
   void setTracer(obs::Tracer* tracer);
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a verdict cache (smt/verdict_cache.hpp): check()/implies()
+  /// consult it first and store non-degraded verdicts back. The cache
+  /// must be bound to this solver's registry (throws EvalError
+  /// otherwise) and may be shared across solvers — SolverPool propagates
+  /// the prototype's cache to every lane, and verify/ containment reuses
+  /// a session's cache across eval and verification. Null detaches; the
+  /// cache must outlive the solver's use of it.
+  void setVerdictCache(VerdictCache* cache);
+  VerdictCache* verdictCache() const { return cache_; }
+
  protected:
+  /// Backend decision procedure behind the caching check() wrapper.
+  virtual Sat checkUncached(const Formula& f) = 0;
   /// Charges one check against the guard; returns false when this check
   /// must degrade to Unknown (records stats for the degraded check).
   bool admitCheck();
@@ -129,6 +147,7 @@ class SolverBase {
   SolverStats stats_;
   ResourceGuard* guard_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  VerdictCache* cache_ = nullptr;
 
  private:
   /// Registry handles, resolved once in setTracer; valid iff tracer_.
@@ -206,11 +225,12 @@ class NativeSolver : public SolverBase {
   NativeSolver(const CVarRegistry& reg, Options opts)
       : SolverBase(reg), opts_(opts) {}
 
-  Sat check(const Formula& f) override;
-
   /// Configuration, so a SolverPool can clone equivalently-configured
   /// per-worker instances.
   const Options& options() const { return opts_; }
+
+ protected:
+  Sat checkUncached(const Formula& f) override;
 
  private:
   Sat checkCube(const Cube& cube);

@@ -12,6 +12,11 @@ SolverPool::SolverPool(SolverBase& prototype, size_t lanes)
   for (size_t i = 0; i < lanes; ++i) {
     perLane_.push_back(std::make_unique<NativeSolver>(prototype.registry(),
                                                       native->options()));
+    // Lanes share the prototype's verdict cache: a formula checked on
+    // any lane (or at replay) is a hit everywhere after. Lanes carry no
+    // guard, so their verdicts are never budget-degraded and always
+    // cacheable; logical accounting still happens once, at replay.
+    perLane_.back()->setVerdictCache(prototype.verdictCache());
   }
 }
 

@@ -20,7 +20,7 @@ class Z3Solver : public SolverBase {
  public:
   explicit Z3Solver(const CVarRegistry& reg) : SolverBase(reg) {}
 
-  Sat check(const Formula& f) override {
+  Sat checkUncached(const Formula& f) override {
     CheckScope scope(this);
     if (!admitCheck()) return Sat::Unknown;
     z3::context ctx;

@@ -202,6 +202,18 @@ CVarId CVarRegistry::declareFresh(std::string_view stem, ValueType type,
   return declare(name, type, std::move(domain));
 }
 
+void CVarRegistry::setDomain(CVarId id, std::vector<Value> domain) {
+  if (id >= vars_.size()) throw TypeError("unknown c-variable id");
+  for (const auto& v : domain) {
+    if (!v.isConstant()) {
+      throw TypeError("domain of '" + vars_[id].name +
+                      "' must contain constants only");
+    }
+  }
+  vars_[id].domain = std::move(domain);
+  ++mutationEpoch_;
+}
+
 CVarId CVarRegistry::find(std::string_view name) const {
   auto it = index_.find(std::string(name));
   return it == index_.end() ? kNotFound : it->second;

@@ -186,6 +186,19 @@ class CVarRegistry {
   const Info& info(CVarId id) const;
   size_t size() const { return vars_.size(); }
 
+  /// Replaces the finite domain of an already-declared variable (empty =
+  /// unbounded). Changing an existing variable's semantics can flip the
+  /// verdict of any formula mentioning it, so this bumps mutationEpoch().
+  /// Throws TypeError on an unknown id or a non-constant domain element.
+  void setDomain(CVarId id, std::vector<Value> domain);
+
+  /// Incremented by every mutation of an *existing* variable (setDomain).
+  /// Declaring fresh variables does not count: a formula built before the
+  /// declaration cannot mention the new variable, so no cached verdict
+  /// about it can be stale. smt::VerdictCache compares this to decide
+  /// when to invalidate.
+  uint64_t mutationEpoch() const { return mutationEpoch_; }
+
   /// True if every declared variable has a finite domain, i.e. the set of
   /// possible worlds is enumerable.
   bool allFinite() const;
@@ -197,6 +210,7 @@ class CVarRegistry {
  private:
   std::vector<Info> vars_;
   std::unordered_map<std::string, CVarId> index_;
+  uint64_t mutationEpoch_ = 0;
 };
 
 }  // namespace faure

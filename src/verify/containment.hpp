@@ -15,10 +15,12 @@
 // T is subsumed when every goal rule is covered.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "relational/database.hpp"
 #include "smt/solver.hpp"
+#include "smt/verdict_cache.hpp"
 #include "verify/constraint.hpp"
 
 namespace faure::verify {
@@ -27,6 +29,11 @@ struct SubsumptionOptions {
   size_t maxUnfoldRules = 1024;
   /// Build the per-check solver with these options.
   smt::NativeSolver::Options solverOptions = {};
+  /// Capacity of the per-rule solver verdict cache (each unfolded goal
+  /// rule evaluates against its own canonical registry, so the cache is
+  /// rule-local); 0 disables, nullopt uses
+  /// smt::VerdictCache::capacityFromEnv().
+  std::optional<size_t> solverCacheCapacity;
   /// Resource governance: the per-rule evaluations and solver checks
   /// charge this guard; a trip degrades the whole test to "not subsumed"
   /// (the verifier's UNKNOWN) with SubsumptionResult::incomplete set.

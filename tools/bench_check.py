@@ -28,12 +28,17 @@ import re
 import sys
 
 WALL = re.compile(
-    r"^table4\[(\d+)\]\.(?:threads\[(\d+)\]\.)?wall_seconds$"
+    r"^table4\[(\d+)\]\.(?:threads\[(\d+)\]\.|(nocache)\.)?wall_seconds$"
 )
 
 
 def extract(report_path):
-    """-> {(size, threads): wall_seconds} from a table4 run report."""
+    """-> {(size, threads, nocache): wall_seconds} from a table4 report.
+
+    The harness records one serial row per size (solver verdict cache
+    on), the threaded repeats, and one `nocache.` serial control with
+    the cache detached; the gate tracks all three shapes.
+    """
     with open(report_path) as fh:
         report = json.load(fh)
     walls = {}
@@ -42,15 +47,16 @@ def extract(report_path):
         if m:
             size = int(m.group(1))
             threads = int(m.group(2)) if m.group(2) else 1
-            walls[(size, threads)] = float(value)
+            nocache = m.group(3) is not None
+            walls[(size, threads, nocache)] = float(value)
     if not walls:
         sys.exit(f"error: no table4 wall_seconds gauges in {report_path}")
     return walls
 
 
 def key_str(key):
-    size, threads = key
-    return f"size={size} threads={threads}"
+    size, threads, nocache = key
+    return f"size={size} threads={threads}" + (" nocache" if nocache else "")
 
 
 def main():
@@ -83,16 +89,17 @@ def main():
         baseline_raw = json.load(fh)["walls"]
     baseline = {}
     for text, value in baseline_raw.items():
-        m = re.match(r"size=(\d+) threads=(\d+)", text)
-        baseline[(int(m.group(1)), int(m.group(2)))] = float(value)
+        m = re.match(r"size=(\d+) threads=(\d+)( nocache)?", text)
+        key = (int(m.group(1)), int(m.group(2)), m.group(3) is not None)
+        baseline[key] = float(value)
 
     common = sorted(set(current) & set(baseline))
     missing = sorted(set(baseline) - set(current))
     if not common:
         sys.exit("error: no overlapping (size, threads) entries to compare")
 
-    # Calibration unit: serial wall of the smallest common size.
-    cal = min(k for k in common if k[1] == 1)
+    # Calibration unit: cached serial wall of the smallest common size.
+    cal = min(k for k in common if k[1] == 1 and not k[2])
     unit_now, unit_base = current[cal], baseline[cal]
 
     rows, regressions = [], []

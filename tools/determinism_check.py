@@ -16,10 +16,16 @@ once per requested FAURE_THREADS value and fails if
     byte from the serial run, or the exit code differs, or
   * the logical counters of the run report differ. Physical metrics are
     normalized away first: `eval.par.*` (pool-side telemetry that only
-    exists in parallel runs), all gauges/histograms (timings), span
-    trees and wall clocks. Everything logical — derivations, inserts,
-    prunes, per-rule breakdowns, solver.* checks/unsat/enumerations —
-    must match exactly.
+    exists in parallel runs), `solver.cache.*` (hit/miss traffic of the
+    verdict cache depends on which thread reaches a formula first), all
+    gauges/histograms (timings), span trees and wall clocks. Everything
+    logical — derivations, inserts, prunes, per-rule breakdowns,
+    solver.* checks/unsat/enumerations — must match exactly.
+
+Each (threads) variant is additionally run with the solver verdict
+cache disabled (FAURE_SOLVER_CACHE=0); cached and uncached runs must
+agree byte for byte too — the cache is a physical optimisation with no
+logical footprint (DESIGN.md "Condition performance").
 
 Usage:
     determinism_check.py --faure build/tools/faure [--threads 1,2,8] \
@@ -42,9 +48,11 @@ import sys
 SECONDS = re.compile(r"\b(sql|solver|in) \d+\.\d+s|\b\d+\.\d+s\b")
 
 
-def run_cli(faure, args, threads):
+def run_cli(faure, args, threads, cache=True):
     env = dict(os.environ)
     env["FAURE_THREADS"] = str(threads)
+    if not cache:
+        env["FAURE_SOLVER_CACHE"] = "0"
     # Fault-injection knobs would make charge clocks (and thus trip
     # points) schedule-dependent; determinism is only promised without
     # them (tests/faurelog/eval_budget_test.cpp pins those serial).
@@ -72,7 +80,7 @@ def normalize_report(text):
     counters = {
         name: value
         for name, value in report.get("metrics", {}).get("counters", {}).items()
-        if not name.startswith("eval.par.")
+        if not name.startswith(("eval.par.", "solver.cache."))
     }
     info = {
         key: value
@@ -102,35 +110,39 @@ def diff(label, serial, other):
     lines = difflib.unified_diff(
         serial.splitlines(keepends=True),
         other.splitlines(keepends=True),
-        fromfile=f"{label} [threads=serial]",
-        tofile=f"{label} [threads=N]",
+        fromfile=f"{label} [baseline]",
+        tofile=f"{label} [variant]",
     )
     return "".join(lines)
 
 
 def check_pair(faure, db, prog, thread_counts):
+    # The baseline is serial + cache; every other (threads, cache)
+    # combination must match it after normalization.
+    variants = [(t, True) for t in thread_counts]
+    variants += [(t, False) for t in thread_counts]
     failures = []
     for mode, args, normalize in (
         ("run --stats", [db, prog, "--stats"], normalize_stats),
         ("run --metrics", [db, prog, "--metrics"], normalize_report),
     ):
         baseline = None
-        for threads in thread_counts:
-            code, out = run_cli(faure, ["run"] + args, threads)
+        for threads, cache in variants:
+            code, out = run_cli(faure, ["run"] + args, threads, cache)
             view = normalize(out) if normalize else out
+            label = f"threads={threads} cache={'on' if cache else 'off'}"
             if baseline is None:
-                baseline = (threads, code, view)
+                baseline = (label, code, view)
                 continue
-            base_threads, base_code, base_view = baseline
+            base_label, base_code, base_view = baseline
             if code != base_code:
                 failures.append(
                     f"{db} + {prog} ({mode}): exit {base_code} at "
-                    f"threads={base_threads} but {code} at threads={threads}"
+                    f"{base_label} but {code} at {label}"
                 )
             if view != base_view:
                 failures.append(
-                    f"{db} + {prog} ({mode}): output diverges at "
-                    f"threads={threads}\n"
+                    f"{db} + {prog} ({mode}): output diverges at {label}\n"
                     + diff(f"{prog} ({mode})", base_view, view)
                 )
     return failures

@@ -49,6 +49,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "relational/worlds.hpp"
+#include "smt/verdict_cache.hpp"
 #include "smt/z3_solver.hpp"
 #include "util/error.hpp"
 #include "util/resource_guard.hpp"
@@ -72,9 +73,9 @@ int usage() {
       "usage:\n"
       "  faure run <db.fdb> <program.fl> [--relation NAME] [--simplify]\n"
       "            [--solver native|z3] [--stats] [--db-out FILE]\n"
-      "            [--threads N | -jN]\n"
+      "            [--threads N | -jN] [--solver-cache N]\n"
       "            [observability options] [budget options]\n"
-      "  faure check <db.fdb> <constraint.fl> [--stats]\n"
+      "  faure check <db.fdb> <constraint.fl> [--stats] [--solver-cache N]\n"
       "            [observability options] [budget options]\n"
       "  faure worlds <db.fdb> [cap]\n"
       "  faure fmt <db.fdb>\n"
@@ -82,6 +83,11 @@ int usage() {
       "  --threads N / -jN  evaluation threads; 0 = hardware concurrency.\n"
       "                     Default: FAURE_THREADS env, else serial.\n"
       "                     Results are identical for every N.\n"
+      "solver verdict cache (DESIGN.md \"Condition performance\"):\n"
+      "  --solver-cache N  memoized check()/implies() verdicts (LRU\n"
+      "                    entries); 0 disables. Default: FAURE_SOLVER_CACHE\n"
+      "                    env, else 65536. Results are identical for\n"
+      "                    every N; only physical solver work changes.\n"
       "observability options (DESIGN.md \"Observability\"):\n"
       "  --trace[=FILE]    span tree on stderr / Chrome trace to FILE\n"
       "  --metrics[=FILE]  JSON run report on stdout / to FILE\n"
@@ -135,6 +141,21 @@ bool parseThreadsFlag(int argc, char** argv, int& i,
       if (i + 1 >= argc) throw Error("missing value for -j");
       threads = parse(argv[++i]);
     }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parses `--solver-cache N` / `--solver-cache=N` (verdict-cache LRU
+/// entries; 0 disables) at argv[i], advancing i past any separate value;
+/// returns false when argv[i] is not the cache flag.
+bool parseSolverCacheFlag(int argc, char** argv, int& i, size_t& entries) {
+  if (std::strncmp(argv[i], "--solver-cache=", 15) == 0) {
+    entries = static_cast<size_t>(std::strtoull(argv[i] + 15, nullptr, 10));
+  } else if (std::strcmp(argv[i], "--solver-cache") == 0) {
+    if (i + 1 >= argc) throw Error("missing value for --solver-cache");
+    entries = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
   } else {
     return false;
   }
@@ -261,6 +282,7 @@ int cmdRun(int argc, char** argv) {
   const char* dbOut = nullptr;
   bool simplify = false;
   std::optional<unsigned> threads;
+  size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
   ObsFlags obsFlags;
   ResourceLimits limits = ResourceLimits::fromEnv();
   for (int i = 2; i < argc; ++i) {
@@ -274,6 +296,8 @@ int cmdRun(int argc, char** argv) {
       dbOut = argv[++i];
     } else if (parseThreadsFlag(argc, argv, i, threads)) {
       continue;
+    } else if (parseSolverCacheFlag(argc, argv, i, cacheEntries)) {
+      continue;
     } else if (parseObsFlag(argv[i], obsFlags)) {
       continue;
     } else if (parseBudgetFlag(argc, argv, i, limits)) {
@@ -285,6 +309,11 @@ int cmdRun(int argc, char** argv) {
   rel::Database db = fl::parseDatabase(readFile(argv[0]));
   dl::Program program = dl::parseProgram(readFile(argv[1]), db.cvars());
   auto solver = makeSolver(db, solverName);
+  std::unique_ptr<smt::VerdictCache> cache;
+  if (cacheEntries > 0) {
+    cache = std::make_unique<smt::VerdictCache>(db.cvars(), cacheEntries);
+    solver->setVerdictCache(cache.get());
+  }
   std::unique_ptr<obs::Tracer> tracer = makeTracer(obsFlags);
   ResourceGuard guard(limits);
   fl::EvalOptions opts;
@@ -350,9 +379,12 @@ int cmdRun(int argc, char** argv) {
 int cmdCheck(int argc, char** argv) {
   if (argc < 2) return usage();
   ObsFlags obsFlags;
+  size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
   ResourceLimits limits = ResourceLimits::fromEnv();
   for (int i = 2; i < argc; ++i) {
     if (parseObsFlag(argv[i], obsFlags)) {
+      continue;
+    } else if (parseSolverCacheFlag(argc, argv, i, cacheEntries)) {
       continue;
     } else if (parseBudgetFlag(argc, argv, i, limits)) {
       continue;
@@ -364,6 +396,11 @@ int cmdCheck(int argc, char** argv) {
   verify::Constraint c =
       verify::Constraint::parse("constraint", readFile(argv[1]), db.cvars());
   smt::NativeSolver solver(db.cvars());
+  std::unique_ptr<smt::VerdictCache> cache;
+  if (cacheEntries > 0) {
+    cache = std::make_unique<smt::VerdictCache>(db.cvars(), cacheEntries);
+    solver.setVerdictCache(cache.get());
+  }
   std::unique_ptr<obs::Tracer> tracer = makeTracer(obsFlags);
   solver.setTracer(tracer.get());
   ResourceGuard guard(limits);
