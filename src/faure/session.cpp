@@ -8,14 +8,16 @@ namespace faure {
 
 Session::Session(Backend backend) : backend_(backend) {
   if (backend_ == Backend::Z3) {
-    solver_ = smt::makeZ3Solver(db_.cvars());
-    if (solver_ == nullptr) {
-      throw EvalError("Session: this build has no Z3 backend");
-    }
+    // Throws a typed SolverBackendError in builds without Z3.
+    solver_ = smt::requireZ3Solver(db_.cvars());
   } else {
     solver_ = std::make_unique<smt::NativeSolver>(db_.cvars());
   }
   setSolverCache(smt::VerdictCache::capacityFromEnv());
+  if (smt::SupervisionOptions env = smt::SupervisionOptions::fromEnv();
+      env.enabled) {
+    setSupervision(env);
+  }
 }
 
 void Session::setSolverCache(size_t entries) {
@@ -29,6 +31,29 @@ void Session::setSolverCache(size_t entries) {
 }
 
 smt::SolverBase& Session::solver() { return *solver_; }
+
+smt::SupervisedSolver* Session::supervisedSolver() {
+  return dynamic_cast<smt::SupervisedSolver*>(solver_.get());
+}
+
+void Session::setSupervision(const smt::SupervisionOptions& opts) {
+  if (smt::SupervisedSolver* sup = supervisedSolver(); sup != nullptr) {
+    // Unwrap first — takeBackend(0) hands the verdict cache back to the
+    // primary — then re-wrap below if the new options are enabled.
+    std::unique_ptr<smt::SolverBase> inner = sup->takeBackend(0);
+    solver_ = std::move(inner);  // destroys the old wrapper
+  }
+  if (!opts.enabled) {
+    solver_->setTracer(tracer_);
+    return;
+  }
+  auto sup = std::make_unique<smt::SupervisedSolver>(db_.cvars(), opts);
+  sup->addBackend(backend_ == Backend::Z3 ? "z3" : "native",
+                  std::move(solver_));
+  if (opts.failover) sup->addNativeFallback();
+  solver_ = std::move(sup);
+  solver_->setTracer(tracer_);
+}
 
 void Session::setResourceLimits(const ResourceLimits& limits) {
   guard_.arm(limits);

@@ -88,6 +88,20 @@ class FaureEvaluator {
       throw EvalError(
           "evalFaure: solver required for pruning / merge subsumption");
     }
+    // Supervision (DESIGN.md §9): wrap the caller's solver for the
+    // duration of this evaluation. Must happen before the SolverPool is
+    // built so lanes clone the supervised chain, not the bare backend.
+    if (opts_.supervision && opts_.supervision->enabled &&
+        solver_ != nullptr &&
+        dynamic_cast<smt::SupervisedSolver*>(solver_) == nullptr) {
+      supervisionWrap_ = std::make_unique<smt::SupervisedSolver>(
+          db.cvars(), *opts_.supervision);
+      supervisionWrap_->addBackend("primary", solver_);  // borrowed
+      if (opts_.supervision->failover) {
+        supervisionWrap_->addNativeFallback();
+      }
+      solver_ = supervisionWrap_.get();
+    }
     if (threads_ > 1) {
       // threads_ counts total lanes: the engine thread participates in
       // every pool barrier, so spawn one worker fewer.
@@ -974,6 +988,10 @@ class FaureEvaluator {
         reg.counter("eval.par.precheck.unknown").add(ps.unknown);
         reg.counter("eval.par.precheck.enumerations").add(ps.enumerations);
         reg.gauge("eval.par.precheck.seconds").set(ps.seconds);
+        reg.counter("eval.par.lane_replacements")
+            .add(solverPool_->laneReplacements());
+        reg.counter("eval.par.poisoned_checks")
+            .add(solverPool_->poisonedChecks());
       }
     }
     // Verdict-cache deltas for this evaluation. Physical like eval.par.*
@@ -1001,6 +1019,11 @@ class FaureEvaluator {
   std::vector<std::string> ruleTags_;
   std::vector<RuleMetrics> ruleMetrics_;
   RuleMetrics* curRule_ = nullptr;  // set around derive() by evalRule
+
+  // Supervision wrapper around the caller's (borrowed) solver; solver_
+  // points at it when EvalOptions::supervision is enabled. Destroying it
+  // restores the caller's verdict cache to the wrapped backend.
+  std::unique_ptr<smt::SupervisedSolver> supervisionWrap_;
 
   // Parallel execution (null / 1 in serial mode).
   size_t threads_ = 1;

@@ -105,6 +105,10 @@ void SolverBase::setVerdictCache(VerdictCache* cache) {
 }
 
 Sat SolverBase::check(const Formula& f) {
+  // Cached replays and constants are pure logical outcomes; a fresh
+  // checkUncached() may clear this (supervision) or signal a budget
+  // degrade through the budgetTrips delta.
+  lastCheckCacheable_ = true;
   // Constants are cheaper than a cache probe; and an uncacheable miss
   // below would pollute the miss counter (physical-check estimate).
   if (cache_ == nullptr || f.isTrue() || f.isFalse()) {
@@ -123,8 +127,9 @@ Sat SolverBase::check(const Formula& f) {
   // A verdict degraded by a budget trip (deadline mid-check, tripped
   // check budget, Z3 timeout) is a resource outcome, not a logical one:
   // never cache it. Every degrade path increments budgetTrips, so the
-  // delta is exactly the signal.
-  if (stats_.budgetTrips == before.budgetTrips) {
+  // delta is exactly the signal. Supervision (retries, failover,
+  // quarantine) clears lastCheckCacheable_ for the same reason.
+  if (stats_.budgetTrips == before.budgetTrips && lastCheckCacheable_) {
     cache_->storeCheck(f, result, stats_.enumerations - before.enumerations);
   }
   return result;
@@ -146,7 +151,7 @@ bool SolverBase::implies(const Formula& a, const Formula& b) {
   }
   const SolverStats before = stats_;
   Sat result = check(Formula::conj2(a, Formula::neg(b)));
-  if (stats_.budgetTrips == before.budgetTrips) {
+  if (stats_.budgetTrips == before.budgetTrips && lastCheckCacheable_) {
     cache_->storeImplies(a, b, result,
                          stats_.enumerations - before.enumerations);
   }

@@ -105,8 +105,22 @@ class SolverBase {
   /// `solver.check_seconds` latency histogram), and — with
   /// TracerOptions::fineSpans — records a `solver.check` span per call.
   /// Null detaches; the tracer must outlive the solver's use of it.
-  void setTracer(obs::Tracer* tracer);
+  /// Virtual so wrappers (smt::SupervisedSolver) can resolve additional
+  /// metric handles; overrides must call the base.
+  virtual void setTracer(obs::Tracer* tracer);
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// An independent instance of this solver configured identically, for
+  /// one SolverPool lane: clones must produce bit-identical verdicts and
+  /// share no mutable state with this solver (the registry is read-only
+  /// during an evaluation). Returns nullptr when the backend cannot be
+  /// cloned (Z3: per-context translation state); SolverPool then falls
+  /// back to its serialized shared-prototype mode. Clones carry no
+  /// guard, tracer, or verdict cache — the pool wires what lanes need.
+  virtual std::unique_ptr<SolverBase> cloneForLane(size_t lane) const {
+    (void)lane;
+    return nullptr;
+  }
 
   /// Attaches a verdict cache (smt/verdict_cache.hpp): check()/implies()
   /// consult it first and store non-degraded verdicts back. The cache
@@ -148,6 +162,14 @@ class SolverBase {
   ResourceGuard* guard_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   VerdictCache* cache_ = nullptr;
+  /// Whether the verdict being produced by the current checkUncached()
+  /// call is a pure logical outcome. check()/implies() reset it before
+  /// each call and only store into the verdict cache while it holds;
+  /// SupervisedSolver clears it when a verdict was shaped by supervision
+  /// (fault, failover, breaker, quarantine) — such verdicts are
+  /// resource/fault outcomes and must never be admitted into the cache,
+  /// exactly like budget-degraded ones.
+  bool lastCheckCacheable_ = true;
 
  private:
   /// Registry handles, resolved once in setTracer; valid iff tracer_.
@@ -228,6 +250,13 @@ class NativeSolver : public SolverBase {
   /// Configuration, so a SolverPool can clone equivalently-configured
   /// per-worker instances.
   const Options& options() const { return opts_; }
+
+  /// Native clones are pure decision procedures over the shared
+  /// registry: same Options, bit-identical verdicts.
+  std::unique_ptr<SolverBase> cloneForLane(size_t lane) const override {
+    (void)lane;
+    return std::make_unique<NativeSolver>(reg_, opts_);
+  }
 
  protected:
   Sat checkUncached(const Formula& f) override;

@@ -1,35 +1,70 @@
 #include "smt/solver_pool.hpp"
 
+#include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace faure::smt {
 
+std::unique_ptr<SolverBase> SolverPool::cloneLane(size_t lane) {
+  std::unique_ptr<SolverBase> solver = proto_.cloneForLane(lane);
+  if (solver == nullptr) return nullptr;
+  // Lanes share the prototype's verdict cache: a formula checked on
+  // any lane (or at replay) is a hit everywhere after. Lanes carry no
+  // guard, so their verdicts are never budget-degraded and always
+  // cacheable; logical accounting still happens once, at replay.
+  solver->setVerdictCache(proto_.verdictCache());
+  return solver;
+}
+
 SolverPool::SolverPool(SolverBase& prototype, size_t lanes)
     : proto_(prototype) {
-  auto* native = dynamic_cast<NativeSolver*>(&prototype);
-  if (native == nullptr) return;  // shared-prototype mode (see header)
   perLane_.reserve(lanes);
   for (size_t i = 0; i < lanes; ++i) {
-    perLane_.push_back(std::make_unique<NativeSolver>(prototype.registry(),
-                                                      native->options()));
-    // Lanes share the prototype's verdict cache: a formula checked on
-    // any lane (or at replay) is a hit everywhere after. Lanes carry no
-    // guard, so their verdicts are never budget-degraded and always
-    // cacheable; logical accounting still happens once, at replay.
-    perLane_.back()->setVerdictCache(prototype.verdictCache());
+    std::unique_ptr<SolverBase> solver = cloneLane(i);
+    if (solver == nullptr) {
+      // Uncloneable prototype (Z3): shared-prototype mode (see header).
+      perLane_.clear();
+      return;
+    }
+    perLane_.push_back(std::move(solver));
   }
 }
 
 SolverPool::Outcome SolverPool::check(size_t lane, const Formula& f) {
   Outcome out;
   if (concurrent()) {
-    NativeSolver& solver = *perLane_[lane];
-    const SolverStats before = solver.stats();
-    util::Stopwatch watch;
-    out.verdict = solver.check(f);
-    out.seconds = watch.elapsed();
-    out.enumerations = solver.stats().enumerations - before.enumerations;
-    return out;
+    // Only this lane's thread touches perLane_[lane], so replacing the
+    // instance below is race-free.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      SolverBase& solver = *perLane_[lane];
+      const SolverStats before = solver.stats();
+      util::Stopwatch watch;
+      try {
+        out.verdict = solver.check(f);
+      } catch (const SolverBackendError&) {
+        // The lane died. Replace it with a fresh clone and retry once;
+        // a second death on the same formula poisons only this check —
+        // Unknown is conservative for the replay path, and the run
+        // (and the lane, now healthy again) continues.
+        std::unique_ptr<SolverBase> fresh = cloneLane(lane);
+        const bool replaced = fresh != nullptr;
+        if (replaced) {
+          perLane_[lane] = std::move(fresh);
+          laneReplacements_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (attempt == 1 || !replaced) {
+          poisonedChecks_.fetch_add(1, std::memory_order_relaxed);
+          out.verdict = Sat::Unknown;
+          out.seconds = watch.elapsed();
+          return out;
+        }
+        continue;
+      }
+      out.seconds = watch.elapsed();
+      out.enumerations = solver.stats().enumerations - before.enumerations;
+      return out;
+    }
+    return out;  // unreachable: both attempts return above
   }
   std::lock_guard<std::mutex> lock(protoMu_);
   const SolverStats before = proto_.stats();

@@ -7,10 +7,12 @@
 // run. This class owns the physical side: one solver instance per
 // worker lane, so concurrent checks never share mutable state.
 //
-//   * NativeSolver prototypes are cloned per lane — the solver is a
-//     pure decision procedure over the shared (read-only, for the
-//     duration of an evaluation) CVarRegistry, so clones configured
-//     with the same Options produce bit-identical verdicts.
+//   * Cloneable prototypes (NativeSolver, SupervisedSolver over
+//     cloneable chains — see SolverBase::cloneForLane) get one
+//     independent instance per lane: clones are pure decision
+//     procedures over the shared (read-only, for the duration of an
+//     evaluation) CVarRegistry, so equally-configured clones produce
+//     bit-identical verdicts.
 //   * Any other backend (Z3) falls back to serializing every pooled
 //     check through the prototype behind a mutex: a z3::context is not
 //     thread-safe, and giving each worker its own context would also
@@ -19,6 +21,13 @@
 //     unnecessary. concurrent() reports false in that mode and the
 //     evaluator keeps solver work on the replay thread instead.
 //
+// Lane death: a check that raises faure::SolverBackendError kills only
+// its lane — the pool replaces the instance with a fresh clone of the
+// prototype and retries the check once; if the replacement dies on the
+// same formula the outcome degrades to Sat::Unknown (conservative for
+// the replay path) and the run continues. laneReplacements() /
+// poisonedChecks() expose the counts.
+//
 // Pool solvers deliberately carry NO ResourceGuard and NO Tracer:
 // charging happens once, at replay, via SolverBase::consumeDelegated —
 // attaching the guard here would double-charge the solver-check budget
@@ -26,6 +35,7 @@
 // pool totals are exported separately under `eval.par.*`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -65,10 +75,23 @@ class SolverPool {
   /// excluded: they already live in the prototype's own stats).
   SolverStats pooledStats() const;
 
+  /// Lanes replaced after a SolverBackendError (see file comment).
+  uint64_t laneReplacements() const {
+    return laneReplacements_.load(std::memory_order_relaxed);
+  }
+  /// Checks degraded to Unknown because the replacement lane died too.
+  uint64_t poisonedChecks() const {
+    return poisonedChecks_.load(std::memory_order_relaxed);
+  }
+
  private:
+  std::unique_ptr<SolverBase> cloneLane(size_t lane);
+
   SolverBase& proto_;
   std::mutex protoMu_;  // guards proto_ in shared-prototype mode
-  std::vector<std::unique_ptr<NativeSolver>> perLane_;
+  std::vector<std::unique_ptr<SolverBase>> perLane_;
+  std::atomic<uint64_t> laneReplacements_{0};
+  std::atomic<uint64_t> poisonedChecks_{0};
 };
 
 }  // namespace faure::smt

@@ -23,6 +23,18 @@ class Z3Solver : public SolverBase {
   Sat checkUncached(const Formula& f) override {
     CheckScope scope(this);
     if (!admitCheck()) return Sat::Unknown;
+    try {
+      return checkWithZ3(f);
+    } catch (const z3::exception& e) {
+      // Internal engine trouble (resource limits inside z3, translation
+      // raising) is a backend failure, not bad input: typed so that
+      // supervision (smt/supervised_solver.hpp) can retry or fail over.
+      throw SolverBackendError("z3", e.msg());
+    }
+  }
+
+ private:
+  Sat checkWithZ3(const Formula& f) {
     z3::context ctx;
     std::unordered_map<CVarId, z3::expr> vars;
     std::unordered_map<Value, int64_t> codes;
@@ -70,7 +82,6 @@ class Z3Solver : public SolverBase {
     return result;
   }
 
- private:
   static z3::expr code(z3::context& ctx,
                        std::unordered_map<Value, int64_t>& codes,
                        const Value& v) {
@@ -165,6 +176,10 @@ bool z3Available() { return true; }
 
 std::unique_ptr<SolverBase> makeZ3Solver(const CVarRegistry& reg) {
   return std::make_unique<Z3Solver>(reg);
+}
+
+std::unique_ptr<SolverBase> requireZ3Solver(const CVarRegistry& reg) {
+  return makeZ3Solver(reg);
 }
 
 }  // namespace faure::smt

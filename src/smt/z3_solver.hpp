@@ -10,6 +10,9 @@
 //
 // When the library is built without Z3, makeZ3Solver returns nullptr and
 // z3Available() is false; callers (benchmarks, tests) skip accordingly.
+// Engine trouble — a missing build, or z3 raising mid-check — surfaces
+// as faure::SolverBackendError (util/error.hpp) so supervision layers
+// can distinguish backend failure from bad input.
 #pragma once
 
 #include <memory>
@@ -23,5 +26,10 @@ bool z3Available();
 
 /// Creates a Z3-backed solver, or nullptr when built without Z3.
 std::unique_ptr<SolverBase> makeZ3Solver(const CVarRegistry& reg);
+
+/// Like makeZ3Solver, but a build without Z3 raises SolverBackendError
+/// ("backend unavailable") instead of returning nullptr — for callers
+/// (Session, the CLI) where a missing engine is a failure, not a branch.
+std::unique_ptr<SolverBase> requireZ3Solver(const CVarRegistry& reg);
 
 }  // namespace faure::smt

@@ -1,11 +1,18 @@
 #include "smt/z3_solver.hpp"
 
+#include "util/error.hpp"
+
 namespace faure::smt {
 
 bool z3Available() { return false; }
 
 std::unique_ptr<SolverBase> makeZ3Solver(const CVarRegistry&) {
   return nullptr;
+}
+
+std::unique_ptr<SolverBase> requireZ3Solver(const CVarRegistry&) {
+  throw SolverBackendError(
+      "z3", "backend unavailable: this build was compiled without Z3");
 }
 
 }  // namespace faure::smt

@@ -47,6 +47,25 @@ class EvalError : public Error {
   explicit EvalError(const std::string& what) : Error("eval error: " + what) {}
 };
 
+/// A solver backend failed for reasons of its own — the engine is
+/// missing (a build without Z3), the backing library raised, or a check
+/// aborted inside the backend. Distinct from EvalError (bad input) so
+/// fault-tolerance layers (smt::SupervisedSolver, smt::SolverPool) can
+/// catch engine trouble and retry / fail over / replace the instance
+/// without masking genuine programming errors.
+class SolverBackendError : public Error {
+ public:
+  SolverBackendError(std::string backend, const std::string& what)
+      : Error("solver backend '" + backend + "': " + what),
+        backend_(std::move(backend)) {}
+
+  /// The failing backend's stable name ("z3", "native", ...).
+  const std::string& backend() const { return backend_; }
+
+ private:
+  std::string backend_;
+};
+
 /// Resource-governance failures (util/resource_guard.hpp). The engine's
 /// default is to *degrade* (Sat::Unknown, incomplete results) rather than
 /// raise; these surface only where a caller opts into strict budgets.

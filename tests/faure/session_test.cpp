@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/error.hpp"
 
 namespace faure {
@@ -121,7 +123,7 @@ TEST(SessionTest, ResourceLimitsGovernEveryOperation) {
 
 TEST(SessionTest, Z3BackendIfAvailable) {
   if (!smt::z3Available()) {
-    EXPECT_THROW(Session s(Session::Backend::Z3), EvalError);
+    EXPECT_THROW(Session s(Session::Backend::Z3), SolverBackendError);
     return;
   }
   Session s(Session::Backend::Z3);
@@ -223,6 +225,92 @@ TEST(SessionTest, PerOperationResetMakesStatsPerCall) {
   uint64_t base = s.solver().stats().checks;
   s.run("V(x,y) :- E(x,y).");
   EXPECT_GT(s.solver().stats().checks, base);
+}
+
+constexpr const char* kSupervisionDb =
+    "var x_ int 0 1\n"
+    "table F(flow sym, from int, to int)\n"
+    "row F f0 1 2 | x_ = 1\n"
+    "row F f0 2 3\n";
+constexpr const char* kSupervisionProgram =
+    "R(f,a,b) :- F(f,a,b).\n"
+    "R(f,a,b) :- F(f,a,c), R(f,c,b).\n";
+
+/// Clears the supervision env knobs: sessions constructed afterwards
+/// are plain. The suite may itself run under ambient chaos (tools/ci.sh
+/// chaos stage exports FAURE_CHAOS_SEED), so tests that assert the
+/// *unsupervised* structure of a Session must own these variables.
+void clearSupervisionEnv() {
+  for (const char* var : {"FAURE_RETRIES", "FAURE_SOLVER_TIMEOUT_MS",
+                          "FAURE_FAILOVER", "FAURE_CHAOS_SEED"}) {
+    ::unsetenv(var);
+  }
+}
+
+TEST(SessionTest, SetSupervisionWrapsAndUnwrapsWithoutChangingResults) {
+  clearSupervisionEnv();
+  Session plain;
+  plain.load(kSupervisionDb);
+  auto want = plain.run(kSupervisionProgram);
+
+  Session s;
+  s.load(kSupervisionDb);
+  EXPECT_EQ(s.supervisedSolver(), nullptr);
+  smt::SupervisionOptions sup;
+  sup.enabled = true;
+  sup.maxRetries = 2;
+  sup.failover = true;
+  s.setSupervision(sup);
+  ASSERT_NE(s.supervisedSolver(), nullptr);
+  EXPECT_EQ(s.supervisedSolver()->backends(), 2u);  // native + fallback
+  // The session cache moved into the wrapper rather than being lost.
+  EXPECT_EQ(s.solver().verdictCache(), s.solverCache());
+
+  auto res = s.run(kSupervisionProgram);
+  EXPECT_EQ(res.relation("R").size(), want.relation("R").size());
+  auto check = s.check("panic :- !R('f0', 1, 3).");
+  EXPECT_EQ(check.verdict, verify::Verdict::ConditionallyViolated);
+
+  // Disabling unwraps back to the bare backend, cache intact.
+  s.setSupervision(smt::SupervisionOptions{});
+  EXPECT_EQ(s.supervisedSolver(), nullptr);
+  EXPECT_EQ(s.solver().verdictCache(), s.solverCache());
+  auto res2 = s.run(kSupervisionProgram);
+  EXPECT_EQ(res2.relation("R").size(), want.relation("R").size());
+}
+
+TEST(SessionTest, SupervisionEnvironmentActivatesAtConstruction) {
+  clearSupervisionEnv();
+  ::setenv("FAURE_CHAOS_SEED", "20260807", 1);
+  ::setenv("FAURE_RETRIES", "2", 1);
+  Session chaotic;
+  clearSupervisionEnv();
+
+  ASSERT_NE(chaotic.supervisedSolver(), nullptr);
+  ASSERT_NE(chaotic.supervisedSolver()->supervision().chaos, nullptr);
+  EXPECT_EQ(chaotic.supervisedSolver()->supervision().chaos->seed(),
+            20260807u);
+
+  // Chaos with the native fallback is output-transparent: the run and
+  // the verdict match an unsupervised session bit for bit.
+  Session plain;
+  plain.load(kSupervisionDb);
+  chaotic.load(kSupervisionDb);
+  auto want = plain.run(kSupervisionProgram);
+  auto got = chaotic.run(kSupervisionProgram);
+  ASSERT_EQ(got.relation("R").size(), want.relation("R").size());
+  for (size_t i = 0; i < want.relation("R").rows().size(); ++i) {
+    EXPECT_EQ(got.relation("R").rows()[i].vals,
+              want.relation("R").rows()[i].vals);
+    EXPECT_EQ(got.relation("R").rows()[i].cond,
+              want.relation("R").rows()[i].cond);
+  }
+  EXPECT_EQ(chaotic.check("panic :- !R('f0', 1, 3).").verdict,
+            plain.check("panic :- !R('f0', 1, 3).").verdict);
+
+  // A session constructed with a clean environment stays unsupervised.
+  Session normal;
+  EXPECT_EQ(normal.supervisedSolver(), nullptr);
 }
 
 }  // namespace

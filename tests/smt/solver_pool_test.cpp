@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
+#include "smt/verdict_cache.hpp"
+#include "util/error.hpp"
 #include "util/resource_guard.hpp"
 #include "value/value.hpp"
 
@@ -98,6 +103,87 @@ TEST_F(SolverPoolTest, ConsumeDelegatedHonoursATrippedCheckBudget) {
   EXPECT_EQ(solver.stats().budgetTrips, 1u);
   EXPECT_TRUE(guard.tripped());
   EXPECT_EQ(guard.reason(), "solver-checks(limit=1)");
+}
+
+/// Lane instances that consume a shared failure budget: while the
+/// budget lasts, a check raises SolverBackendError; after that every
+/// instance behaves like NativeSolver. Cloned lanes (and the lanes
+/// cloned to replace dead ones) share the same budget, so tests can
+/// script "first lane check dies, its replacement survives".
+class SharedFailureBudgetSolver : public NativeSolver {
+ public:
+  SharedFailureBudgetSolver(const CVarRegistry& reg,
+                            std::shared_ptr<std::atomic<int>> budget)
+      : NativeSolver(reg), budget_(std::move(budget)) {}
+
+  std::unique_ptr<SolverBase> cloneForLane(size_t) const override {
+    return std::make_unique<SharedFailureBudgetSolver>(registry(), budget_);
+  }
+
+ protected:
+  Sat checkUncached(const Formula& f) override {
+    if (budget_->fetch_sub(1) > 0) {
+      throw SolverBackendError("shared-flaky", "injected lane death");
+    }
+    return NativeSolver::checkUncached(f);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> budget_;
+};
+
+TEST_F(SolverPoolTest, DeadLaneIsReplacedAndTheCheckRetriedOnce) {
+  auto budget = std::make_shared<std::atomic<int>>(1);
+  SharedFailureBudgetSolver proto(reg_, budget);
+  SolverPool pool(proto, 2);
+  ASSERT_TRUE(pool.concurrent());
+
+  // First check kills the lane; the pool clones a replacement, retries,
+  // and the replacement (budget spent) answers correctly.
+  SolverPool::Outcome o =
+      pool.check(0, Formula::conj2(eq(x_, 0), eq(x_, 1)));
+  EXPECT_EQ(o.verdict, Sat::Unsat);
+  EXPECT_EQ(pool.laneReplacements(), 1u);
+  EXPECT_EQ(pool.poisonedChecks(), 0u);
+
+  // The replaced lane keeps serving checks afterwards.
+  EXPECT_EQ(pool.check(0, eq(x_, 0)).verdict, Sat::Sat);
+  EXPECT_EQ(pool.laneReplacements(), 1u);
+}
+
+TEST_F(SolverPoolTest, SecondLaneDeathPoisonsOnlyTheCheck) {
+  auto budget = std::make_shared<std::atomic<int>>(2);
+  SharedFailureBudgetSolver proto(reg_, budget);
+  SolverPool pool(proto, 2);
+
+  // Both the lane and its replacement die on this formula: the outcome
+  // degrades to Unknown (conservative for the replay path)...
+  SolverPool::Outcome o =
+      pool.check(1, Formula::conj2(eq(x_, 0), eq(x_, 1)));
+  EXPECT_EQ(o.verdict, Sat::Unknown);
+  EXPECT_EQ(pool.laneReplacements(), 2u);
+  EXPECT_EQ(pool.poisonedChecks(), 1u);
+
+  // ...but the lane itself is healthy again and the pool keeps going.
+  EXPECT_EQ(pool.check(1, eq(x_, 0)).verdict, Sat::Sat);
+  EXPECT_EQ(pool.check(0, eq(x_, 1)).verdict, Sat::Sat);
+  EXPECT_EQ(pool.poisonedChecks(), 1u);
+}
+
+TEST_F(SolverPoolTest, ReplacementLanesInheritTheSharedVerdictCache) {
+  VerdictCache cache(reg_, 64);
+  auto budget = std::make_shared<std::atomic<int>>(1);
+  SharedFailureBudgetSolver proto(reg_, budget);
+  proto.setVerdictCache(&cache);
+  SolverPool pool(proto, 1);
+
+  Formula f = Formula::conj2(eq(x_, 0), eq(x_, 1));
+  EXPECT_EQ(pool.check(0, f).verdict, Sat::Unsat);  // dies, replaced
+  EXPECT_EQ(pool.laneReplacements(), 1u);
+  ASSERT_EQ(cache.stats().entries, 1u);  // replacement stored its verdict
+  uint64_t hitsBefore = cache.stats().hits;
+  EXPECT_EQ(pool.check(0, f).verdict, Sat::Unsat);
+  EXPECT_EQ(cache.stats().hits, hitsBefore + 1);
 }
 
 TEST_F(SolverPoolTest, SharedPrototypeFallbackStaysUsable) {

@@ -116,6 +116,59 @@ TEST(ThreadPoolTest, CancelDiscardsQueuedTasksButRunStillReturns) {
   EXPECT_EQ(again.load(), 8);
 }
 
+TEST(ThreadPoolTest, RepeatedFailingBatchesKeepTransportingExceptions) {
+  // A pool that survives one failure must survive a storm of them: every
+  // failing batch rethrows *its* first error on the caller, and a clean
+  // batch in between runs to completion — nothing about cancellation or
+  // error state leaks from batch to batch.
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    auto tasks = batchOf(16, [](size_t) {});
+    tasks[round % 16] = [round](size_t) {
+      throw std::runtime_error("boom " + std::to_string(round));
+    };
+    try {
+      pool.run(std::move(tasks));
+      FAIL() << "expected runtime_error in round " << round;
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), "boom " + std::to_string(round));
+    }
+    std::atomic<int> clean{0};
+    pool.run(batchOf(8, [&](size_t) { clean.fetch_add(1); }));
+    EXPECT_EQ(clean.load(), 8) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, EveryTaskFailingStillReachesTheBarrierOnce) {
+  // All 32 tasks throw concurrently; exactly one exception wins the
+  // race to the caller and the rest are swallowed by cancellation.
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(
+        pool.run(batchOf(32,
+                         [](size_t) { throw std::runtime_error("die"); })),
+        std::runtime_error);
+  }
+  std::atomic<int> again{0};
+  pool.run(batchOf(8, [&](size_t) { again.fetch_add(1); }));
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionsAreTransportedToo) {
+  ThreadPool pool(2);
+  auto tasks = batchOf(4, [](size_t) {});
+  tasks[2] = [](size_t) { throw 42; };  // exception_ptr carries anything
+  try {
+    pool.run(std::move(tasks));
+    FAIL() << "expected int exception";
+  } catch (int v) {
+    EXPECT_EQ(v, 42);
+  }
+  std::atomic<int> again{0};
+  pool.run(batchOf(4, [&](size_t) { again.fetch_add(1); }));
+  EXPECT_EQ(again.load(), 4);
+}
+
 TEST(ThreadPoolTest, EmptyBatchAndRepeatedBatchesAreFine) {
   ThreadPool pool(2);
   pool.run({});  // no tasks: immediate return

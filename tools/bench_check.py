@@ -14,18 +14,58 @@ slower runner moves nothing.
 
     bench_check.py --current BENCH_table4.json \
         --baseline bench/baseline_table4.json \
-        [--tolerance 0.30] [--diff-out diff.json] [--update]
+        [--tolerance 0.30] [--diff-out diff.json] [--update] \
+        [--allow-missing]
 
 Exit status: 0 when every entry is within tolerance (improvements are
 reported, never fatal), 1 on regression or missing entries. --update
 rewrites the baseline from the current report instead of comparing
-(commit the result deliberately).
+(commit the result deliberately). --allow-missing downgrades baseline
+entries absent from the current report to a warning — for CI legs that
+deliberately run a reduced matrix (e.g. the chaos job skips the
+threaded repeats). Malformed inputs (absent files, non-JSON, a report
+without the expected gauges) are diagnosed on stderr with a next-step
+hint, never a traceback.
 """
 
 import argparse
 import json
 import re
 import sys
+
+
+def fail(message, hint=None):
+    """Diagnose a usage/input problem without a traceback."""
+    print(f"bench_check: error: {message}", file=sys.stderr)
+    if hint:
+        print(f"bench_check: hint: {hint}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path, role):
+    """Reads a JSON file with friendly diagnostics for the two ways this
+    goes wrong in CI: the file was never produced (harness crashed or the
+    artifact was not downloaded) or it is not JSON (truncated upload)."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        hint = (
+            "run `bench/table4_reachability --report BENCH_table4.json` "
+            "to produce a report"
+            if role == "current"
+            else "regenerate it with `bench_check.py --update` and commit "
+            "the result"
+        )
+        fail(f"{role} report not found: {path}", hint)
+    except OSError as e:
+        fail(f"cannot read {role} report {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        fail(
+            f"{role} report {path} is not valid JSON "
+            f"(line {e.lineno}: {e.msg})",
+            "the file may be truncated; regenerate it",
+        )
 
 WALL = re.compile(
     r"^table4\[(\d+)\]\.(?:threads\[(\d+)\]\.|(nocache)\.)?wall_seconds$"
@@ -39,8 +79,7 @@ def extract(report_path):
     on), the threaded repeats, and one `nocache.` serial control with
     the cache detached; the gate tracks all three shapes.
     """
-    with open(report_path) as fh:
-        report = json.load(fh)
+    report = load_json(report_path, "current")
     walls = {}
     for name, value in report.get("metrics", {}).get("gauges", {}).items():
         m = WALL.match(name)
@@ -50,7 +89,11 @@ def extract(report_path):
             nocache = m.group(3) is not None
             walls[(size, threads, nocache)] = float(value)
     if not walls:
-        sys.exit(f"error: no table4 wall_seconds gauges in {report_path}")
+        fail(
+            f"no table4[...].wall_seconds gauges in {report_path}",
+            "is this really a table4 harness report? expected "
+            "metrics.gauges keys like `table4[8].wall_seconds`",
+        )
     return walls
 
 
@@ -70,6 +113,12 @@ def main():
         action="store_true",
         help="rewrite the baseline from --current instead of comparing",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="warn (instead of fail) when baseline entries are absent "
+        "from the current report",
+    )
     opts = parser.parse_args()
 
     current = extract(opts.current)
@@ -85,21 +134,44 @@ def main():
         print(f"baseline rewritten: {opts.baseline} ({len(current)} entries)")
         return 0
 
-    with open(opts.baseline) as fh:
-        baseline_raw = json.load(fh)["walls"]
+    baseline_doc = load_json(opts.baseline, "baseline")
+    if "walls" not in baseline_doc:
+        fail(
+            f"baseline {opts.baseline} has no `walls` object",
+            "regenerate it with `bench_check.py --update`",
+        )
     baseline = {}
-    for text, value in baseline_raw.items():
+    for text, value in baseline_doc["walls"].items():
         m = re.match(r"size=(\d+) threads=(\d+)( nocache)?", text)
+        if m is None:
+            fail(
+                f"baseline {opts.baseline} has an unparseable entry key: "
+                f"{text!r}",
+                "expected keys like `size=8 threads=2`; regenerate with "
+                "`bench_check.py --update`",
+            )
         key = (int(m.group(1)), int(m.group(2)), m.group(3) is not None)
         baseline[key] = float(value)
 
     common = sorted(set(current) & set(baseline))
     missing = sorted(set(baseline) - set(current))
     if not common:
-        sys.exit("error: no overlapping (size, threads) entries to compare")
+        fail(
+            "no overlapping (size, threads) entries to compare",
+            "the current report and the baseline measure disjoint "
+            "configurations; re-record the baseline or fix the harness "
+            "invocation",
+        )
 
     # Calibration unit: cached serial wall of the smallest common size.
-    cal = min(k for k in common if k[1] == 1 and not k[2])
+    serial = [k for k in common if k[1] == 1 and not k[2]]
+    if not serial:
+        fail(
+            "no common serial cached entry to calibrate against",
+            "both reports need at least one `size=N threads=1` row "
+            "(no nocache suffix)",
+        )
+    cal = min(serial)
     unit_now, unit_base = current[cal], baseline[cal]
 
     rows, regressions = [], []
@@ -127,7 +199,8 @@ def main():
             f"{baseline[key]:9.4f}s  drift {drift:+7.1%}  {verdict}"
         )
     for key in missing:
-        print(f"{key_str(key):28s} MISSING from current report")
+        tag = "missing (allowed)" if opts.allow_missing else "MISSING"
+        print(f"{key_str(key):28s} {tag} from current report")
 
     if opts.diff_out:
         with open(opts.diff_out, "w") as fh:
@@ -144,15 +217,20 @@ def main():
             )
             fh.write("\n")
 
-    if regressions or missing:
+    fatal_missing = [] if opts.allow_missing else missing
+    if regressions or fatal_missing:
         print(
             f"FAIL: {len(regressions)} regression(s), "
-            f"{len(missing)} missing entr(ies) "
+            f"{len(fatal_missing)} missing entr(ies) "
             f"(tolerance ±{opts.tolerance:.0%})",
             file=sys.stderr,
         )
         return 1
-    print(f"bench gate passed ({len(common)} entries, ±{opts.tolerance:.0%})")
+    skipped = f", {len(missing)} skipped" if missing else ""
+    print(
+        f"bench gate passed ({len(common)} entries{skipped}, "
+        f"±{opts.tolerance:.0%})"
+    )
     return 0
 
 

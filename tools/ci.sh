@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: plain build + tests, an ASan/UBSan build running the
 # same suite, a TSan build with parallel evaluation forced on
-# (FAURE_THREADS=4), and the bench-regression gate against the committed
-# baseline. Mirrors .github/workflows/ci.yml so the jobs can be
-# reproduced locally with a single command. Set SKIP_TSAN=1 / SKIP_ASAN=1
-# / SKIP_BENCH_GATE=1 to drop a stage (e.g. TSan is slow on small boxes).
+# (FAURE_THREADS=4), the seeded chaos suite, and the bench-regression
+# gate against the committed baseline. Mirrors .github/workflows/ci.yml
+# so the jobs can be reproduced locally with a single command. Set
+# SKIP_TSAN=1 / SKIP_ASAN=1 / SKIP_CHAOS=1 / SKIP_BENCH_GATE=1 to drop
+# a stage (e.g. TSan is slow on small boxes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +32,26 @@ if [[ "${SKIP_TSAN:-0}" != 1 ]]; then
   cmake --build build-tsan -j "$JOBS"
   FAURE_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${SKIP_CHAOS:-0}" != 1 ]]; then
+  echo "==> chaos suite (seeded solver fault injection, DESIGN.md §9)"
+  # FAURE_CHAOS_SEED activates supervision + failover everywhere the
+  # environment path reaches (Session construction and the CLI): the
+  # primary solver backend suffers deterministic crashes / timeouts /
+  # spurious Unknowns keyed on (seed, formula hash) and fails over to
+  # the native fallback, so the whole suite must stay green with
+  # unchanged results. The seeds are FIXED — a failure under seed S
+  # replays exactly with FAURE_CHAOS_SEED=S, any thread count:
+  #   1         smallest interesting seed (fault-dense schedule)
+  #   20260807  date-stamped seed used by cli_chaos_* tests and docs
+  #   64206     0xFACE — historical third opinion
+  # Keep this list in sync with .github/workflows/ci.yml (chaos job).
+  for seed in 1 20260807 64206; do
+    echo "==> chaos seed ${seed} (FAURE_THREADS=4)"
+    FAURE_CHAOS_SEED=$seed FAURE_THREADS=4 \
+      ctest --test-dir build --output-on-failure -j "$JOBS"
+  done
 fi
 
 if [[ "${SKIP_BENCH_GATE:-0}" != 1 ]]; then

@@ -27,9 +27,21 @@ cache disabled (FAURE_SOLVER_CACHE=0); cached and uncached runs must
 agree byte for byte too — the cache is a physical optimisation with no
 logical footprint (DESIGN.md "Condition performance").
 
+With --chaos-seed N the whole matrix runs under seeded fault injection
+(FAURE_CHAOS_SEED, DESIGN.md §9): the supervised solver's primary
+backend suffers deterministic crashes/timeouts/spurious Unknowns and
+fails over to the native fallback. The default chaos plan only ever
+faults the primary, so every *result* bit must still match the
+baseline — that is the supervision transparency contract this mode
+enforces. Fault-handling telemetry is physical, not logical: the
+`supervise:` stats line, `solver.supervise.*` / `events.supervise.*`
+counters, and `supervise.*` events are masked before comparison (which
+checks reach a backend — and hence can fault — depends on cache hits
+and thread scheduling).
+
 Usage:
     determinism_check.py --faure build/tools/faure [--threads 1,2,8] \
-        db1.fdb prog1.fl [db2.fdb prog2.fl ...]
+        [--chaos-seed N] db1.fdb prog1.fl [db2.fdb prog2.fl ...]
 
 Exit status: 0 when every pair is deterministic, 1 otherwise (with a
 unified diff of the first divergence on stderr).
@@ -48,7 +60,7 @@ import sys
 SECONDS = re.compile(r"\b(sql|solver|in) \d+\.\d+s|\b\d+\.\d+s\b")
 
 
-def run_cli(faure, args, threads, cache=True):
+def run_cli(faure, args, threads, cache=True, chaos_seed=None):
     env = dict(os.environ)
     env["FAURE_THREADS"] = str(threads)
     if not cache:
@@ -57,6 +69,14 @@ def run_cli(faure, args, threads, cache=True):
     # points) schedule-dependent; determinism is only promised without
     # them (tests/faurelog/eval_budget_test.cpp pins those serial).
     env.pop("FAURE_FAIL_AFTER", None)
+    # Solver chaos is different: seeded, formula-keyed, and failover-
+    # transparent — the matrix either runs entirely under one seed
+    # (--chaos-seed) or entirely without it, never mixed.
+    for knob in ("FAURE_CHAOS_SEED", "FAURE_RETRIES",
+                 "FAURE_SOLVER_TIMEOUT_MS", "FAURE_FAILOVER"):
+        env.pop(knob, None)
+    if chaos_seed is not None:
+        env["FAURE_CHAOS_SEED"] = str(chaos_seed)
     proc = subprocess.run(
         [faure] + args, env=env, capture_output=True, text=True, timeout=600
     )
@@ -65,9 +85,13 @@ def run_cli(faure, args, threads, cache=True):
 
 def normalize_stats(text):
     """Masks wall-clock seconds on stats lines; everything else — every
-    table row, condition, and counter — stays byte-compared."""
+    table row, condition, and counter — stays byte-compared. The
+    `supervise:` fault-telemetry line is physical (see module doc) and
+    masked entirely."""
     out = []
     for line in text.splitlines(keepends=True):
+        if line.startswith("supervise:"):
+            continue  # absent entirely from unsupervised runs
         if line.startswith(("stats:", "solver:")):
             line = SECONDS.sub("<t>", line)
         out.append(line)
@@ -80,18 +104,24 @@ def normalize_report(text):
     counters = {
         name: value
         for name, value in report.get("metrics", {}).get("counters", {}).items()
-        if not name.startswith(("eval.par.", "solver.cache."))
+        if not name.startswith(
+            ("eval.par.", "solver.cache.", "solver.supervise.",
+             "events.supervise.")
+        )
     }
     info = {
         key: value
         for key, value in report.get("info", {}).items()
-        if key != "threads"
+        if key not in ("threads", "supervision", "chaos_seed")
     }
     # Events keep name + detail (budget trips and their machine-readable
     # reasons are part of the contract) but drop timestamps and span ids.
+    # `supervise.*` events (retries, faults, failovers) are per-backend-
+    # touch telemetry and dropped wholesale.
     events = [
         {"name": e.get("name"), "detail": e.get("detail")}
         for e in report.get("events", [])
+        if not str(e.get("name", "")).startswith("supervise.")
     ]
     return json.dumps(
         {
@@ -116,9 +146,12 @@ def diff(label, serial, other):
     return "".join(lines)
 
 
-def check_pair(faure, db, prog, thread_counts):
+def check_pair(faure, db, prog, thread_counts, chaos_seed=None):
     # The baseline is serial + cache; every other (threads, cache)
-    # combination must match it after normalization.
+    # combination must match it after normalization. Under --chaos-seed
+    # the baseline additionally runs *without* injection while every
+    # variant runs with it — so one sweep enforces both cross-thread
+    # determinism and the fault plan's output transparency.
     variants = [(t, True) for t in thread_counts]
     variants += [(t, False) for t in thread_counts]
     failures = []
@@ -127,10 +160,17 @@ def check_pair(faure, db, prog, thread_counts):
         ("run --metrics", [db, prog, "--metrics"], normalize_report),
     ):
         baseline = None
+        if chaos_seed is not None:
+            code, out = run_cli(faure, ["run"] + args, thread_counts[0])
+            baseline = ("no-chaos baseline", code,
+                        normalize(out) if normalize else out)
         for threads, cache in variants:
-            code, out = run_cli(faure, ["run"] + args, threads, cache)
+            code, out = run_cli(faure, ["run"] + args, threads, cache,
+                                chaos_seed)
             view = normalize(out) if normalize else out
             label = f"threads={threads} cache={'on' if cache else 'off'}"
+            if chaos_seed is not None:
+                label += f" chaos_seed={chaos_seed}"
             if baseline is None:
                 baseline = (label, code, view)
                 continue
@@ -157,6 +197,13 @@ def main():
         help="comma-separated FAURE_THREADS values (default: 1,2,8)",
     )
     parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="run the matrix under FAURE_CHAOS_SEED=N and also compare "
+        "against a no-chaos baseline (supervision transparency gate)",
+    )
+    parser.add_argument(
         "pairs",
         nargs="+",
         help="alternating database / program paths (db1 prog1 db2 prog2 ...)",
@@ -168,21 +215,26 @@ def main():
     if len(thread_counts) < 2:
         parser.error("need at least two thread counts to compare")
 
+    chaos = (
+        f" chaos_seed={opts.chaos_seed}" if opts.chaos_seed is not None else ""
+    )
     failures = []
     for i in range(0, len(opts.pairs), 2):
         db, prog = opts.pairs[i], opts.pairs[i + 1]
-        pair_failures = check_pair(opts.faure, db, prog, thread_counts)
+        pair_failures = check_pair(
+            opts.faure, db, prog, thread_counts, opts.chaos_seed
+        )
         failures += pair_failures
         status = "DIVERGED" if pair_failures else "identical"
         print(
             f"{os.path.basename(db)} + {os.path.basename(prog)}: "
-            f"threads {opts.threads} -> {status}"
+            f"threads {opts.threads}{chaos} -> {status}"
         )
 
     if failures:
         print("\n".join(failures), file=sys.stderr)
         return 1
-    print(f"determinism holds across threads {opts.threads}")
+    print(f"determinism holds across threads {opts.threads}{chaos}")
     return 0
 
 

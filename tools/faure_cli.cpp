@@ -25,7 +25,7 @@
 // Resource governance (run and check; see DESIGN.md "Resource
 // governance & degradation"): on budget exhaustion the engine degrades —
 // run prints the tuples derived so far plus `incomplete: <reason>` and
-// exits 3; check answers `unknown` with the reason.
+// exits 2; check answers `unknown` with the reason.
 //   --deadline S            wall-clock deadline in seconds
 //   --max-steps N           relational work budget
 //   --max-tuples N          derivation budget
@@ -34,6 +34,24 @@
 // Environment defaults: FAURE_DEADLINE, FAURE_MAX_STEPS,
 // FAURE_MAX_TUPLES, FAURE_MAX_SOLVER_CHECKS, FAURE_MAX_MEMORY,
 // FAURE_FAIL_AFTER.
+//
+// Fault tolerance (run and check; see DESIGN.md §9): any of these wraps
+// the solver in a SupervisedSolver (watchdog, bounded deterministic
+// retry, circuit breaker, failover, seeded chaos injection):
+//   --retries N             retry a failed backend call up to N times
+//   --solver-timeout-ms MS  per-attempt watchdog deadline
+//   --failover              append a native last-resort backend
+//   --chaos-seed N          deterministic fault injection (implies
+//                           --failover; N = 0 disables)
+// Environment defaults: FAURE_RETRIES, FAURE_SOLVER_TIMEOUT_MS,
+// FAURE_FAILOVER, FAURE_CHAOS_SEED.
+//
+// Exit codes (stable contract, tested by tests/cli):
+//   0  definite result — run completed; check verdict is holds /
+//      violated / conditionally-violated
+//   1  hard error — bad usage, unreadable input, parse failure
+//   2  degraded result — run incomplete (budget) or check verdict
+//      unknown: rerun with more resources
 //
 // Database files use the textio format (see src/faurelog/textio.hpp);
 // programs are fauré-log text (see src/datalog/lexer.hpp).
@@ -49,9 +67,11 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "relational/worlds.hpp"
+#include "smt/supervised_solver.hpp"
 #include "smt/verdict_cache.hpp"
 #include "smt/z3_solver.hpp"
 #include "util/error.hpp"
+#include "util/fault_plan.hpp"
 #include "util/resource_guard.hpp"
 #include "verify/verifier.hpp"
 
@@ -93,8 +113,12 @@ int usage() {
       "  --metrics[=FILE]  JSON run report on stdout / to FILE\n"
       "budget options (degrade to incomplete/unknown, never hang):\n"
       "  --deadline S  --max-steps N  --max-tuples N\n"
-      "  --max-solver-checks N  --fail-after N\n");
-  return 2;
+      "  --max-solver-checks N  --fail-after N\n"
+      "fault-tolerance options (DESIGN.md \"Fault tolerance\"):\n"
+      "  --retries N  --solver-timeout-ms MS  --failover  --chaos-seed N\n"
+      "exit codes: 0 definite result, 1 hard error, 2 degraded result\n"
+      "            (run incomplete / check verdict unknown)\n");
+  return 1;
 }
 
 /// Parses one budget flag at argv[i] (advancing i past its value);
@@ -160,6 +184,86 @@ bool parseSolverCacheFlag(int argc, char** argv, int& i, size_t& entries) {
     return false;
   }
   return true;
+}
+
+/// Parses one fault-tolerance flag at argv[i] (advancing i past its
+/// value); returns false when argv[i] is not a supervision flag. `sup`
+/// starts from SupervisionOptions::fromEnv(), so flags override the
+/// FAURE_* environment defaults.
+bool parseSupervisionFlag(int argc, char** argv, int& i,
+                          smt::SupervisionOptions& sup) {
+  auto need = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      throw Error(std::string("missing value for ") + flag);
+    }
+    return argv[++i];
+  };
+  if (std::strcmp(argv[i], "--retries") == 0) {
+    sup.maxRetries =
+        static_cast<int>(std::strtol(need("--retries"), nullptr, 10));
+    sup.enabled = true;
+  } else if (std::strcmp(argv[i], "--solver-timeout-ms") == 0) {
+    sup.watchdogMs = std::strtod(need("--solver-timeout-ms"), nullptr);
+    sup.enabled = true;
+  } else if (std::strcmp(argv[i], "--failover") == 0) {
+    sup.failover = true;
+    sup.enabled = true;
+  } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+    uint64_t seed = std::strtoull(need("--chaos-seed"), nullptr, 10);
+    if (seed == 0) {
+      sup.chaos = nullptr;
+    } else {
+      sup.chaos = util::FaultPlan::defaultChaos(seed);
+      sup.seed = seed;
+      // The default plan faults only the primary backend; the native
+      // last resort keeps chaos runs output-transparent.
+      sup.failover = true;
+      sup.enabled = true;
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Wraps `solver` in a SupervisedSolver when supervision is enabled
+/// (the wrapper adopts the solver's verdict cache).
+void superviseSolver(std::unique_ptr<smt::SolverBase>& solver,
+                     const char* name, const rel::Database& db,
+                     const smt::SupervisionOptions& sup) {
+  if (!sup.enabled) return;
+  auto wrapped = std::make_unique<smt::SupervisedSolver>(db.cvars(), sup);
+  wrapped->addBackend(name, std::move(solver));
+  if (sup.failover) wrapped->addNativeFallback();
+  solver = std::move(wrapped);
+}
+
+/// Supervision entries for the run report / --stats.
+void addSupervisionMeta(obs::ReportMeta& meta,
+                        const smt::SupervisionOptions& sup) {
+  if (!sup.enabled) return;
+  meta.add("supervision", "on");
+  if (sup.chaos != nullptr) {
+    meta.add("chaos_seed", std::to_string(sup.chaos->seed()));
+  }
+}
+
+void printSuperviseStats(const obs::MetricsSnapshot& snap) {
+  std::printf(
+      "supervise: %llu retries, %llu failovers, %llu breaker-open, "
+      "%llu quarantined, %llu watchdog-trips, %llu faults-injected\n",
+      static_cast<unsigned long long>(
+          snap.counter("solver.supervise.retries")),
+      static_cast<unsigned long long>(
+          snap.counter("solver.supervise.failovers")),
+      static_cast<unsigned long long>(
+          snap.counter("solver.supervise.breaker_open")),
+      static_cast<unsigned long long>(
+          snap.counter("solver.supervise.quarantined")),
+      static_cast<unsigned long long>(
+          snap.counter("solver.supervise.watchdog_trips")),
+      static_cast<unsigned long long>(
+          snap.counter("solver.supervise.faults_injected")));
 }
 
 /// Observability flags shared by run and check.
@@ -285,6 +389,7 @@ int cmdRun(int argc, char** argv) {
   size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
   ObsFlags obsFlags;
   ResourceLimits limits = ResourceLimits::fromEnv();
+  smt::SupervisionOptions sup = smt::SupervisionOptions::fromEnv();
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--relation") == 0 && i + 1 < argc) {
       relation = argv[++i];
@@ -302,6 +407,8 @@ int cmdRun(int argc, char** argv) {
       continue;
     } else if (parseBudgetFlag(argc, argv, i, limits)) {
       continue;
+    } else if (parseSupervisionFlag(argc, argv, i, sup)) {
+      continue;
     } else {
       return usage();
     }
@@ -314,6 +421,7 @@ int cmdRun(int argc, char** argv) {
     cache = std::make_unique<smt::VerdictCache>(db.cvars(), cacheEntries);
     solver->setVerdictCache(cache.get());
   }
+  superviseSolver(solver, solverName, db, sup);
   std::unique_ptr<obs::Tracer> tracer = makeTracer(obsFlags);
   ResourceGuard guard(limits);
   fl::EvalOptions opts;
@@ -355,6 +463,7 @@ int cmdRun(int argc, char** argv) {
     obs::MetricsSnapshot snap = tracer->metrics().snapshot();
     printEvalStats(snap);
     printSolverStats(snap);
+    if (sup.enabled) printSuperviseStats(snap);
   }
   if (tracer != nullptr) {
     obs::ReportMeta meta;
@@ -363,6 +472,7 @@ int cmdRun(int argc, char** argv) {
     meta.add("program", argv[1]);
     meta.add("solver", solverName);
     meta.add("threads", std::to_string(fl::resolveThreads(opts)));
+    addSupervisionMeta(meta, sup);
     if (res.incomplete) meta.add("incomplete", res.degradeReason);
     exportObs(*tracer, obsFlags, meta);
   }
@@ -371,7 +481,7 @@ int cmdRun(int argc, char** argv) {
                  "incomplete: %s — results above are the tuples derived "
                  "before the budget tripped\n",
                  res.degradeReason.c_str());
-    return 3;
+    return 2;
   }
   return 0;
 }
@@ -381,12 +491,15 @@ int cmdCheck(int argc, char** argv) {
   ObsFlags obsFlags;
   size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
   ResourceLimits limits = ResourceLimits::fromEnv();
+  smt::SupervisionOptions sup = smt::SupervisionOptions::fromEnv();
   for (int i = 2; i < argc; ++i) {
     if (parseObsFlag(argv[i], obsFlags)) {
       continue;
     } else if (parseSolverCacheFlag(argc, argv, i, cacheEntries)) {
       continue;
     } else if (parseBudgetFlag(argc, argv, i, limits)) {
+      continue;
+    } else if (parseSupervisionFlag(argc, argv, i, sup)) {
       continue;
     } else {
       return usage();
@@ -395,17 +508,19 @@ int cmdCheck(int argc, char** argv) {
   rel::Database db = fl::parseDatabase(readFile(argv[0]));
   verify::Constraint c =
       verify::Constraint::parse("constraint", readFile(argv[1]), db.cvars());
-  smt::NativeSolver solver(db.cvars());
+  std::unique_ptr<smt::SolverBase> solver =
+      std::make_unique<smt::NativeSolver>(db.cvars());
   std::unique_ptr<smt::VerdictCache> cache;
   if (cacheEntries > 0) {
     cache = std::make_unique<smt::VerdictCache>(db.cvars(), cacheEntries);
-    solver.setVerdictCache(cache.get());
+    solver->setVerdictCache(cache.get());
   }
+  superviseSolver(solver, "native", db, sup);
   std::unique_ptr<obs::Tracer> tracer = makeTracer(obsFlags);
-  solver.setTracer(tracer.get());
+  solver->setTracer(tracer.get());
   ResourceGuard guard(limits);
   if (guard.active()) {
-    solver.setGuard(&guard);
+    solver->setGuard(&guard);
     if (tracer != nullptr) {
       guard.onTrip([&tracer](Budget, const std::string& reason) {
         tracer->event("budget.trip", reason);
@@ -419,7 +534,7 @@ int cmdCheck(int argc, char** argv) {
       top.note("database", argv[0]);
       top.note("constraint", argv[1]);
     }
-    check = verify::RelativeVerifier::checkOnState(c, db, solver);
+    check = verify::RelativeVerifier::checkOnState(c, db, *solver);
   }
   if (!obsFlags.quietStdout()) {
     std::printf("verdict: %s\n",
@@ -433,7 +548,9 @@ int cmdCheck(int argc, char** argv) {
                   check.reason.c_str());
     }
     if (obsFlags.stats) {
-      printSolverStats(tracer->metrics().snapshot());
+      obs::MetricsSnapshot snap = tracer->metrics().snapshot();
+      printSolverStats(snap);
+      if (sup.enabled) printSuperviseStats(snap);
     }
   }
   if (tracer != nullptr) {
@@ -442,10 +559,14 @@ int cmdCheck(int argc, char** argv) {
     meta.add("database", argv[0]);
     meta.add("constraint", argv[1]);
     meta.add("verdict", std::string(verify::verdictText(check.verdict)));
+    addSupervisionMeta(meta, sup);
     if (check.incomplete) meta.add("incomplete", check.reason);
     exportObs(*tracer, obsFlags, meta);
   }
-  return check.verdict == verify::Verdict::Holds ? 0 : 1;
+  // Exit-code contract (see the file header): any *definite* verdict —
+  // holds, violated, conditionally-violated — is a successful analysis
+  // and exits 0; unknown means "rerun with more resources" and exits 2.
+  return check.verdict == verify::Verdict::Unknown ? 2 : 0;
 }
 
 int cmdWorlds(int argc, char** argv) {
