@@ -37,6 +37,7 @@ smt::SupervisedSolver* Session::supervisedSolver() {
 }
 
 void Session::setSupervision(const smt::SupervisionOptions& opts) {
+  inc_.reset();  // the watch engine holds a raw pointer to the old chain
   if (smt::SupervisedSolver* sup = supervisedSolver(); sup != nullptr) {
     // Unwrap first — takeBackend(0) hands the verdict cache back to the
     // primary — then re-wrap below if the new options are enabled.
@@ -90,10 +91,12 @@ ResourceGuard* Session::beginOperation() {
 }
 
 void Session::load(std::string_view databaseText) {
+  inc_.reset();  // out-of-band database growth the watch cannot track
   fl::parseDatabaseInto(databaseText, db_);
 }
 
 fl::EvalResult Session::run(std::string_view programText) {
+  inc_.reset();  // run() stores IDB into the db behind a watch's back
   dl::Program program = dl::parseProgram(programText, db_.cvars());
   fl::EvalOptions opts = opts_;
   opts.guard = beginOperation();
@@ -104,6 +107,42 @@ fl::EvalResult Session::run(std::string_view programText) {
     db_.put(table);
   }
   return res;
+}
+
+fl::EvalResult Session::watch(std::string_view programText) {
+  dl::Program program = dl::parseProgram(programText, db_.cvars());
+  fl::EvalOptions opts = opts_;
+  opts.guard = guard_.active() ? &guard_ : nullptr;
+  opts.tracer = tracer_;
+  inc_ = std::make_unique<fl::IncrementalEngine>(std::move(program), db_,
+                                                 solver_.get(), opts);
+  return reevaluate();
+}
+
+bool Session::insertFact(const std::string& pred, std::vector<Value> vals,
+                         smt::Formula cond) {
+  if (inc_ == nullptr) throw EvalError("insertFact: no active watch");
+  return inc_->insertFact(pred, std::move(vals), std::move(cond));
+}
+
+size_t Session::retractFact(const std::string& pred,
+                            const std::vector<Value>& vals) {
+  if (inc_ == nullptr) throw EvalError("retractFact: no active watch");
+  return inc_->retractFact(pred, vals);
+}
+
+void Session::applyEdits(std::string_view editScript) {
+  if (inc_ == nullptr) throw EvalError("applyEdits: no active watch");
+  for (const fl::Edit& e : fl::parseEditScript(editScript, db_)) {
+    inc_->apply(e);
+  }
+}
+
+fl::EvalResult Session::reevaluate() {
+  if (inc_ == nullptr) throw EvalError("reevaluate: no active watch");
+  beginOperation();  // re-arm the guard: budgets are per epoch
+  obs::Span span(tracer_, "session.reevaluate");
+  return inc_->reevaluate();
 }
 
 verify::StateCheck Session::check(std::string_view constraintText,

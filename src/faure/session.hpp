@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "faurelog/eval.hpp"
+#include "faurelog/incremental.hpp"
 #include "smt/verdict_cache.hpp"
 #include "verify/verifier.hpp"
 
@@ -122,6 +123,34 @@ class Session {
   verify::StateCheck check(std::string_view constraintText,
                            std::string name = "constraint");
 
+  /// Begins incremental what-if evaluation (DESIGN.md §10) over
+  /// `programText`: evaluates it once and retains the derived strata so
+  /// subsequent insertFact()/retractFact() + reevaluate() re-fire only
+  /// the rules whose bodies touch a changed relation. Unlike run(), a
+  /// watched evaluation never stores derived tables back into the
+  /// database — the EDB stays pristine so every epoch re-derives from
+  /// the same base. Returns the epoch-0 result. A later load(), run()
+  /// or setSupervision() ends the watch (the engine would otherwise see
+  /// a database or solver it did not track).
+  fl::EvalResult watch(std::string_view programText);
+
+  /// Delta API of the active watch — thin forwarding over
+  /// fl::IncrementalEngine (incremental.hpp). All throw EvalError when
+  /// no watch is active.
+  bool insertFact(const std::string& pred, std::vector<Value> vals,
+                  smt::Formula cond = smt::Formula::top());
+  size_t retractFact(const std::string& pred,
+                     const std::vector<Value>& vals);
+  /// Parses and applies `+Fact(...)` / `-Fact(...)` directives
+  /// (docs: textio.hpp edit scripts).
+  void applyEdits(std::string_view editScript);
+  /// Re-derives after staged edits; per the oracle contract the result
+  /// is byte-identical to a full recompute (FAURE_INCREMENTAL=0).
+  fl::EvalResult reevaluate();
+
+  /// The active watch engine (stats, mode toggles), or null.
+  fl::IncrementalEngine* incrementalEngine() { return inc_.get(); }
+
   /// Category (i)/(ii) tests against this session's registry.
   verify::Verdict subsumed(const verify::Constraint& target,
                            const std::vector<verify::Constraint>& known);
@@ -148,6 +177,7 @@ class Session {
   ResourceGuard guard_;
   obs::Tracer* tracer_ = nullptr;
   bool resetPerOp_ = false;
+  std::unique_ptr<fl::IncrementalEngine> inc_;  // active watch, if any
 };
 
 }  // namespace faure

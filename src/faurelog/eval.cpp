@@ -75,11 +75,13 @@ constexpr size_t kPartitionMinRows = 1024;
 class FaureEvaluator {
  public:
   FaureEvaluator(const Program& p, const rel::Database& db,
-                 smt::SolverBase* solver, const EvalOptions& opts)
+                 smt::SolverBase* solver, const EvalOptions& opts,
+                 StrataPlan* plan = nullptr)
       : p_(p),
         db_(db),
         solver_(solver),
         opts_(opts),
+        plan_(plan),
         guard_(opts.guard),
         tracer_(opts.tracer),
         threads_(resolveThreads(opts)) {
@@ -134,15 +136,38 @@ class FaureEvaluator {
       external.emplace(name, table.schema().arity());
     }
     dl::checkArities(p_, external);
-    dl::Stratification strat = dl::stratify(p_);
+    // A plan brings its own (refined) partition; stratify otherwise.
+    // Either way dl::stratify validates stratifiability — the plan's
+    // partition was derived from it by the incremental engine.
+    dl::Stratification strat =
+        plan_ != nullptr ? plan_->strata : dl::stratify(p_);
     if (evalSpan) {
       evalSpan.note("rules", std::to_string(p_.rules.size()));
       evalSpan.note("strata", std::to_string(strat.ruleStrata.size()));
+    }
+    if (plan_ != nullptr) {
+      if (plan_->runStratum.size() != strat.ruleStrata.size()) {
+        throw EvalError("evalFaurePlanned: plan covers " +
+                        std::to_string(plan_->runStratum.size()) +
+                        " strata but the program stratifies into " +
+                        std::to_string(strat.ruleStrata.size()));
+      }
+      // Retained tables must land before any stratum runs: a dirty
+      // stratum reads the skipped lower strata through findRelation.
+      for (auto& [pred, table] : plan_->retained) {
+        idb_.insert_or_assign(pred, std::move(table));
+      }
+      if (evalSpan) {
+        size_t live = 0;
+        for (char f : plan_->runStratum) live += f != 0;
+        evalSpan.note("planned_strata", std::to_string(live));
+      }
     }
 
     bool degraded = false;
     try {
       for (size_t s = 0; s < strat.ruleStrata.size(); ++s) {
+        if (plan_ != nullptr && !plan_->runStratum[s]) continue;
         evalStratum(strat, s);
       }
     } catch (const BudgetTrip&) {
@@ -1012,6 +1037,7 @@ class FaureEvaluator {
   const rel::Database& db_;
   smt::SolverBase* solver_;
   EvalOptions opts_;
+  StrataPlan* plan_ = nullptr;  // selective re-evaluation (incremental.hpp)
   ResourceGuard* guard_;
   obs::Tracer* tracer_;
   EvalStats stats_;
@@ -1059,6 +1085,12 @@ EvalResult evalFaure(const dl::Program& p, const rel::Database& db,
 EvalResult evalFaure(const dl::Program& p, const rel::Database& db) {
   smt::NativeSolver solver(db.cvars());
   return evalFaure(p, db, &solver, EvalOptions{});
+}
+
+EvalResult evalFaurePlanned(const dl::Program& p, const rel::Database& db,
+                            smt::SolverBase* solver, const EvalOptions& opts,
+                            StrataPlan plan) {
+  return FaureEvaluator(p, db, solver, opts, &plan).run();
 }
 
 }  // namespace faure::fl

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "datalog/analysis.hpp"
 #include "datalog/ast.hpp"
 #include "obs/trace.hpp"
 #include "relational/database.hpp"
@@ -146,6 +147,46 @@ struct EvalResult {
 /// disabled.
 EvalResult evalFaure(const dl::Program& p, const rel::Database& db,
                      smt::SolverBase* solver, const EvalOptions& opts = {});
+
+/// Selective re-evaluation plan for the incremental engine
+/// (incremental.hpp): an explicit evaluation partition, which of its
+/// strata to execute, and the derived tables — retained verbatim from a
+/// previous epoch — standing in for the skipped ones.
+///
+/// The plan carries its own Stratification because dl::stratify only
+/// separates strata across negation: independent positive rule families
+/// all share stratum 0, far too coarse to skip selectively. The
+/// incremental engine refines the partition to the topologically-
+/// ordered SCC condensation of the predicate dependency graph; the
+/// evaluator runs whatever partition the plan names (any rule grouping
+/// is sound as long as each predicate's rules sit in one group and
+/// groups are in dependency order — negation included, which refinement
+/// of a valid stratification preserves).
+///
+/// The contract that makes table reuse byte-identical to a full
+/// recompute is the caller's: `retained` must hold exactly the head
+/// predicates of every stratum with runStratum[s] == false, carrying
+/// the tables a full run under the SAME partition over the current
+/// database would produce. Evaluation is deterministic, so tables from
+/// the previous epoch satisfy this whenever no predicate feeding their
+/// strata changed.
+struct StrataPlan {
+  /// The evaluation partition (ruleStrata is what the evaluator runs).
+  dl::Stratification strata;
+  /// One flag per entry of strata.ruleStrata — false means "skip, the
+  /// retained tables already cover this stratum's heads". Size checked
+  /// at run time.
+  std::vector<char> runStratum;
+  /// Derived tables injected for the skipped strata's head predicates.
+  std::map<std::string, rel::CTable> retained;
+};
+
+/// evalFaure, but only over the strata selected by `plan`; the plan's
+/// retained tables are seeded into the result untouched. With an
+/// all-true plan this is exactly evalFaure.
+EvalResult evalFaurePlanned(const dl::Program& p, const rel::Database& db,
+                            smt::SolverBase* solver, const EvalOptions& opts,
+                            StrataPlan plan);
 
 /// Convenience: evaluates with a fresh NativeSolver and default options.
 EvalResult evalFaure(const dl::Program& p, const rel::Database& db);

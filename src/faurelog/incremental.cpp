@@ -1,0 +1,308 @@
+#include "faurelog/incremental.hpp"
+
+#include <cstdlib>
+#include <deque>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace faure::fl {
+
+namespace {
+
+bool incrementalFromEnv() {
+  const char* env = std::getenv("FAURE_INCREMENTAL");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+/// Refines dl::stratify's negation strata into the topologically-
+/// ordered SCC condensation of the predicate dependency graph.
+///
+/// dl::stratify bumps a stratum only across negation, so independent
+/// positive rule families (two teams' rules over disjoint relations)
+/// all share stratum 0 — at that granularity nothing can be skipped.
+/// Here every set of mutually recursive predicates becomes its own
+/// evaluation unit; units are emitted in a deterministic dependency
+/// order (Kahn's algorithm, ties broken by negation stratum then by
+/// lowest rule index), so refinement preserves both the negation
+/// semantics (a negated body is always in an earlier unit) and
+/// reproducibility (the same program always yields the same partition).
+dl::Stratification refineStrata(const dl::Program& p,
+                                const dl::Stratification& base) {
+  // Predicate dependency edges over the IDB: body -> head.
+  std::map<std::string, std::set<std::string>> succ;
+  std::set<std::string> idb;
+  for (const auto& r : p.rules) idb.insert(r.head.pred);
+  for (const auto& r : p.rules) {
+    for (const auto& lit : r.body) {
+      if (idb.count(lit.atom.pred) != 0 && lit.atom.pred != r.head.pred) {
+        succ[lit.atom.pred].insert(r.head.pred);
+      }
+    }
+  }
+  // Mutual reachability (programs are small; clarity over asymptotics).
+  std::map<std::string, std::set<std::string>> reach;
+  for (const auto& pred : idb) {
+    std::set<std::string>& r = reach[pred];
+    std::vector<std::string> work{pred};
+    while (!work.empty()) {
+      std::string cur = std::move(work.back());
+      work.pop_back();
+      auto it = succ.find(cur);
+      if (it == succ.end()) continue;
+      for (const auto& next : it->second) {
+        if (r.insert(next).second) work.push_back(next);
+      }
+    }
+  }
+  // Components: preds that reach each other, represented by their
+  // lexicographically-smallest member (deterministic).
+  std::map<std::string, std::string> compOf;
+  for (const auto& a : idb) {
+    if (compOf.count(a) != 0) continue;
+    compOf[a] = a;
+    for (const auto& b : reach[a]) {
+      if (reach[b].count(a) != 0) compOf[b] = a;
+    }
+  }
+  // Component metadata + DAG.
+  struct Comp {
+    int negStratum = 0;
+    size_t minRule = SIZE_MAX;
+    std::set<std::string> deps;  // component reps this one waits on
+  };
+  std::map<std::string, Comp> comps;
+  for (size_t ri = 0; ri < p.rules.size(); ++ri) {
+    const auto& rule = p.rules[ri];
+    Comp& c = comps[compOf.at(rule.head.pred)];
+    c.minRule = std::min(c.minRule, ri);
+    auto it = base.stratumOf.find(rule.head.pred);
+    if (it != base.stratumOf.end()) c.negStratum = it->second;
+    for (const auto& lit : rule.body) {
+      if (idb.count(lit.atom.pred) == 0) continue;
+      const std::string& dep = compOf.at(lit.atom.pred);
+      if (dep != compOf.at(rule.head.pred)) c.deps.insert(dep);
+    }
+  }
+  // Kahn's algorithm with a deterministic priority.
+  dl::Stratification out;
+  std::set<std::string> emitted;
+  while (emitted.size() < comps.size()) {
+    const std::string* best = nullptr;
+    for (const auto& [rep, c] : comps) {
+      if (emitted.count(rep) != 0) continue;
+      bool ready = true;
+      for (const auto& dep : c.deps) {
+        if (emitted.count(dep) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      if (best == nullptr ||
+          std::make_pair(c.negStratum, c.minRule) <
+              std::make_pair(comps.at(*best).negStratum,
+                             comps.at(*best).minRule)) {
+        best = &rep;
+      }
+    }
+    // base is a valid stratification, so the condensation is acyclic
+    // and something is always ready.
+    std::vector<size_t> rules;
+    for (size_t ri = 0; ri < p.rules.size(); ++ri) {
+      if (compOf.at(p.rules[ri].head.pred) == *best) rules.push_back(ri);
+    }
+    int unit = static_cast<int>(out.ruleStrata.size());
+    for (const auto& [pred, rep] : compOf) {
+      if (rep == *best) out.stratumOf[pred] = unit;
+    }
+    out.ruleStrata.push_back(std::move(rules));
+    emitted.insert(*best);
+  }
+  return out;
+}
+
+}  // namespace
+
+IncrementalEngine::IncrementalEngine(dl::Program program, rel::Database& db,
+                                     smt::SolverBase* solver, EvalOptions opts)
+    : p_(std::move(program)),
+      db_(db),
+      solver_(solver),
+      opts_(opts),
+      enabled_(incrementalFromEnv()) {
+  if (opts_.simplifyResults) {
+    throw EvalError(
+        "IncrementalEngine: simplifyResults rewrites conditions globally; "
+        "per-stratum reuse cannot honour the byte-identity oracle under it");
+  }
+  // Partition once up front — the units are a property of the program,
+  // not of the data, and the plan must name the same units every epoch
+  // evaluates. dl::stratify both validates stratifiability and feeds
+  // the negation strata the refinement preserves. (Safety/arity checks
+  // stay with evalFaure, which sees the live database.)
+  strat_ = refineStrata(p_, dl::stratify(p_));
+  stratumHeads_.resize(strat_.ruleStrata.size());
+  for (size_t s = 0; s < strat_.ruleStrata.size(); ++s) {
+    for (size_t ri : strat_.ruleStrata[s]) {
+      stratumHeads_[s].insert(p_.rules[ri].head.pred);
+    }
+  }
+  // Per-rule delta index: which rules re-fire when pred changes.
+  for (size_t ri = 0; ri < p_.rules.size(); ++ri) {
+    for (const auto& lit : p_.rules[ri].body) {
+      auto& rules = state_.bodyIndex[lit.atom.pred];
+      if (rules.empty() || rules.back() != ri) rules.push_back(ri);
+    }
+  }
+}
+
+bool IncrementalEngine::insertFact(const std::string& pred,
+                                   std::vector<Value> vals,
+                                   smt::Formula cond) {
+  if (!db_.has(pred)) {
+    throw EvalError("insertFact: no relation '" + pred + "' in the database");
+  }
+  bool changed = db_.table(pred).insert(std::move(vals), std::move(cond));
+  dirty_.insert(pred);
+  ++pendingInserts_;
+  return changed;
+}
+
+size_t IncrementalEngine::retractFact(const std::string& pred,
+                                      const std::vector<Value>& vals) {
+  if (!db_.has(pred)) {
+    throw EvalError("retractFact: no relation '" + pred + "' in the database");
+  }
+  size_t removed = db_.table(pred).eraseWithData(vals);
+  dirty_.insert(pred);
+  ++pendingRetracts_;
+  return removed;
+}
+
+void IncrementalEngine::apply(const Edit& edit) {
+  if (edit.kind == Edit::Kind::Insert) {
+    insertFact(edit.pred, edit.vals, edit.cond);
+  } else {
+    retractFact(edit.pred, edit.vals);
+  }
+}
+
+void IncrementalEngine::invalidate() { state_.valid = false; }
+
+std::vector<char> IncrementalEngine::planStrata(
+    const std::set<std::string>& affected) const {
+  std::vector<char> run(strat_.ruleStrata.size(), 0);
+  for (size_t s = 0; s < stratumHeads_.size(); ++s) {
+    for (const auto& head : stratumHeads_[s]) {
+      if (affected.count(head) != 0) {
+        run[s] = 1;
+        break;
+      }
+    }
+  }
+  return run;
+}
+
+EvalResult IncrementalEngine::reevaluate() {
+  // Affected-predicate closure over the delta indexes: start from the
+  // edited base relations, add the head of every rule whose body
+  // touches an affected predicate, iterate to fixpoint. (The closure
+  // runs on predicates, so it terminates in |preds| rounds.)
+  std::set<std::string> affected = dirty_;
+  std::deque<std::string> work(dirty_.begin(), dirty_.end());
+  while (!work.empty()) {
+    std::string pred = std::move(work.front());
+    work.pop_front();
+    auto it = state_.bodyIndex.find(pred);
+    if (it == state_.bodyIndex.end()) continue;
+    for (size_t ri : it->second) {
+      const std::string& head = p_.rules[ri].head.pred;
+      if (affected.insert(head).second) work.push_back(head);
+    }
+  }
+
+  bool full = !enabled_ || !state_.valid;
+  std::vector<char> run;
+  StrataPlan plan;
+  if (!full) {
+    run = planStrata(affected);
+    for (size_t s = 0; s < run.size() && !full; ++s) {
+      if (run[s]) continue;
+      for (const auto& head : stratumHeads_[s]) {
+        auto it = state_.idb.find(head);
+        if (it == state_.idb.end()) {
+          // The retained epoch never materialised this head — do not
+          // guess; fall back to a full run.
+          full = true;
+          break;
+        }
+        plan.retained.emplace(head, it->second);
+      }
+    }
+  }
+  if (full) {
+    plan.retained.clear();
+    run.assign(strat_.ruleStrata.size(), 1);
+  }
+  // Both modes evaluate the SAME refined partition — only the run/skip
+  // flags differ — so the oracle comparison is apples to apples at the
+  // byte level.
+  plan.strata = strat_;
+  plan.runStratum = run;
+
+  EvalResult result =
+      evalFaurePlanned(p_, db_, solver_, opts_, std::move(plan));
+
+  uint64_t refired = 0, skipped = 0, dirtyStrata = 0, reused = 0;
+  for (size_t s = 0; s < strat_.ruleStrata.size(); ++s) {
+    if (run[s]) {
+      ++dirtyStrata;
+      refired += strat_.ruleStrata[s].size();
+    } else {
+      ++reused;
+      skipped += strat_.ruleStrata[s].size();
+    }
+  }
+
+  ++inc_.epochs;
+  if (full) ++inc_.fullRecomputes;
+  inc_.refiredRules += refired;
+  inc_.skippedRules += skipped;
+  inc_.dirtyStrata += dirtyStrata;
+  inc_.reusedStrata += reused;
+  inc_.deltaInserts += pendingInserts_;
+  inc_.deltaRetracts += pendingRetracts_;
+  if (opts_.tracer != nullptr) {
+    obs::Registry& m = opts_.tracer->metrics();
+    m.counter("eval.inc.epochs").add();
+    if (full) m.counter("eval.inc.full_recomputes").add();
+    m.counter("eval.inc.refired_rules").add(refired);
+    m.counter("eval.inc.skipped_rules").add(skipped);
+    m.counter("eval.inc.dirty_strata").add(dirtyStrata);
+    m.counter("eval.inc.reused_strata").add(reused);
+    m.counter("eval.inc.delta_inserts").add(pendingInserts_);
+    m.counter("eval.inc.delta_retracts").add(pendingRetracts_);
+  }
+  dirty_.clear();
+  pendingInserts_ = 0;
+  pendingRetracts_ = 0;
+
+  if (result.incomplete) {
+    // A budget-tripped epoch holds only a partial IDB; reusing it would
+    // launder incompleteness into later epochs as silent wrong answers.
+    state_.valid = false;
+    state_.idb.clear();
+    state_.provenance.clear();
+    return result;
+  }
+  state_.idb = result.idb;
+  state_.provenance.clear();
+  for (const auto& [pred, table] : result.idb) {
+    state_.provenance[pred] = table.size();
+  }
+  state_.valid = true;
+  return result;
+}
+
+}  // namespace faure::fl

@@ -60,6 +60,53 @@ class DbParser {
     }
   }
 
+  // +Pred(v, ...) [ '|' condition ]  |  -Pred(v, ...)   per directive.
+  std::vector<Edit> runEdits(rel::Database& db) {
+    std::vector<Edit> out;
+    while (peek().kind != Tok::End) {
+      Edit e;
+      if (accept(Tok::Plus)) {
+        e.kind = Edit::Kind::Insert;
+      } else if (accept(Tok::Minus)) {
+        e.kind = Edit::Kind::Retract;
+      } else {
+        fail("expected an edit directive '+Pred(...)' or '-Pred(...)'");
+      }
+      const Token& name = expect(Tok::Ident);
+      if (!db.has(name.text)) {
+        throw ParseError("edit to undeclared table '" + name.text + "'",
+                         name.line, name.column);
+      }
+      e.pred = name.text;
+      expect(Tok::LParen);
+      if (!accept(Tok::RParen)) {
+        do {
+          e.vals.push_back(value(db));
+        } while (accept(Tok::Comma));
+        expect(Tok::RParen);
+      }
+      size_t arity = db.table(name.text).schema().arity();
+      if (e.vals.size() != arity) {
+        throw ParseError("arity mismatch editing '" + name.text + "': got " +
+                             std::to_string(e.vals.size()) + ", want " +
+                             std::to_string(arity),
+                         name.line, name.column);
+      }
+      if (peek().kind == Tok::Pipe) {
+        if (e.kind == Edit::Kind::Retract) {
+          throw ParseError(
+              "a retraction takes no condition (it removes the data part "
+              "outright)",
+              peek().line, peek().column);
+        }
+        advance();
+        e.cond = disjunction(db);
+      }
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
  private:
   const Token& peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
@@ -371,6 +418,43 @@ std::string formatDatabase(const rel::Database& db) {
       out += "\n";
     }
   }
+  return out;
+}
+
+std::vector<Edit> parseEditScript(std::string_view text, rel::Database& db) {
+  // One directive per line: the lexer discards newlines, so a linear
+  // parse would swallow the `+` of the next directive as an arithmetic
+  // continuation of the previous condition (`l2_ = 1  +Acl(...)` reads
+  // as `l2_ = 1 + Acl(...)`). Each line is lexed on its own, padded
+  // with the newlines before it so ParseError positions stay global.
+  std::vector<Edit> out;
+  size_t lineNo = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    std::string padded(lineNo, '\n');
+    padded.append(line);
+    std::vector<Edit> parsed = DbParser(padded).runEdits(db);
+    for (Edit& e : parsed) out.push_back(std::move(e));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+    ++lineNo;
+  }
+  return out;
+}
+
+std::string formatEdit(const Edit& e, const CVarRegistry& reg) {
+  std::string out(e.kind == Edit::Kind::Insert ? "+" : "-");
+  out += e.pred + "(";
+  for (size_t i = 0; i < e.vals.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += formatValue(e.vals[i], reg);
+  }
+  out += ")";
+  if (!e.cond.isTrue()) out += " | " + e.cond.toString(&reg);
   return out;
 }
 

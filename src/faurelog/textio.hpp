@@ -22,9 +22,16 @@
 // Rows are ground: identifiers denote symbol constants (regardless of
 // case), `x_`-style names denote c-variables; there are no program
 // variables in this format.
+//
+// Edit scripts (`faure whatif`, Session::watch) reuse the same value and
+// condition grammar with a `--watch`-style directive per line:
+//
+//   +F(f0, 2, 6) | m_ = 1          % insert a (conditional) fact
+//   -F(f0, 2, 3)                   % retract every row with this data part
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "relational/database.hpp"
 
@@ -42,5 +49,27 @@ void parseDatabaseInto(std::string_view text, rel::Database& db);
 /// Serializes a database back into the textual format (modulo comments
 /// and ordering); parseDatabase(formatDatabase(db)) reproduces db.
 std::string formatDatabase(const rel::Database& db);
+
+/// One what-if directive: insert a conditional fact into, or retract a
+/// data part from, a base (EDB) relation.
+struct Edit {
+  enum class Kind { Insert, Retract };
+  Kind kind = Kind::Insert;
+  std::string pred;
+  std::vector<Value> vals;
+  /// Insert-only: the tuple's condition ('true' when none was written).
+  /// Retractions remove the data part outright, whatever its condition.
+  smt::Formula cond = smt::Formula::top();
+};
+
+/// Parses a `+Fact(...)` / `-Fact(...)` edit script against `db`'s
+/// declarations (tables must exist, arities must match, c-variables in
+/// values or conditions must be declared). The database itself is not
+/// modified. Throws ParseError with position info on malformed input.
+std::vector<Edit> parseEditScript(std::string_view text, rel::Database& db);
+
+/// Renders an edit back into script syntax (deterministic; used for the
+/// `faure whatif` epoch headers).
+std::string formatEdit(const Edit& e, const CVarRegistry& reg);
 
 }  // namespace faure::fl

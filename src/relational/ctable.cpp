@@ -132,6 +132,14 @@ size_t CTable::pruneIf(const std::function<bool(const Row&)>& pred) {
   return removed;
 }
 
+size_t CTable::eraseWithData(const std::vector<Value>& vals) {
+  checkRow(vals);
+  // The index answers "is it even here" in O(1); only a hit pays the
+  // pruneIf scan-and-rebuild.
+  if (rowsWithData(vals).empty()) return 0;
+  return pruneIf([&](const Row& row) { return row.vals == vals; });
+}
+
 void CTable::setCondition(size_t rowIndex, smt::Formula cond) {
   rows_.at(rowIndex).cond = std::move(cond);
 }

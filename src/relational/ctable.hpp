@@ -122,6 +122,12 @@ class CTable {
   /// solver-pruning step). Returns the number of removed rows.
   size_t pruneIf(const std::function<bool(const Row&)>& pred);
 
+  /// Removes every row with exactly this data part (any condition) —
+  /// the retraction primitive of the incremental engine. Returns the
+  /// number of removed rows (0 when the data part is absent; row order
+  /// of the survivors is preserved). Throws EvalError on arity mismatch.
+  size_t eraseWithData(const std::vector<Value>& vals);
+
   /// Replaces a row's condition in place (index into rows()).
   void setCondition(size_t rowIndex, smt::Formula cond);
 

@@ -313,5 +313,61 @@ TEST(SessionTest, SupervisionEnvironmentActivatesAtConstruction) {
   EXPECT_EQ(normal.supervisedSolver(), nullptr);
 }
 
+TEST(SessionTest, WatchDeltaApiReevaluatesIncrementally) {
+  Session s;
+  s.load(
+      "var x_ int 0 1\n"
+      "table F(flow sym, from int, to int)\n"
+      "table Acl(app sym, port int)\n"
+      "row F f0 1 2 | x_ = 1\n"
+      "row F f0 2 3\n"
+      "row Acl web 80\n");
+  auto res = s.watch(
+      "R(f,a,b) :- F(f,a,b).\n"
+      "R(f,a,b) :- F(f,a,c), R(f,c,b).\n"
+      "Open(app,p) :- Acl(app,p), p < 1024.\n");
+  EXPECT_EQ(res.idb.at("R").size(), 3u);
+  ASSERT_NE(s.incrementalEngine(), nullptr);
+
+  // Security-team edit: the reachability unit is reused verbatim.
+  s.incrementalEngine()->setIncremental(true);
+  s.insertFact("Acl", {Value::sym("mail"), Value::fromInt(25)});
+  auto res2 = s.reevaluate();
+  EXPECT_EQ(res2.idb.at("Open").size(), 2u);
+  EXPECT_EQ(res2.idb.at("R").size(), 3u);
+  EXPECT_GT(s.incrementalEngine()->stats().reusedStrata, 0u);
+
+  // Script-driven edits go through the same engine.
+  s.applyEdits("-F(f0, 2, 3)\n+Acl(db, 5432)\n");
+  auto res3 = s.reevaluate();
+  EXPECT_EQ(res3.idb.at("R").size(), 1u);
+  EXPECT_EQ(res3.idb.at("Open").size(), 2u);  // db:5432 not < 1024
+
+  // Watched evaluation never stores derived tables into the database.
+  EXPECT_FALSE(s.db().has("R"));
+}
+
+TEST(SessionTest, WatchEndsOnLoadRunOrSupervisionChange) {
+  Session s;
+  s.load("table T(a int)\nrow T 1\n");
+  s.watch("U(a) :- T(a).");
+  ASSERT_NE(s.incrementalEngine(), nullptr);
+  s.load("row T 2\n");  // out-of-band mutation invalidates the watch
+  EXPECT_EQ(s.incrementalEngine(), nullptr);
+  EXPECT_THROW(s.reevaluate(), EvalError);
+  EXPECT_THROW(s.insertFact("T", {Value::fromInt(3)}), EvalError);
+
+  s.watch("U(a) :- T(a).");
+  ASSERT_NE(s.incrementalEngine(), nullptr);
+  s.run("V(a) :- T(a).");  // run() stores IDB back — also out-of-band
+  EXPECT_EQ(s.incrementalEngine(), nullptr);
+
+  s.watch("U(a) :- T(a).");
+  smt::SupervisionOptions sup;
+  sup.enabled = true;
+  s.setSupervision(sup);  // replaces the solver the engine points at
+  EXPECT_EQ(s.incrementalEngine(), nullptr);
+}
+
 }  // namespace
 }  // namespace faure

@@ -1,0 +1,229 @@
+// Tests for the incremental what-if engine (faurelog/incremental.hpp):
+// the oracle contract (incremental epochs byte-identical to a full
+// recompute for any edit sequence), the refined-partition reuse that
+// makes incrementality worth having, and the lifecycle edges
+// (invalidation, budget-tripped epochs, environment toggles).
+#include "faurelog/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "datalog/parser.hpp"
+#include "faurelog/textio.hpp"
+#include "util/error.hpp"
+#include "util/resource_guard.hpp"
+
+namespace faure::fl {
+namespace {
+
+// The two-team shape from data/whatif_reach.fl: recursive reachability
+// units ({R}, {Deliver}) and policy units ({Open}, {Lockdown}) over
+// disjoint base relations.
+constexpr const char* kDb =
+    "var l_ int 0 1\n"
+    "table F(flow sym, from int, to int)\n"
+    "table Acl(app sym, port int)\n"
+    "row F f0 1 2 | l_ = 1\n"
+    "row F f0 1 4 | l_ = 0\n"
+    "row F f0 4 2\n"
+    "row F f0 2 3\n"
+    "row Acl web 80\n"
+    "row Acl legacy 8080\n";
+
+constexpr const char* kProgram =
+    "R(f,a,b) :- F(f,a,b).\n"
+    "R(f,a,b) :- F(f,a,c), R(f,c,b).\n"
+    "Deliver(f) :- R(f,1,3).\n"
+    "Open(app,p) :- Acl(app,p), p < 1024.\n"
+    "Lockdown(app) :- Acl(app,p), !Open(app,p).\n";
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  rel::Database db_ = parseDatabase(kDb);
+  smt::NativeSolver solver_{db_.cvars()};
+
+  IncrementalEngine engine(EvalOptions opts = {}) {
+    return IncrementalEngine(dl::parseProgram(kProgram, db_.cvars()), db_,
+                             &solver_, opts);
+  }
+
+  /// Canonical rendering of every derived relation — the byte-level
+  /// view the oracle contract is stated over.
+  std::string render(const EvalResult& res) {
+    std::string out;
+    for (const auto& [name, table] : res.idb) {
+      out += "== " + name + " ==\n" + table.toString(&db_.cvars());
+    }
+    return out;
+  }
+};
+
+TEST_F(IncrementalTest, FirstReevaluateIsAFullRun) {
+  auto eng = engine();
+  EvalResult res = eng.reevaluate();
+  EXPECT_FALSE(res.incomplete);
+  EXPECT_EQ(eng.stats().epochs, 1u);
+  EXPECT_EQ(eng.stats().fullRecomputes, 1u);
+  EXPECT_TRUE(eng.state().valid);
+  // All four units materialised and their row counts are retained as
+  // provenance.
+  EXPECT_EQ(eng.state().provenance.count("R"), 1u);
+  EXPECT_EQ(eng.state().provenance.count("Lockdown"), 1u);
+}
+
+TEST_F(IncrementalTest, OracleByteIdentityAcrossMixedEdits) {
+  // Same edit sequence replayed against a second database instance with
+  // incrementality off; every epoch must render identically.
+  rel::Database oracleDb = parseDatabase(kDb);
+  smt::NativeSolver oracleSolver(oracleDb.cvars());
+  IncrementalEngine oracle(dl::parseProgram(kProgram, oracleDb.cvars()),
+                           oracleDb, &oracleSolver);
+  oracle.setIncremental(false);
+  auto eng = engine();
+  eng.setIncremental(true);
+
+  EXPECT_EQ(render(eng.reevaluate()), render(oracle.reevaluate()));
+  const char* script =
+      "+Acl(mail, 25)\n"
+      "-Acl(legacy, 8080)\n"
+      "-F(f0, 2, 3)\n"
+      "+F(f0, 2, 3) | l_ = 0\n"
+      "+Acl(db, 5432)\n"
+      "-F(f0, 1, 2)\n";
+  std::vector<Edit> edits = parseEditScript(script, db_);
+  std::vector<Edit> oracleEdits = parseEditScript(script, oracleDb);
+  for (size_t i = 0; i < edits.size(); ++i) {
+    eng.apply(edits[i]);
+    oracle.apply(oracleEdits[i]);
+    EXPECT_EQ(render(eng.reevaluate()), render(oracle.reevaluate()))
+        << "diverged after edit " << i;
+  }
+  // The incremental run did strictly less work than the oracle, which
+  // re-fires every rule every epoch.
+  EXPECT_LT(eng.stats().refiredRules, oracle.stats().refiredRules);
+  EXPECT_GT(eng.stats().reusedStrata, 0u);
+  EXPECT_EQ(eng.stats().epochs, oracle.stats().epochs);
+}
+
+TEST_F(IncrementalTest, PositiveUnitsAreSkippedIndependently) {
+  // dl::stratify alone would put every positive rule in stratum 0; the
+  // refined partition lets an Acl-only edit reuse the reachability
+  // units even though nothing is negated between them.
+  auto eng = engine();
+  eng.setIncremental(true);
+  eng.reevaluate();
+  eng.insertFact("Acl", {Value::sym("mail"), Value::fromInt(25)});
+  EvalResult res = eng.reevaluate();
+  EXPECT_EQ(res.idb.at("Open").size(), 2u);  // web:80, mail:25
+  // {R} and {Deliver} reused; {Open} and {Lockdown} re-fired.
+  EXPECT_EQ(eng.stats().reusedStrata, 2u);
+  EXPECT_EQ(eng.stats().dirtyStrata, 4u + 2u);  // epoch 0 + this epoch
+  EXPECT_EQ(eng.stats().deltaInserts, 1u);
+}
+
+TEST_F(IncrementalTest, RetractionPropagates) {
+  auto eng = engine();
+  eng.setIncremental(true);
+  EvalResult before = eng.reevaluate();
+  EXPECT_EQ(before.idb.at("Deliver").size(), 1u);
+  // Cutting 2->3 severs every 1->3 derivation regardless of l_.
+  EXPECT_EQ(eng.retractFact("F", {Value::sym("f0"), Value::fromInt(2),
+                                  Value::fromInt(3)}),
+            1u);
+  EvalResult after = eng.reevaluate();
+  EXPECT_EQ(after.idb.at("Deliver").size(), 0u);
+  EXPECT_EQ(eng.stats().deltaRetracts, 1u);
+}
+
+TEST_F(IncrementalTest, RetractingAnAbsentFactIsANoOpEdit) {
+  auto eng = engine();
+  eng.setIncremental(true);
+  std::string base = render(eng.reevaluate());
+  EXPECT_EQ(eng.retractFact("F", {Value::sym("f9"), Value::fromInt(7),
+                                  Value::fromInt(7)}),
+            0u);
+  // The relation is still marked dirty (an epoch runs), but the output
+  // is unchanged.
+  EXPECT_EQ(eng.pendingDirty().count("F"), 1u);
+  EXPECT_EQ(render(eng.reevaluate()), base);
+}
+
+TEST_F(IncrementalTest, UnknownRelationIsAnError) {
+  auto eng = engine();
+  EXPECT_THROW(eng.insertFact("Nope", {Value::fromInt(1)}), EvalError);
+  EXPECT_THROW(eng.retractFact("Nope", {Value::fromInt(1)}), EvalError);
+}
+
+TEST_F(IncrementalTest, InsertMergesConditionsByDataPart) {
+  auto eng = engine();
+  eng.setIncremental(true);
+  eng.reevaluate();
+  // Same data part under the complementary condition: the row's
+  // condition becomes (l_ = 1 | l_ = 0), so 1->2 reaches in all worlds.
+  eng.insertFact("F",
+                 {Value::sym("f0"), Value::fromInt(1), Value::fromInt(2)},
+                 smt::Formula::cmp(Value::cvar(db_.cvars().find("l_")),
+                                   smt::CmpOp::Eq, Value::fromInt(0)));
+  EvalResult res = eng.reevaluate();
+  EXPECT_EQ(db_.table("F").size(), 4u);  // merged, not appended
+  EXPECT_EQ(res.idb.at("Deliver").size(), 1u);
+}
+
+TEST_F(IncrementalTest, InvalidateForcesAFullRecompute) {
+  auto eng = engine();
+  eng.setIncremental(true);
+  eng.reevaluate();
+  eng.invalidate();
+  eng.reevaluate();  // no pending edits, but the state was dropped
+  EXPECT_EQ(eng.stats().fullRecomputes, 2u);
+}
+
+TEST_F(IncrementalTest, IncompleteEpochPoisonsRetainedState) {
+  ResourceLimits limits;
+  limits.maxTuples = 1;
+  ResourceGuard guard(limits);
+  EvalOptions opts;
+  opts.guard = &guard;
+  auto eng = engine(opts);
+  eng.setIncremental(true);
+  EvalResult res = eng.reevaluate();
+  EXPECT_TRUE(res.incomplete);
+  EXPECT_FALSE(eng.state().valid);
+  EXPECT_TRUE(eng.state().idb.empty());
+  // The next epoch cannot reuse the partial tables: it is a full run.
+  guard.rearm();
+  eng.reevaluate();
+  EXPECT_EQ(eng.stats().fullRecomputes, 2u);
+}
+
+TEST_F(IncrementalTest, SimplifyResultsIsRejected) {
+  EvalOptions opts;
+  opts.simplifyResults = true;
+  EXPECT_THROW(engine(opts), EvalError);
+}
+
+TEST_F(IncrementalTest, EnvironmentTogglesTheDefault) {
+  ::setenv("FAURE_INCREMENTAL", "0", 1);
+  EXPECT_FALSE(engine().incremental());
+  ::setenv("FAURE_INCREMENTAL", "1", 1);
+  EXPECT_TRUE(engine().incremental());
+  ::unsetenv("FAURE_INCREMENTAL");
+  EXPECT_TRUE(engine().incremental());
+}
+
+TEST_F(IncrementalTest, OracleModeStillRetainsState) {
+  // Incrementality off updates the retained state anyway, so flipping
+  // it on later reuses the last oracle epoch instead of recomputing.
+  auto eng = engine();
+  eng.setIncremental(false);
+  eng.reevaluate();
+  eng.setIncremental(true);
+  eng.insertFact("Acl", {Value::sym("mail"), Value::fromInt(25)});
+  eng.reevaluate();
+  EXPECT_EQ(eng.stats().fullRecomputes, 1u);
+  EXPECT_GT(eng.stats().reusedStrata, 0u);
+}
+
+}  // namespace
+}  // namespace faure::fl

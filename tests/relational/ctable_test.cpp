@@ -116,6 +116,24 @@ TEST_F(CTableTest, CollectVars) {
   EXPECT_EQ(vars[0], x_);
 }
 
+TEST_F(CTableTest, EraseWithData) {
+  CTable t(pathSchema());
+  t.insertConcrete({dest("1.2.3.4"), path({"ABC"})});
+  t.insert({dest("1.2.3.4"), Value::cvar(x_)},
+           Formula::cmp(Value::cvar(x_), CmpOp::Eq, path({"ABC"})));
+  t.insertConcrete({dest("5.6.7.8"), path({"D"})});
+  // Retraction is by exact data part, whatever the row's condition.
+  EXPECT_EQ(t.eraseWithData({dest("1.2.3.4"), Value::cvar(x_)}), 1u);
+  EXPECT_EQ(t.size(), 2u);
+  // A miss is 0, not an error — and leaves the table alone.
+  EXPECT_EQ(t.eraseWithData({dest("9.9.9.9"), path({"Z"})}), 0u);
+  EXPECT_EQ(t.size(), 2u);
+  // Survivors are still findable through the rebuilt index.
+  EXPECT_EQ(t.rowsWithData({dest("1.2.3.4"), path({"ABC"})}).size(), 1u);
+  // Arity violations go through the usual row check.
+  EXPECT_THROW(t.eraseWithData({dest("1.2.3.4")}), EvalError);
+}
+
 TEST_F(CTableTest, SchemaHelpers) {
   Schema s = pathSchema();
   EXPECT_EQ(s.indexOf("dest"), 0u);

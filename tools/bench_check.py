@@ -1,9 +1,18 @@
 #!/usr/bin/env python3
-"""Bench-regression gate over the Table-4 harness run report.
+"""Bench-regression gate over a bench-harness run report.
 
-Compares a fresh BENCH_table4.json (bench/table4_reachability) against
-the committed bench/baseline_table4.json and fails when any measured
-wall time regressed beyond the tolerance. Because absolute seconds are
+Two report families are understood (--family):
+
+  table4       BENCH_table4.json from bench/table4_reachability:
+               `table4[N].wall_seconds` plus `threads[T].` / `nocache.`
+               variants, gated against bench/baseline_table4.json.
+  incremental  BENCH_incremental.json from bench/whatif_incremental:
+               `incremental[N].wall_seconds` (the full-recompute
+               oracle) plus the `inc.` variant (delta propagation on),
+               gated against bench/baseline_incremental.json.
+
+Compares the fresh report against the committed baseline and fails
+when any measured wall time regressed beyond the tolerance. Because absolute seconds are
 machine-dependent (CI runners differ run to run, let alone from the
 box that recorded the baseline), times are *calibrated* first: the
 serial wall of the smallest common size is taken as the machine's speed
@@ -14,8 +23,8 @@ slower runner moves nothing.
 
     bench_check.py --current BENCH_table4.json \
         --baseline bench/baseline_table4.json \
-        [--tolerance 0.30] [--diff-out diff.json] [--update] \
-        [--allow-missing]
+        [--family table4] [--tolerance 0.30] [--diff-out diff.json] \
+        [--update] [--allow-missing]
 
 Exit status: 0 when every entry is within tolerance (improvements are
 reported, never fatal), 1 on regression or missing entries. --update
@@ -42,7 +51,7 @@ def fail(message, hint=None):
     sys.exit(1)
 
 
-def load_json(path, role):
+def load_json(path, role, family="table4"):
     """Reads a JSON file with friendly diagnostics for the two ways this
     goes wrong in CI: the file was never produced (harness crashed or the
     artifact was not downloaded) or it is not JSON (truncated upload)."""
@@ -51,8 +60,7 @@ def load_json(path, role):
             return json.load(fh)
     except FileNotFoundError:
         hint = (
-            "run `bench/table4_reachability --report BENCH_table4.json` "
-            "to produce a report"
+            f"run `{FAMILIES[family]['harness']}` to produce a report"
             if role == "current"
             else "regenerate it with `bench_check.py --update` and commit "
             "the result"
@@ -67,45 +75,77 @@ def load_json(path, role):
             "the file may be truncated; regenerate it",
         )
 
-WALL = re.compile(
-    r"^table4\[(\d+)\]\.(?:threads\[(\d+)\]\.|(nocache)\.)?wall_seconds$"
-)
+# Per-family report shape. `wall` parses gauge names into
+# (size, threads, variant) keys: group 1 = size, group 2 = thread count
+# (absent = 1), group 3 = the variant tag (table4's cache-off control /
+# the incremental engine's delta-propagation run). The calibration
+# entry is always the smallest un-tagged serial row — the full-recompute
+# oracle for the incremental family.
+FAMILIES = {
+    "table4": {
+        "wall": re.compile(
+            r"^table4\[(\d+)\]\.(?:threads\[(\d+)\]\.|(nocache)\.)?"
+            r"wall_seconds$"
+        ),
+        "variant": "nocache",
+        "example": "table4[8].wall_seconds",
+        "harness": "bench/table4_reachability",
+    },
+    "incremental": {
+        "wall": re.compile(
+            r"^incremental\[(\d+)\]\.(?:()(inc)\.)?wall_seconds$"
+        ),
+        "variant": "inc",
+        "example": "incremental[80].wall_seconds",
+        "harness": "bench/whatif_incremental",
+    },
+}
 
 
-def extract(report_path):
-    """-> {(size, threads, nocache): wall_seconds} from a table4 report.
+def extract(report_path, family):
+    """-> {(size, threads, variant): wall_seconds} from a run report.
 
-    The harness records one serial row per size (solver verdict cache
-    on), the threaded repeats, and one `nocache.` serial control with
-    the cache detached; the gate tracks all three shapes.
+    table4 records one serial row per size (solver verdict cache on),
+    the threaded repeats, and one `nocache.` serial control; the
+    incremental family records the full-recompute oracle wall and the
+    `inc.` delta-propagation wall per size.
     """
-    report = load_json(report_path, "current")
+    spec = FAMILIES[family]
+    report = load_json(report_path, "current", family)
     walls = {}
     for name, value in report.get("metrics", {}).get("gauges", {}).items():
-        m = WALL.match(name)
+        m = spec["wall"].match(name)
         if m:
             size = int(m.group(1))
             threads = int(m.group(2)) if m.group(2) else 1
-            nocache = m.group(3) is not None
-            walls[(size, threads, nocache)] = float(value)
+            variant = m.group(3) is not None
+            walls[(size, threads, variant)] = float(value)
     if not walls:
         fail(
-            f"no table4[...].wall_seconds gauges in {report_path}",
-            "is this really a table4 harness report? expected "
-            "metrics.gauges keys like `table4[8].wall_seconds`",
+            f"no {family}[...].wall_seconds gauges in {report_path}",
+            f"is this really a {family} harness report? expected "
+            f"metrics.gauges keys like `{spec['example']}`",
         )
     return walls
 
 
-def key_str(key):
-    size, threads, nocache = key
-    return f"size={size} threads={threads}" + (" nocache" if nocache else "")
+def key_str(key, variant_label):
+    size, threads, variant = key
+    return f"size={size} threads={threads}" + (
+        f" {variant_label}" if variant else ""
+    )
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True)
     parser.add_argument("--baseline", required=True)
+    parser.add_argument(
+        "--family",
+        choices=sorted(FAMILIES),
+        default="table4",
+        help="which harness report shape to gate (default: table4)",
+    )
     parser.add_argument("--tolerance", type=float, default=0.30)
     parser.add_argument("--diff-out", help="write a JSON comparison artifact")
     parser.add_argument(
@@ -121,12 +161,16 @@ def main():
     )
     opts = parser.parse_args()
 
-    current = extract(opts.current)
+    variant = FAMILIES[opts.family]["variant"]
+    current = extract(opts.current, opts.family)
     if opts.update:
         payload = {
             "comment": "regenerate with: bench_check.py --update "
             "(committed values are calibrated, not absolute; see tool doc)",
-            "walls": {key_str(k): v for k, v in sorted(current.items())},
+            "family": opts.family,
+            "walls": {
+                key_str(k, variant): v for k, v in sorted(current.items())
+            },
         }
         with open(opts.baseline, "w") as fh:
             json.dump(payload, fh, indent=1, sort_keys=True)
@@ -140,9 +184,16 @@ def main():
             f"baseline {opts.baseline} has no `walls` object",
             "regenerate it with `bench_check.py --update`",
         )
+    if baseline_doc.get("family", "table4") != opts.family:
+        fail(
+            f"baseline {opts.baseline} was recorded for family "
+            f"{baseline_doc.get('family', 'table4')!r}, not {opts.family!r}",
+            "point --baseline at the matching file or re-record it with "
+            "`bench_check.py --update --family " + opts.family + "`",
+        )
     baseline = {}
     for text, value in baseline_doc["walls"].items():
-        m = re.match(r"size=(\d+) threads=(\d+)( nocache)?", text)
+        m = re.match(rf"size=(\d+) threads=(\d+)( {variant})?$", text)
         if m is None:
             fail(
                 f"baseline {opts.baseline} has an unparseable entry key: "
@@ -185,7 +236,7 @@ def main():
         )
         rows.append(
             {
-                "entry": key_str(key),
+                "entry": key_str(key, variant),
                 "current_seconds": current[key],
                 "baseline_seconds": baseline[key],
                 "calibrated_drift": round(drift, 4),
@@ -195,12 +246,12 @@ def main():
         if verdict == "REGRESSED":
             regressions.append(key)
         print(
-            f"{key_str(key):28s} {current[key]:9.4f}s vs "
+            f"{key_str(key, variant):28s} {current[key]:9.4f}s vs "
             f"{baseline[key]:9.4f}s  drift {drift:+7.1%}  {verdict}"
         )
     for key in missing:
         tag = "missing (allowed)" if opts.allow_missing else "MISSING"
-        print(f"{key_str(key):28s} {tag} from current report")
+        print(f"{key_str(key, variant):28s} {tag} from current report")
 
     if opts.diff_out:
         with open(opts.diff_out, "w") as fh:
@@ -208,9 +259,9 @@ def main():
                 {
                     "schema": "faure.bench_diff/1",
                     "tolerance": opts.tolerance,
-                    "calibration_entry": key_str(cal),
+                    "calibration_entry": key_str(cal, variant),
                     "rows": rows,
-                    "missing": [key_str(k) for k in missing],
+                    "missing": [key_str(k, variant) for k in missing],
                 },
                 fh,
                 indent=1,

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: plain build + tests, an ASan/UBSan build running the
 # same suite, a TSan build with parallel evaluation forced on
-# (FAURE_THREADS=4), the seeded chaos suite, and the bench-regression
-# gate against the committed baseline. Mirrors .github/workflows/ci.yml
-# so the jobs can be reproduced locally with a single command. Set
-# SKIP_TSAN=1 / SKIP_ASAN=1 / SKIP_CHAOS=1 / SKIP_BENCH_GATE=1 to drop
-# a stage (e.g. TSan is slow on small boxes).
+# (FAURE_THREADS=4), the seeded chaos suite, the incremental-evaluation
+# oracle gate (DESIGN.md §10), and the bench-regression gates against
+# the committed baselines. Mirrors .github/workflows/ci.yml so the jobs
+# can be reproduced locally with a single command. Set SKIP_TSAN=1 /
+# SKIP_ASAN=1 / SKIP_CHAOS=1 / SKIP_INCREMENTAL=1 / SKIP_BENCH_GATE=1
+# to drop a stage (e.g. TSan is slow on small boxes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,6 +55,19 @@ if [[ "${SKIP_CHAOS:-0}" != 1 ]]; then
   done
 fi
 
+if [[ "${SKIP_INCREMENTAL:-0}" != 1 ]]; then
+  echo "==> incremental oracle gate (whatif byte-identity + reuse)"
+  # The oracle contract: every {mode, threads, cache} whatif variant
+  # prints byte-identical epochs, and the incremental mode re-fires
+  # strictly fewer rules (keep the script list in sync with ci.yml's
+  # `incremental` job matrix).
+  for edits in data/whatif_edits.fl data/whatif_churn.fl; do
+    python3 tools/determinism_check.py --faure build/tools/faure \
+      --threads 1,2,8 --edit-script "$edits" \
+      data/whatif_net.fdb data/whatif_reach.fl
+  done
+fi
+
 if [[ "${SKIP_BENCH_GATE:-0}" != 1 ]]; then
   echo "==> bench-regression gate (Table 4, serial + -j2)"
   (cd build && FAURE_TABLE4_SIZES=200,500 FAURE_TABLE4_THREADS=1,2 \
@@ -61,6 +75,13 @@ if [[ "${SKIP_BENCH_GATE:-0}" != 1 ]]; then
   python3 tools/bench_check.py --current build/BENCH_table4_gate.json \
     --baseline bench/baseline_table4.json --tolerance 0.30 \
     --diff-out build/bench_diff.json
+
+  echo "==> bench-regression gate (incremental what-if)"
+  (cd build && FAURE_BENCH_JSON=BENCH_incremental.json \
+    ./bench/whatif_incremental)
+  python3 tools/bench_check.py --current build/BENCH_incremental.json \
+    --baseline bench/baseline_incremental.json --family incremental \
+    --tolerance 0.50 --diff-out build/bench_diff_incremental.json
 fi
 
 echo "==> all green"

@@ -39,9 +39,24 @@ counters, and `supervise.*` events are masked before comparison (which
 checks reach a backend — and hence can fault — depends on cache hits
 and thread scheduling).
 
+With --edit-script EDITS the gate targets the incremental engine's
+oracle contract (DESIGN.md §10) instead: for each (database, program)
+pair it replays the edit script through `faure whatif` under every
+{--incremental, --full-recompute} x threads x cache combination and
+byte-compares the raw epoch output (whatif prints no timings, so no
+normalization is needed) against the full-recompute serial cached
+baseline. It then runs `whatif --metrics` once per mode and asserts
+the point of incrementality from the `eval.inc.*` counters: both modes
+complete the same number of epochs, the incremental run re-fires
+strictly fewer rules than the oracle, and at least one stratum was
+reused verbatim. --edit-script and --chaos-seed are mutually
+exclusive — chaos failover is supervised-run telemetry, while the
+oracle contract is about retained-state reuse.
+
 Usage:
     determinism_check.py --faure build/tools/faure [--threads 1,2,8] \
-        [--chaos-seed N] db1.fdb prog1.fl [db2.fdb prog2.fl ...]
+        [--chaos-seed N | --edit-script edits.fl] \
+        db1.fdb prog1.fl [db2.fdb prog2.fl ...]
 
 Exit status: 0 when every pair is deterministic, 1 otherwise (with a
 unified diff of the first divergence on stderr).
@@ -75,6 +90,10 @@ def run_cli(faure, args, threads, cache=True, chaos_seed=None):
     for knob in ("FAURE_CHAOS_SEED", "FAURE_RETRIES",
                  "FAURE_SOLVER_TIMEOUT_MS", "FAURE_FAILOVER"):
         env.pop(knob, None)
+    # The whatif matrix pins the mode per variant via --incremental /
+    # --full-recompute; an inherited FAURE_INCREMENTAL must not leak
+    # into the runs that rely on the CLI default.
+    env.pop("FAURE_INCREMENTAL", None)
     if chaos_seed is not None:
         env["FAURE_CHAOS_SEED"] = str(chaos_seed)
     proc = subprocess.run(
@@ -188,6 +207,96 @@ def check_pair(faure, db, prog, thread_counts, chaos_seed=None):
     return failures
 
 
+def inc_counters(report_text):
+    """-> the eval.inc.* counters of a whatif --metrics run report."""
+    report = json.loads(report_text)
+    counters = report.get("metrics", {}).get("counters", {})
+    return {
+        name[len("eval.inc."):]: value
+        for name, value in counters.items()
+        if name.startswith("eval.inc.")
+    }
+
+
+def check_whatif_pair(faure, db, prog, edits, thread_counts):
+    """Oracle-contract sweep: every {mode, threads, cache} variant of
+    `faure whatif` must print byte-identical epochs, and the metrics
+    reports must show the incremental mode actually skipping work."""
+    failures = []
+    args = [db, prog, edits]
+    baseline = None
+    for mode_flag in ("--full-recompute", "--incremental"):
+        for threads in thread_counts:
+            for cache in (True, False):
+                code, out = run_cli(
+                    faure, ["whatif"] + args + [mode_flag], threads, cache
+                )
+                label = (
+                    f"{mode_flag} threads={threads} "
+                    f"cache={'on' if cache else 'off'}"
+                )
+                if baseline is None:
+                    baseline = (label, code, out)
+                    continue
+                base_label, base_code, base_out = baseline
+                if code != base_code:
+                    failures.append(
+                        f"{db} + {prog} + {edits} (whatif): exit "
+                        f"{base_code} at {base_label} but {code} at {label}"
+                    )
+                if out != base_out:
+                    failures.append(
+                        f"{db} + {prog} + {edits} (whatif): output "
+                        f"diverges at {label}\n"
+                        + diff(f"{prog} (whatif)", base_out, out)
+                    )
+
+    # Firings assertion (serial, cache on): eval.inc.* counters are
+    # recorded in both modes, so the reports quantify the reuse.
+    counters = {}
+    for mode_flag in ("--full-recompute", "--incremental"):
+        code, out = run_cli(
+            faure, ["whatif"] + args + [mode_flag, "--metrics"],
+            thread_counts[0],
+        )
+        if code != 0:
+            failures.append(
+                f"{db} + {prog} + {edits} (whatif --metrics "
+                f"{mode_flag}): exit {code}"
+            )
+            return failures
+        counters[mode_flag] = inc_counters(out)
+    full, inc = counters["--full-recompute"], counters["--incremental"]
+    if not full or not inc:
+        failures.append(
+            f"{db} + {prog} + {edits}: whatif --metrics reports carry no "
+            f"eval.inc.* counters"
+        )
+        return failures
+    if inc.get("epochs") != full.get("epochs"):
+        failures.append(
+            f"{db} + {prog} + {edits}: epoch counts differ — "
+            f"incremental {inc.get('epochs')} vs oracle {full.get('epochs')}"
+        )
+    if not inc.get("refired_rules", 0) < full.get("refired_rules", 0):
+        failures.append(
+            f"{db} + {prog} + {edits}: incremental mode re-fired "
+            f"{inc.get('refired_rules')} rules, not strictly fewer than "
+            f"the oracle's {full.get('refired_rules')} — no work was saved"
+        )
+    if not inc.get("reused_strata", 0) > 0:
+        failures.append(
+            f"{db} + {prog} + {edits}: incremental mode reused no strata"
+        )
+    if not failures:
+        print(
+            f"  reuse: incremental re-fired {inc['refired_rules']} rules "
+            f"vs oracle {full['refired_rules']}, reused "
+            f"{inc['reused_strata']} strata over {inc['epochs']} epochs"
+        )
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--faure", required=True, help="path to the faure CLI")
@@ -204,6 +313,15 @@ def main():
         "against a no-chaos baseline (supervision transparency gate)",
     )
     parser.add_argument(
+        "--edit-script",
+        default=None,
+        metavar="EDITS",
+        help="gate `faure whatif` with this edit script instead of "
+        "`faure run`: {--incremental, --full-recompute} x threads x "
+        "cache must be byte-identical (the oracle contract) and the "
+        "incremental mode must re-fire strictly fewer rules",
+    )
+    parser.add_argument(
         "pairs",
         nargs="+",
         help="alternating database / program paths (db1 prog1 db2 prog2 ...)",
@@ -211,6 +329,11 @@ def main():
     opts = parser.parse_args()
     if len(opts.pairs) % 2 != 0:
         parser.error("expected an even number of db/program paths")
+    if opts.edit_script is not None and opts.chaos_seed is not None:
+        parser.error(
+            "--edit-script and --chaos-seed are mutually exclusive "
+            "(see module doc)"
+        )
     thread_counts = [int(t) for t in opts.threads.split(",") if t]
     if len(thread_counts) < 2:
         parser.error("need at least two thread counts to compare")
@@ -221,20 +344,35 @@ def main():
     failures = []
     for i in range(0, len(opts.pairs), 2):
         db, prog = opts.pairs[i], opts.pairs[i + 1]
-        pair_failures = check_pair(
-            opts.faure, db, prog, thread_counts, opts.chaos_seed
-        )
+        if opts.edit_script is not None:
+            pair_failures = check_whatif_pair(
+                opts.faure, db, prog, opts.edit_script, thread_counts
+            )
+        else:
+            pair_failures = check_pair(
+                opts.faure, db, prog, thread_counts, opts.chaos_seed
+            )
         failures += pair_failures
         status = "DIVERGED" if pair_failures else "identical"
+        tag = (
+            f" + {os.path.basename(opts.edit_script)}"
+            if opts.edit_script is not None
+            else ""
+        )
         print(
-            f"{os.path.basename(db)} + {os.path.basename(prog)}: "
+            f"{os.path.basename(db)} + {os.path.basename(prog)}{tag}: "
             f"threads {opts.threads}{chaos} -> {status}"
         )
 
     if failures:
         print("\n".join(failures), file=sys.stderr)
         return 1
-    print(f"determinism holds across threads {opts.threads}{chaos}")
+    if opts.edit_script is not None:
+        print(
+            f"incremental determinism holds across threads {opts.threads}"
+        )
+    else:
+        print(f"determinism holds across threads {opts.threads}{chaos}")
     return 0
 
 

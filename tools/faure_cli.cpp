@@ -2,10 +2,20 @@
 //
 //   faure run <db.fdb> <program.fl> [options]   evaluate a fauré-log
 //                                               program on a database
+//   faure whatif <db.fdb> <program.fl> <edits.fl>
+//                                               evaluate, then replay a
+//                                               +Fact/-Fact edit script
+//                                               incrementally (§10)
 //   faure check <db.fdb> <constraint.fl>        state-level constraint
 //                                               verdict (§5 level iii)
 //   faure worlds <db.fdb> [cap]                 enumerate possible worlds
 //   faure fmt <db.fdb>                          parse and reprint
+//
+// `whatif` prints the derived relations once per epoch (the initial
+// state, then after each edit) under `== epoch N: ... ==` headers. The
+// incremental engine re-fires only strata affected by each edit;
+// FAURE_INCREMENTAL=0 or --full-recompute selects the full-recompute
+// oracle, whose output is byte-identical (DESIGN.md §10).
 //
 // Options for `run`:
 //   --relation NAME   print only this derived relation
@@ -63,6 +73,7 @@
 
 #include "datalog/parser.hpp"
 #include "faurelog/eval.hpp"
+#include "faurelog/incremental.hpp"
 #include "faurelog/textio.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -95,6 +106,12 @@ int usage() {
       "            [--solver native|z3] [--stats] [--db-out FILE]\n"
       "            [--threads N | -jN] [--solver-cache N]\n"
       "            [observability options] [budget options]\n"
+      "  faure whatif <db.fdb> <program.fl> <edits.fl> [--relation NAME]\n"
+      "            [--incremental | --full-recompute] [--solver native|z3]\n"
+      "            [--stats] [--threads N | -jN] [--solver-cache N]\n"
+      "            [observability options] [budget options]\n"
+      "            (default mode: FAURE_INCREMENTAL env, on unless \"0\";\n"
+      "             both modes print byte-identical epochs)\n"
       "  faure check <db.fdb> <constraint.fl> [--stats] [--solver-cache N]\n"
       "            [observability options] [budget options]\n"
       "  faure worlds <db.fdb> [cap]\n"
@@ -486,6 +503,157 @@ int cmdRun(int argc, char** argv) {
   return 0;
 }
 
+void printIncStats(const fl::IncStats& inc) {
+  std::printf(
+      "incremental: %llu epochs (%llu full), %llu refired rules, "
+      "%llu skipped rules, %llu reused strata, %llu dirty strata, "
+      "+%llu/-%llu edits\n",
+      static_cast<unsigned long long>(inc.epochs),
+      static_cast<unsigned long long>(inc.fullRecomputes),
+      static_cast<unsigned long long>(inc.refiredRules),
+      static_cast<unsigned long long>(inc.skippedRules),
+      static_cast<unsigned long long>(inc.reusedStrata),
+      static_cast<unsigned long long>(inc.dirtyStrata),
+      static_cast<unsigned long long>(inc.deltaInserts),
+      static_cast<unsigned long long>(inc.deltaRetracts));
+}
+
+int cmdWhatif(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const char* relation = nullptr;
+  const char* solverName = "native";
+  std::optional<unsigned> threads;
+  size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
+  ObsFlags obsFlags;
+  ResourceLimits limits = ResourceLimits::fromEnv();
+  smt::SupervisionOptions sup = smt::SupervisionOptions::fromEnv();
+  int mode = -1;  // -1: FAURE_INCREMENTAL env; 0: oracle; 1: incremental
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--relation") == 0 && i + 1 < argc) {
+      relation = argv[++i];
+    } else if (std::strcmp(argv[i], "--solver") == 0 && i + 1 < argc) {
+      solverName = argv[++i];
+    } else if (std::strcmp(argv[i], "--incremental") == 0) {
+      mode = 1;
+    } else if (std::strcmp(argv[i], "--full-recompute") == 0) {
+      mode = 0;
+    } else if (parseThreadsFlag(argc, argv, i, threads)) {
+      continue;
+    } else if (parseSolverCacheFlag(argc, argv, i, cacheEntries)) {
+      continue;
+    } else if (parseObsFlag(argv[i], obsFlags)) {
+      continue;
+    } else if (parseBudgetFlag(argc, argv, i, limits)) {
+      continue;
+    } else if (parseSupervisionFlag(argc, argv, i, sup)) {
+      continue;
+    } else {
+      return usage();
+    }
+  }
+  rel::Database db = fl::parseDatabase(readFile(argv[0]));
+  dl::Program program = dl::parseProgram(readFile(argv[1]), db.cvars());
+  std::vector<fl::Edit> edits = fl::parseEditScript(readFile(argv[2]), db);
+  auto solver = makeSolver(db, solverName);
+  std::unique_ptr<smt::VerdictCache> cache;
+  if (cacheEntries > 0) {
+    cache = std::make_unique<smt::VerdictCache>(db.cvars(), cacheEntries);
+    solver->setVerdictCache(cache.get());
+  }
+  superviseSolver(solver, solverName, db, sup);
+  std::unique_ptr<obs::Tracer> tracer = makeTracer(obsFlags);
+  ResourceGuard guard(limits);
+  fl::EvalOptions opts;
+  opts.threads = threads;
+  opts.tracer = tracer.get();
+  if (guard.active()) {
+    opts.guard = &guard;
+    solver->setGuard(&guard);
+    if (tracer != nullptr) {
+      guard.onTrip([&tracer](Budget, const std::string& reason) {
+        tracer->event("budget.trip", reason);
+      });
+    }
+  }
+  fl::IncrementalEngine eng(std::move(program), db, solver.get(), opts);
+  if (mode >= 0) eng.setIncremental(mode == 1);
+
+  auto printEpoch = [&](const fl::EvalResult& res) {
+    for (const auto& [pred, table] : res.idb) {
+      if (obsFlags.quietStdout()) break;
+      if (relation != nullptr && pred != relation) continue;
+      std::printf("%s\n", table.toString(&db.cvars()).c_str());
+    }
+  };
+
+  int exitCode = 0;
+  size_t epochsRun = 0;
+  std::string degradeReason;
+  {
+    obs::Span top(tracer.get(), "whatif");
+    if (top) {
+      top.note("database", argv[0]);
+      top.note("program", argv[1]);
+      top.note("edits", argv[2]);
+    }
+    if (!obsFlags.quietStdout()) std::printf("== epoch 0: initial ==\n");
+    // Budgets are per epoch: every reevaluation gets the full allowance,
+    // like one Session operation.
+    if (guard.active()) guard.rearm();
+    fl::EvalResult res = eng.reevaluate();
+    ++epochsRun;
+    printEpoch(res);
+    if (res.incomplete) {
+      exitCode = 2;
+      degradeReason = res.degradeReason;
+    }
+    for (size_t e = 0; exitCode == 0 && e < edits.size(); ++e) {
+      eng.apply(edits[e]);
+      if (!obsFlags.quietStdout()) {
+        std::printf("== epoch %zu: %s ==\n", e + 1,
+                    fl::formatEdit(edits[e], db.cvars()).c_str());
+      }
+      if (guard.active()) guard.rearm();
+      res = eng.reevaluate();
+      ++epochsRun;
+      printEpoch(res);
+      if (res.incomplete) {
+        exitCode = 2;
+        degradeReason = res.degradeReason;
+      }
+    }
+  }
+  if (obsFlags.stats && !obsFlags.quietStdout()) {
+    obs::MetricsSnapshot snap = tracer->metrics().snapshot();
+    printEvalStats(snap);
+    printSolverStats(snap);
+    printIncStats(eng.stats());
+    if (sup.enabled) printSuperviseStats(snap);
+  }
+  if (tracer != nullptr) {
+    obs::ReportMeta meta;
+    meta.command = "whatif";
+    meta.add("database", argv[0]);
+    meta.add("program", argv[1]);
+    meta.add("edits", argv[2]);
+    meta.add("solver", solverName);
+    meta.add("threads", std::to_string(fl::resolveThreads(opts)));
+    meta.add("incremental", eng.incremental() ? "on" : "off");
+    meta.add("epochs", std::to_string(epochsRun));
+    addSupervisionMeta(meta, sup);
+    if (exitCode == 2) meta.add("incomplete", degradeReason);
+    exportObs(*tracer, obsFlags, meta);
+  }
+  if (exitCode == 2) {
+    std::fprintf(stderr,
+                 "incomplete: %s — the epoch above holds only the tuples "
+                 "derived before the budget tripped; later edits were not "
+                 "replayed\n",
+                 degradeReason.c_str());
+  }
+  return exitCode;
+}
+
 int cmdCheck(int argc, char** argv) {
   if (argc < 2) return usage();
   ObsFlags obsFlags;
@@ -616,6 +784,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     if (std::strcmp(argv[1], "run") == 0) return cmdRun(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "whatif") == 0) {
+      return cmdWhatif(argc - 2, argv + 2);
+    }
     if (std::strcmp(argv[1], "check") == 0) {
       return cmdCheck(argc - 2, argv + 2);
     }
