@@ -39,11 +39,13 @@
 // of the paper's silent '-'.
 //
 // Besides the console tables, the run is traced (obs/) and exported as a
-// machine-readable run report — per-size `table4[size=N]` spans, per-query
-// sql/solver/tuple gauges, and the full metric registry — to
-// BENCH_table4.json (override the path with FAURE_BENCH_JSON; set it to
-// "0" to skip the file). FAURE_BENCH_TRACE=0 detaches the tracer entirely
-// — the timing configuration for overhead comparisons (no report file).
+// machine-readable run report — per-query sql/solver/tuple gauges and the
+// full metric registry — to BENCH_table4.json (override the path with
+// FAURE_BENCH_JSON; set it to "0" to skip the file). The report is the
+// span-free bench summary; FAURE_BENCH_FULL_SPANS=1 restores the raw
+// `table4[size=N]` span tree. FAURE_BENCH_TRACE=0 detaches the tracer
+// entirely — the timing configuration for overhead comparisons (no
+// report file).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -341,7 +343,7 @@ int main() {
     meta.add("solver_cache", std::to_string(cacheEntries));
     std::ofstream out(jsonPath);
     if (out) {
-      out << obs::runReportJson(tracer, meta);
+      out << obs::benchReportJson(tracer, meta);
       std::printf("\nrun report written to %s\n", jsonPath);
     } else {
       std::fprintf(stderr, "cannot write '%s'\n", jsonPath);

@@ -25,7 +25,9 @@
 // Knobs: FAURE_INC_SIZES (default "80,120"), FAURE_INC_EDITS (default
 // 16), FAURE_SOLVER_CACHE (verdict cache entries; 0 disables),
 // FAURE_BENCH_JSON (report path, default BENCH_incremental.json, "0"
-// skips), FAURE_BENCH_TRACE=0 detaches the tracer.
+// skips), FAURE_BENCH_TRACE=0 detaches the tracer. The report is the
+// span-free bench summary; FAURE_BENCH_FULL_SPANS=1 restores the raw
+// span tree for interactive profiling.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -307,7 +309,7 @@ int main() {
              std::to_string(smt::VerdictCache::capacityFromEnv()));
     std::ofstream out(jsonPath);
     if (out) {
-      out << obs::runReportJson(tracer, meta);
+      out << obs::benchReportJson(tracer, meta);
       std::printf("\nrun report written to %s\n", jsonPath);
     } else {
       std::fprintf(stderr, "cannot write '%s'\n", jsonPath);

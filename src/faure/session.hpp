@@ -45,6 +45,15 @@ class Session {
   /// and the eval.par.* metrics change. Shorthand for options().threads.
   void setThreads(unsigned n) { opts_.threads = n; }
 
+  /// Cost-based join planning for subsequent run() calls (DESIGN.md
+  /// §11): PlanMode::On reorders body literals by estimated selectivity
+  /// and probes persistent c-table indexes, PlanMode::Off runs the
+  /// pristine program-order join path, PlanMode::Explain additionally
+  /// dumps each chosen plan to stderr. Results are byte-identical in
+  /// every mode; only wall-clock and the eval.plan.* metrics change.
+  /// Shorthand for options().plan.
+  void setPlanning(fl::PlanMode m) { opts_.plan = m; }
+
   /// Arms resource governance (util/resource_guard.hpp) for subsequent
   /// run()/check()/subsumed() calls; each call re-arms the guard, so a
   /// deadline applies per operation. Pass {} (all-zero limits) to

@@ -1,7 +1,10 @@
 #include "faurelog/eval.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <set>
@@ -84,7 +87,8 @@ class FaureEvaluator {
         plan_(plan),
         guard_(opts.guard),
         tracer_(opts.tracer),
-        threads_(resolveThreads(opts)) {
+        threads_(resolveThreads(opts)),
+        planMode_(resolvePlanMode(opts.plan)) {
     if (solver_ == nullptr &&
         (opts_.pruneWithSolver || opts_.mergeSubsumption)) {
       throw EvalError(
@@ -333,6 +337,127 @@ class FaureEvaluator {
     return Range{0, end};
   }
 
+  // ---- cost-based join planning (plan.hpp, DESIGN.md §11) ----
+  //
+  // planFor() runs on the engine thread only: it resolves the physical
+  // plan for one (rule, delta position) firing from the round's live
+  // cardinalities and ensures every persistent index the plan probes is
+  // built/extended *before* worker phases start, so workers touch only
+  // immutable JoinIndex state. Three execution paths follow:
+  //   off          — planMode_ == Off or no plan: the pristine
+  //                  program-order join path, byte-for-byte the
+  //                  pre-planner evaluator;
+  //   unreordered  — plan kept program order: joinLiteral probes the
+  //                  persistent index on its serial key columns instead
+  //                  of rebuilding a local one per firing. Enumeration
+  //                  order is identical, so no sort is needed;
+  //   reordered    — plannedEnumerate() walks literals in plan order,
+  //                  pruning only combinations serial evaluation
+  //                  provably prunes, then replays each survivor
+  //                  through the serial condition sequence (dropping
+  //                  the rest) and sorts by serial enumeration rank.
+  //                  The resulting frame stream — values, conditions,
+  //                  order — is exactly the serial one.
+
+  /// Per-firing physical plan, resolved on the engine thread.
+  struct PlanContext {
+    const RuleShape* shape = nullptr;
+    RulePlan plan;
+    size_t deltaLit = SIZE_MAX;
+    /// Per positive literal (program order): the relation snapshot.
+    std::vector<const rel::CTable*> tables;
+    /// Unreordered path: persistent index on each literal's serial key
+    /// columns (null when the literal has none).
+    std::vector<const rel::JoinIndex*> serialIndex;
+    /// Reordered path: persistent index per plan *step* (null = scan).
+    std::vector<const rel::JoinIndex*> stepIndex;
+  };
+
+  /// The static join shape of rule `ri`, computed once and cached.
+  const RuleShape& ruleShape(size_t ri, const Rule& rule) {
+    if (shapes_.empty()) shapes_.resize(p_.rules.size());
+    if (!shapes_[ri].has_value()) {
+      std::vector<std::string> vars = dl::ruleVariables(rule);
+      std::unordered_map<std::string, size_t> slotOf;
+      for (size_t i = 0; i < vars.size(); ++i) slotOf[vars[i]] = i;
+      shapes_[ri] = RuleShape::analyze(rule, slotOf);
+    }
+    return *shapes_[ri];
+  }
+
+  /// Builds (or extends) the persistent index of `table` keyed on
+  /// `keyArgs`, with build-vs-extension accounting. Engine thread only.
+  const rel::JoinIndex* ensureIndex(const rel::CTable& table,
+                                    const std::vector<size_t>& keyArgs) {
+    const rel::JoinIndex* existing = table.findJoinIndex(keyArgs);
+    size_t before = existing != nullptr ? existing->builtUpTo() : 0;
+    const rel::JoinIndex& idx = table.ensureJoinIndex(keyArgs);
+    if (existing == nullptr) {
+      ++planStats_.indexBuilds;
+    } else if (idx.builtUpTo() > before) {
+      ++planStats_.indexExtensions;
+    }
+    return &idx;
+  }
+
+  /// Resolves the plan for one (rule, delta position) firing, ensuring
+  /// every index it will probe. Returns null when planning is off or
+  /// the rule has nothing to plan (the caller falls back to the
+  /// pristine path, which also owns error reporting for unknown
+  /// relations). Engine thread only.
+  std::unique_ptr<PlanContext> planFor(
+      size_t ri, const Rule& rule, size_t deltaPos,
+      const std::unordered_map<std::string, size_t>& deltaStart,
+      const std::unordered_map<std::string, size_t>& fullEnd,
+      const std::set<std::string>& thisStratum) {
+    if (planMode_ == PlanMode::Off) return nullptr;
+    const RuleShape& shape = ruleShape(ri, rule);
+    if (shape.lits.empty()) return nullptr;
+    auto ctx = std::make_unique<PlanContext>();
+    ctx->shape = &shape;
+    std::vector<LitStats> litStats;
+    litStats.reserve(shape.lits.size());
+    for (size_t lp = 0; lp < shape.lits.size(); ++lp) {
+      const dl::Literal& lit = rule.body[shape.lits[lp].body];
+      const rel::CTable* table = findRelation(lit.atom.pred);
+      if (table == nullptr) return nullptr;  // pristine path reports it
+      Range range = rangeFor(lit.atom.pred, deltaPos, shape.lits[lp].body,
+                             deltaStart, fullEnd, thisStratum, *table);
+      litStats.push_back(LitStats{table, range.hi - range.lo});
+      ctx->tables.push_back(table);
+      if (shape.lits[lp].body == deltaPos) ctx->deltaLit = lp;
+    }
+    ctx->plan = planRule(shape, ctx->deltaLit, litStats);
+    ++planStats_.plans;
+    if (ctx->plan.reordered) ++planStats_.reorders;
+    for (const PlannedLiteral& pl : ctx->plan.order) {
+      planStats_.estRows += static_cast<uint64_t>(
+          std::llround(std::max(0.0, pl.estRows)));
+    }
+    if (ctx->plan.reordered) {
+      ctx->stepIndex.resize(ctx->plan.order.size(), nullptr);
+      for (size_t step = 0; step < ctx->plan.order.size(); ++step) {
+        const PlannedLiteral& pl = ctx->plan.order[step];
+        if (pl.keyArgs.empty()) continue;
+        ctx->stepIndex[step] =
+            ensureIndex(*ctx->tables[pl.lit], pl.keyArgs);
+      }
+    } else {
+      ctx->serialIndex.resize(shape.lits.size(), nullptr);
+      for (size_t lp = 0; lp < shape.lits.size(); ++lp) {
+        const auto& keys = shape.lits[lp].serialKeyArgs;
+        if (keys.empty()) continue;
+        ctx->serialIndex[lp] = ensureIndex(*ctx->tables[lp], keys);
+      }
+    }
+    if (planMode_ == PlanMode::Explain &&
+        explained_.insert({ri, deltaPos}).second) {
+      std::cerr << explainPlan(rule, shape, ctx->plan, ctx->deltaLit,
+                               litStats);
+    }
+    return ctx;
+  }
+
   /// Candidate generation — the pure part of one rule application: join
   /// positives over the round snapshot, filter comparisons and
   /// negations, ground heads. Reads only snapshot-bounded table state
@@ -348,7 +473,7 @@ class FaureEvaluator {
       const std::unordered_map<std::string, size_t>& deltaStart,
       const std::unordered_map<std::string, size_t>& fullEnd,
       const std::set<std::string>& thisStratum, size_t clampLit, Range clamp,
-      obs::Tracer* tracer) {
+      obs::Tracer* tracer, const PlanContext* pctx) {
     std::vector<std::string> vars = dl::ruleVariables(rule);
     std::unordered_map<std::string, size_t> slotOf;
     for (size_t i = 0; i < vars.size(); ++i) slotOf[vars[i]] = i;
@@ -357,24 +482,39 @@ class FaureEvaluator {
                                       smt::Formula::top()}};
     std::vector<bool> bound(vars.size(), false);
 
-    for (size_t i = 0; i < rule.body.size() && !frames.empty(); ++i) {
-      const dl::Literal& lit = rule.body[i];
-      if (lit.negated) continue;
-      const rel::CTable* table = findRelation(lit.atom.pred);
-      if (table == nullptr) {
-        throw EvalError("unknown relation '" + lit.atom.pred + "'");
+    if (pctx != nullptr && pctx->plan.reordered) {
+      frames = plannedEnumerate(rule, *pctx, deltaPos, deltaStart, fullEnd,
+                                thisStratum, clampLit, clamp);
+    } else {
+      size_t litPos = 0;
+      for (size_t i = 0; i < rule.body.size() && !frames.empty(); ++i) {
+        const dl::Literal& lit = rule.body[i];
+        if (lit.negated) continue;
+        const rel::CTable* table = findRelation(lit.atom.pred);
+        if (table == nullptr) {
+          throw EvalError("unknown relation '" + lit.atom.pred + "'");
+        }
+        const rel::JoinIndex* pidx =
+            pctx != nullptr && litPos < pctx->serialIndex.size()
+                ? pctx->serialIndex[litPos]
+                : nullptr;
+        ++litPos;
+        Range range = i == clampLit
+                          ? clamp
+                          : rangeFor(lit.atom.pred, deltaPos, i, deltaStart,
+                                     fullEnd, thisStratum, *table);
+        if (tracer != nullptr && tracer->options().fineSpans) {
+          obs::Span join(tracer, "join");
+          join.note("pred", lit.atom.pred);
+          joinLiteral(lit.atom, *table, range, slotOf, frames, bound, pidx);
+        } else {
+          joinLiteral(lit.atom, *table, range, slotOf, frames, bound, pidx);
+        }
       }
-      Range range = i == clampLit
-                        ? clamp
-                        : rangeFor(lit.atom.pred, deltaPos, i, deltaStart,
-                                   fullEnd, thisStratum, *table);
-      if (tracer != nullptr && tracer->options().fineSpans) {
-        obs::Span join(tracer, "join");
-        join.note("pred", lit.atom.pred);
-        joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
-      } else {
-        joinLiteral(lit.atom, *table, range, slotOf, frames, bound);
-      }
+    }
+    if (pctx != nullptr) {
+      planStats_.actualRows.fetch_add(frames.size(),
+                                      std::memory_order_relaxed);
     }
     // Explicit comparisons become condition atoms.
     for (const auto& cmp : rule.cmps) {
@@ -417,9 +557,11 @@ class FaureEvaluator {
       curRule_ = &ruleMetrics(ri);
       span = obs::Span(tracer_, ruleTag(ri));
     }
+    std::unique_ptr<PlanContext> pctx =
+        planFor(ri, rule, deltaPos, deltaStart, fullEnd, thisStratum);
     std::vector<Candidate> cands = collectCandidates(
         rule, deltaPos, deltaStart, fullEnd, thisStratum, SIZE_MAX, Range{},
-        tracer_);
+        tracer_, pctx.get());
     bool changed = false;
     rel::CTable& out = idbTable(rule.head.pred, rule.head.args.size());
     for (auto& c : cands) {
@@ -456,6 +598,9 @@ class FaureEvaluator {
     size_t clampLit = SIZE_MAX;
     std::vector<Range> chunks;
     std::vector<std::vector<Candidate>> results;  // parallel to chunks
+    // Physical plan, resolved (and its indexes ensured) on the engine
+    // thread at task-list construction; A1 workers only read it.
+    std::unique_ptr<PlanContext> plan;
   };
 
   /// Decides delta-partitioning for one task: split the scan of the
@@ -481,9 +626,10 @@ class FaureEvaluator {
                              fullEnd, thisStratum, *table);
       size_t n = range.hi - range.lo;
       if (n < kPartitionMinRows) return;
-      // 2x headroom for work stealing. Kept low because chunks re-build
-      // the keyed join index of *later* literals per chunk — more chunks
-      // trade balance for duplicated index construction.
+      // 2x headroom for work stealing. With planning on, chunks probe
+      // the relation's *persistent* JoinIndex (one build per key-set,
+      // shared by every chunk); only the plan=off baseline still pays a
+      // local index rebuild per chunk, so the chunk count stays modest.
       size_t want = threads_ * 2;
       size_t rows = std::max<size_t>(kPartitionMinRows / 4, (n + want - 1) / want);
       t.clampLit = i;
@@ -525,6 +671,7 @@ class FaureEvaluator {
         planPartition(t, rule, deltaStart, fullEnd, thisStratum);
         if (t.chunks.empty()) t.chunks.push_back(Range{});  // unpartitioned
         t.results.resize(t.chunks.size());
+        t.plan = planFor(ri, rule, pos, deltaStart, fullEnd, thisStratum);
         tasks.push_back(std::move(t));
       }
     }
@@ -540,7 +687,7 @@ class FaureEvaluator {
                           &thisStratum](size_t) {
             t.results[ci] = collectCandidates(
                 rule, t.deltaPos, deltaStart, fullEnd, thisStratum,
-                t.clampLit, t.chunks[ci], nullptr);
+                t.clampLit, t.chunks[ci], nullptr, t.plan.get());
           });
         }
       }
@@ -722,10 +869,16 @@ class FaureEvaluator {
     return smt::Formula::cmp(a, smt::CmpOp::Eq, b);
   }
 
+  /// `pidx` (planned, unreordered path) is the persistent index over
+  /// this literal's key columns: probing it enumerates exactly the rows
+  /// the local per-firing index would — same buckets, same ascending
+  /// order, filtered to `range` — without the O(range) rebuild. Null
+  /// keeps the pristine local-index path.
   void joinLiteral(const dl::Atom& atom, const rel::CTable& table,
                    Range range,
                    const std::unordered_map<std::string, size_t>& slotOf,
-                   std::vector<CFrame>& frames, std::vector<bool>& bound) {
+                   std::vector<CFrame>& frames, std::vector<bool>& bound,
+                   const rel::JoinIndex* pidx = nullptr) {
     struct Pos {
       size_t arg;
       enum Kind { Fixed, BoundVar, FreeVar } kind;
@@ -801,6 +954,46 @@ class FaureEvaluator {
       for (const auto& f : frames) {
         for (size_t r = range.lo; r < range.hi; ++r) extend(f, rows[r]);
       }
+    } else if (pidx != nullptr && pidx->keyArgs() == keyArgs &&
+               pidx->builtUpTo() >= range.hi) {
+      // Persistent-index probe. Bucket and wild lists are ascending, so
+      // restricting them to [lo, hi) by binary search enumerates the
+      // same rows, in the same order, as the local build below.
+      auto forRange = [&](const std::vector<size_t>& list, auto&& fn) {
+        auto first = std::lower_bound(list.begin(), list.end(), range.lo);
+        auto last = std::lower_bound(first, list.end(), range.hi);
+        for (auto it = first; it != last; ++it) fn(*it);
+      };
+      uint64_t probes = 0;
+      uint64_t hits = 0;
+      for (const auto& f : frames) {
+        bool probeWild = false;
+        size_t h = rel::JoinIndex::hashInit();
+        for (size_t a : keyArgs) {
+          const Pos& pos = positions[a];
+          const Value& v =
+              pos.kind == Pos::Fixed ? pos.value : f.vals[pos.slot];
+          if (v.isCVar()) {
+            probeWild = true;
+            break;
+          }
+          h = rel::JoinIndex::hashStep(h, v);
+        }
+        if (probeWild) {
+          for (size_t r = range.lo; r < range.hi; ++r) extend(f, rows[r]);
+          continue;
+        }
+        ++probes;
+        if (const std::vector<size_t>* bucket = pidx->bucket(h)) {
+          forRange(*bucket, [&](size_t r) {
+            ++hits;
+            extend(f, rows[r]);
+          });
+        }
+        forRange(pidx->wildRows(), [&](size_t r) { extend(f, rows[r]); });
+      }
+      planStats_.probes.fetch_add(probes, std::memory_order_relaxed);
+      planStats_.hits.fetch_add(hits, std::memory_order_relaxed);
     } else {
       // Rows with a c-variable in any key position match any probe; keep
       // them aside and hash the rest.
@@ -851,6 +1044,208 @@ class FaureEvaluator {
     }
     frames = std::move(out);
     bound = nowBound;
+  }
+
+  /// Reordered-plan enumeration. Three phases, together byte-identical
+  /// to the serial program-order join (DESIGN.md §11):
+  ///
+  ///  1. Enumerate row combinations in *plan* order, probing persistent
+  ///     indexes. Pruning is restricted to conditions that are provably
+  ///     serial-fatal: a constant-vs-constant mismatch on a probe column
+  ///     (the serial equality atom folds false), and the conjunction of
+  ///     the rows' own conditions folding false (Formula::conj's
+  ///     false-folding is subset-monotone — a complement pair among a
+  ///     subset of serial's conjuncts persists in the full set). Hash
+  ///     collisions with equal-looking buckets and wild rows are
+  ///     enumerated, never dropped: the combination set is a superset of
+  ///     the serial survivors.
+  ///  2. Replay each combination through the serial condition sequence
+  ///     — program order, the exact conj2/equality-atom chain of
+  ///     joinLiteral's extend — which filters the superset down to
+  ///     exactly the serial frame set with exactly the serial formulas.
+  ///  3. Sort by serial enumeration rank: per literal in program order,
+  ///     the row index, with bucket rows ordered before wild rows when
+  ///     the serial path would key that literal (serial enumerates its
+  ///     per-frame bucket ascending, then wild rows ascending).
+  ///     Lexicographic rank order equals serial frame order; ties are
+  ///     impossible (distinct row tuples).
+  ///
+  /// Step budget: one charge per row attempted in phase 1, none in the
+  /// replay — under a reordered plan the charge stream intentionally
+  /// tracks the *physical* work, so budget trip points may differ from
+  /// plan=off (results never do; the determinism matrix runs
+  /// unbudgeted).
+  std::vector<CFrame> plannedEnumerate(
+      const Rule& rule, const PlanContext& ctx, size_t deltaPos,
+      const std::unordered_map<std::string, size_t>& deltaStart,
+      const std::unordered_map<std::string, size_t>& fullEnd,
+      const std::set<std::string>& thisStratum, size_t clampLit,
+      Range clamp) {
+    const RuleShape& shape = *ctx.shape;
+    size_t nLits = shape.lits.size();
+
+    struct Combo {
+      std::vector<size_t> rows;  // by literal position, program order
+      smt::Formula acc;          // conjunction of the rows' conditions
+    };
+    std::vector<Combo> combos{
+        Combo{std::vector<size_t>(nLits, SIZE_MAX), smt::Formula::top()}};
+
+    uint64_t probes = 0;
+    uint64_t hits = 0;
+    auto forRange = [](const std::vector<size_t>& list, Range range,
+                      auto&& fn) {
+      auto first = std::lower_bound(list.begin(), list.end(), range.lo);
+      auto last = std::lower_bound(first, list.end(), range.hi);
+      for (auto it = first; it != last; ++it) fn(*it);
+    };
+
+    for (size_t step = 0; step < ctx.plan.order.size() && !combos.empty();
+         ++step) {
+      const PlannedLiteral& pl = ctx.plan.order[step];
+      const RuleShape::LitShape& ls = shape.lits[pl.lit];
+      const rel::CTable& table = *ctx.tables[pl.lit];
+      const auto& rows = table.rows();
+      const dl::Literal& lit = rule.body[ls.body];
+      Range range =
+          ls.body == clampLit
+              ? clamp
+              : rangeFor(lit.atom.pred, deltaPos, ls.body, deltaStart,
+                         fullEnd, thisStratum, table);
+      const rel::JoinIndex* idx = ctx.stepIndex[step];
+
+      std::vector<Combo> next;
+      std::vector<const Value*> probeVals(pl.probes.size());
+      for (const Combo& c : combos) {
+        bool wildProbe = pl.probes.empty();
+        for (size_t i = 0; i < pl.probes.size(); ++i) {
+          const PlannedProbe& p = pl.probes[i];
+          probeVals[i] =
+              p.fixed ? &p.fixedValue
+                      : &ctx.tables[p.srcLit]->rows()[c.rows[p.srcLit]]
+                             .vals[p.srcArg];
+          if (probeVals[i]->isCVar()) wildProbe = true;
+        }
+        auto tryRow = [&](size_t r) {
+          chargeSteps(1);
+          const rel::Row& row = rows[r];
+          for (size_t i = 0; i < pl.probes.size(); ++i) {
+            const Value& pv = *probeVals[i];
+            const Value& rv = row.vals[pl.probes[i].arg];
+            // Constant mismatch on a probe column: the serial equality
+            // atom folds false — provably serial-fatal, safe to drop.
+            if (pv.isConstant() && rv.isConstant() && !(pv == rv)) return;
+          }
+          smt::Formula acc = smt::Formula::conj2(c.acc, row.cond);
+          if (acc.isFalse()) return;  // subset-monotone: serial folds too
+          Combo nc;
+          nc.rows = c.rows;
+          nc.rows[pl.lit] = r;
+          nc.acc = std::move(acc);
+          next.push_back(std::move(nc));
+        };
+        if (wildProbe || idx == nullptr) {
+          for (size_t r = range.lo; r < range.hi; ++r) tryRow(r);
+        } else {
+          ++probes;
+          size_t h = rel::JoinIndex::hashInit();
+          for (const Value* v : probeVals) {
+            h = rel::JoinIndex::hashStep(h, *v);
+          }
+          if (const std::vector<size_t>* bucket = idx->bucket(h)) {
+            forRange(*bucket, range, [&](size_t r) {
+              ++hits;
+              tryRow(r);
+            });
+          }
+          forRange(idx->wildRows(), range, [&](size_t r) { tryRow(r); });
+        }
+      }
+      combos = std::move(next);
+    }
+    planStats_.probes.fetch_add(probes, std::memory_order_relaxed);
+    planStats_.hits.fetch_add(hits, std::memory_order_relaxed);
+
+    // Phase 2 + 3: serial replay, then canonical sort.
+    struct Built {
+      CFrame frame;
+      std::vector<uint64_t> rank;
+    };
+    std::vector<Built> built;
+    built.reserve(combos.size());
+    for (const Combo& c : combos) {
+      Built b;
+      b.frame =
+          CFrame{std::vector<Value>(shape.slotCount), smt::Formula::top()};
+      b.rank.reserve(nLits);
+      bool alive = true;
+      for (size_t lp = 0; lp < nLits && alive; ++lp) {
+        const RuleShape::LitShape& ls = shape.lits[lp];
+        const rel::Row& row = ctx.tables[lp]->rows()[c.rows[lp]];
+        // Rank before binding: serial keys this literal on values the
+        // frame holds *entering* the literal.
+        uint64_t rk = c.rows[lp];
+        if (!ls.serialKeyArgs.empty()) {
+          bool probeWild = false;
+          for (size_t a : ls.serialKeyArgs) {
+            const RuleShape::Arg& arg = ls.args[a];
+            const Value& v = arg.kind == RuleShape::Arg::Kind::Fixed
+                                 ? arg.value
+                                 : b.frame.vals[arg.slot];
+            if (v.isCVar()) {
+              probeWild = true;
+              break;
+            }
+          }
+          if (!probeWild) {
+            for (size_t a : ls.serialKeyArgs) {
+              if (row.vals[a].isCVar()) {
+                rk |= uint64_t{1} << 63;
+                break;
+              }
+            }
+          }
+        }
+        b.rank.push_back(rk);
+        // Serial extend replay: the exact conj2 sequence of joinLiteral.
+        smt::Formula cond = smt::Formula::conj2(b.frame.cond, row.cond);
+        if (cond.isFalse()) {
+          alive = false;
+          break;
+        }
+        for (size_t a = 0; a < ls.args.size() && alive; ++a) {
+          const RuleShape::Arg& arg = ls.args[a];
+          const Value& v = row.vals[a];
+          Value lhs;
+          switch (arg.kind) {
+            case RuleShape::Arg::Kind::Fixed:
+              lhs = arg.value;
+              break;
+            case RuleShape::Arg::Kind::BoundVar:
+              lhs = b.frame.vals[arg.slot];
+              break;
+            case RuleShape::Arg::Kind::FreeVar:
+              b.frame.vals[arg.slot] = v;
+              continue;
+          }
+          smt::Formula eq = matchValues(lhs, v);
+          if (eq.isFalse()) {
+            alive = false;
+            break;
+          }
+          cond = smt::Formula::conj2(cond, eq);
+          if (cond.isFalse()) alive = false;
+        }
+        if (alive) b.frame.cond = std::move(cond);
+      }
+      if (alive) built.push_back(std::move(b));
+    }
+    std::sort(built.begin(), built.end(),
+              [](const Built& a, const Built& b) { return a.rank < b.rank; });
+    std::vector<CFrame> frames;
+    frames.reserve(built.size());
+    for (Built& b : built) frames.push_back(std::move(b.frame));
+    return frames;
   }
 
   smt::Formula comparisonFormula(
@@ -1019,6 +1414,24 @@ class FaureEvaluator {
             .add(solverPool_->poisonedChecks());
       }
     }
+    // Join-planner totals (DESIGN.md §11). Physical like eval.par.*:
+    // which indexes get built and how many probes hit depends on the
+    // plan, and the whole point of the planner is to change physical
+    // work — the determinism gate normalizes eval.plan.* away.
+    if (planMode_ != PlanMode::Off) {
+      reg.counter("eval.plan.plans").add(planStats_.plans);
+      reg.counter("eval.plan.reorders").add(planStats_.reorders);
+      reg.counter("eval.plan.index_builds").add(planStats_.indexBuilds);
+      reg.counter("eval.plan.index_extensions")
+          .add(planStats_.indexExtensions);
+      reg.counter("eval.plan.probes")
+          .add(planStats_.probes.load(std::memory_order_relaxed));
+      reg.counter("eval.plan.hits")
+          .add(planStats_.hits.load(std::memory_order_relaxed));
+      reg.counter("eval.plan.est_rows").add(planStats_.estRows);
+      reg.counter("eval.plan.actual_rows")
+          .add(planStats_.actualRows.load(std::memory_order_relaxed));
+    }
     // Verdict-cache deltas for this evaluation. Physical like eval.par.*
     // — which lookup misses depends on scheduling (two lanes can miss
     // the same formula concurrently) — so the determinism gate
@@ -1061,6 +1474,25 @@ class FaureEvaluator {
   // evaluation's deltas.
   smt::VerdictCache* cache_ = nullptr;
   smt::VerdictCache::Stats cacheBefore_;
+
+  // Cost-based planning (plan.hpp, DESIGN.md §11). Shapes are static
+  // per rule; explained_ limits EXPLAIN output to one dump per (rule,
+  // delta position) per evaluation. Engine-thread counters are plain;
+  // probe/hit/actual-row counts accumulate on A1 workers and use
+  // relaxed atomics (totals only, no ordering dependency).
+  PlanMode planMode_ = PlanMode::Off;
+  std::vector<std::optional<RuleShape>> shapes_;
+  std::set<std::pair<size_t, size_t>> explained_;
+  struct PlanCounters {
+    uint64_t plans = 0;
+    uint64_t reorders = 0;
+    uint64_t indexBuilds = 0;
+    uint64_t indexExtensions = 0;
+    uint64_t estRows = 0;
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> actualRows{0};
+  } planStats_;
 };
 
 }  // namespace

@@ -22,6 +22,7 @@
 
 #include "datalog/analysis.hpp"
 #include "datalog/ast.hpp"
+#include "faurelog/plan.hpp"
 #include "obs/trace.hpp"
 #include "relational/database.hpp"
 #include "smt/solver.hpp"
@@ -85,6 +86,14 @@ struct EvalOptions {
   /// on N threads with a deterministic per-round merge — results and
   /// logical counters are bit-identical to a serial run.
   std::optional<unsigned> threads;
+  /// Cost-based join planning (faurelog/plan.hpp, DESIGN.md §11): Off
+  /// runs the pristine program-order join path; On reorders body
+  /// literals by estimated selectivity and probes persistent c-table
+  /// indexes (rel::JoinIndex), with results byte-identical to Off at
+  /// any thread count; Explain additionally dumps each chosen plan to
+  /// stderr. Unset (the default) consults the FAURE_PLAN environment
+  /// variable and falls back to On.
+  std::optional<PlanMode> plan;
   /// Fault tolerance (smt/supervised_solver.hpp, DESIGN.md §9): when set
   /// and enabled, the evaluation runs its checks through a
   /// SupervisedSolver wrapped around the caller's solver for the

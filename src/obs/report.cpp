@@ -1,5 +1,7 @@
 #include "obs/report.hpp"
 
+#include <cstdlib>
+
 #include "obs/json.hpp"
 
 namespace faure::obs {
@@ -100,6 +102,23 @@ std::string runReportJson(const Registry& metrics, const ReportMeta& meta) {
   w.key("spans").beginArray().endArray();
   w.key("events").beginArray().endArray();
   writeMetrics(w, metrics);
+  w.endObject();
+  return w.take();
+}
+
+std::string benchReportJson(const Tracer& tracer, const ReportMeta& meta) {
+  if (const char* full = std::getenv("FAURE_BENCH_FULL_SPANS");
+      full != nullptr && full[0] == '1') {
+    return runReportJson(tracer, meta);
+  }
+  json::Writer w;
+  w.beginObject();
+  writeMeta(w, meta);
+  w.member("wall_seconds", tracer.elapsedSeconds());
+  w.member("dropped_spans", tracer.droppedSpans());
+  w.key("spans").beginArray().endArray();
+  writeEvents(w, tracer.events());
+  writeMetrics(w, tracer.metrics());
   w.endObject();
   return w.take();
 }

@@ -38,4 +38,13 @@ std::string runReportJson(const Tracer& tracer, const ReportMeta& meta);
 /// Metrics-only variant for callers without a tracer (spans/events empty).
 std::string runReportJson(const Registry& metrics, const ReportMeta& meta);
 
+/// Bench-harness variant: the summary a committed BENCH_*.json wants —
+/// info, wall clock, events and the metrics snapshot, but no span tree
+/// (raw spans are by far the largest part of a bench report and carry
+/// per-epoch timing detail nobody diffs). FAURE_BENCH_FULL_SPANS=1
+/// switches back to the full runReportJson for interactive profiling.
+/// Everything tools/bench_check.py reads (metrics.gauges) is identical
+/// in both shapes.
+std::string benchReportJson(const Tracer& tracer, const ReportMeta& meta);
+
 }  // namespace faure::obs

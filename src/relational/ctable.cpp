@@ -11,6 +11,71 @@ size_t Schema::indexOf(std::string_view name) const {
   return it == byName_.end() ? SIZE_MAX : it->second;
 }
 
+void JoinIndex::extend(const std::vector<Row>& rows) {
+  for (size_t r = builtUpTo_; r < rows.size(); ++r) {
+    bool wild = false;
+    size_t h = hashInit();
+    for (size_t a : keyArgs_) {
+      const Value& v = rows[r].vals[a];
+      if (v.isCVar()) {
+        wild = true;
+        break;
+      }
+      h = hashStep(h, v);
+    }
+    if (wild) {
+      wild_.push_back(r);
+    } else {
+      buckets_[h].push_back(r);
+      ++indexedRows_;
+    }
+  }
+  builtUpTo_ = rows.size();
+}
+
+void JoinIndex::remap(const std::vector<size_t>& oldToNew) {
+  auto remapList = [&](std::vector<size_t>& list) {
+    size_t out = 0;
+    for (size_t r : list) {
+      size_t nr = r < oldToNew.size() ? oldToNew[r] : SIZE_MAX;
+      if (nr != SIZE_MAX) list[out++] = nr;
+    }
+    list.resize(out);
+  };
+  indexedRows_ = 0;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    remapList(it->second);
+    if (it->second.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      indexedRows_ += it->second.size();
+      ++it;
+    }
+  }
+  remapList(wild_);
+  size_t covered = 0;
+  for (size_t r = 0; r < builtUpTo_ && r < oldToNew.size(); ++r) {
+    covered += oldToNew[r] != SIZE_MAX;
+  }
+  builtUpTo_ = covered;
+}
+
+const JoinIndex& CTable::ensureJoinIndex(
+    const std::vector<size_t>& keyArgs) const {
+  auto it = joinIndexes_.find(keyArgs);
+  if (it == joinIndexes_.end()) {
+    it = joinIndexes_.emplace(keyArgs, JoinIndex(keyArgs)).first;
+  }
+  if (it->second.builtUpTo() < rows_.size()) it->second.extend(rows_);
+  return it->second;
+}
+
+const JoinIndex* CTable::findJoinIndex(
+    const std::vector<size_t>& keyArgs) const {
+  auto it = joinIndexes_.find(keyArgs);
+  return it == joinIndexes_.end() ? nullptr : &it->second;
+}
+
 void CTable::checkRow(const std::vector<Value>& vals) const {
   if (vals.size() != schema_.arity()) {
     throw EvalError("arity mismatch inserting into '" + schema_.name() +
@@ -97,6 +162,10 @@ void CTable::consolidate() {
   for (auto& row : rows_) {
     merged.insert(std::move(row.vals), std::move(row.cond));
   }
+  // The merge renumbers rows, so the move-assignment deliberately
+  // replaces joinIndexes_ with `merged`'s empty map: secondary indexes
+  // are dropped here and rebuilt lazily on next use. The no-rebuild
+  // path above keeps them (rows untouched).
   *this = std::move(merged);
 }
 
@@ -114,10 +183,15 @@ size_t CTable::pruneIf(const std::function<bool(const Row&)>& pred) {
   std::vector<Row> kept;
   kept.reserve(rows_.size());
   size_t removed = 0;
-  for (auto& row : rows_) {
+  // Survivor remap for the secondary indexes: monotone (row order is
+  // preserved), SIZE_MAX marks removal.
+  std::vector<size_t> oldToNew(rows_.size(), SIZE_MAX);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    Row& row = rows_[i];
     if (pred(row)) {
       ++removed;
     } else {
+      oldToNew[i] = kept.size();
       kept.push_back(std::move(row));
     }
   }
@@ -129,6 +203,7 @@ size_t CTable::pruneIf(const std::function<bool(const Row&)>& pred) {
   for (size_t i = 0; i < rows_.size(); ++i) {
     index_[hashValues(rows_[i].vals)].push_back(i);
   }
+  for (auto& [keys, jidx] : joinIndexes_) jidx.remap(oldToNew);
   return removed;
 }
 

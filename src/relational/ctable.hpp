@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -61,6 +62,69 @@ class Schema {
   std::string name_;
   std::vector<Attribute> attrs_;
   std::unordered_map<std::string, size_t, NameHash, std::equal_to<>> byName_;
+};
+
+struct Row;
+
+/// A persistent secondary index over one key-column set of a c-table
+/// (DESIGN.md §11). Rows whose key columns are all constants are hashed
+/// (FNV-1a over the column values, in key order) into buckets of
+/// ascending row indices; rows with a c-variable in any key column match
+/// every probe and are kept aside in an ascending `wildRows` list. The
+/// index is built lazily and extended by watermark: `builtUpTo` is the
+/// number of table rows covered, and extending only scans the new
+/// suffix — the append-only fixpoint loop pays O(new rows), not
+/// O(table) per firing.
+///
+/// Probes are *candidate* lookups: a bucket may contain hash collisions,
+/// so callers must re-check key values (the evaluator's per-position
+/// equality atoms do exactly that). Bucket and wild lists stay sorted
+/// ascending under every maintenance path, which is what lets the
+/// evaluator reproduce its serial enumeration order from an index probe.
+class JoinIndex {
+ public:
+  JoinIndex() = default;
+  explicit JoinIndex(std::vector<size_t> keyArgs)
+      : keyArgs_(std::move(keyArgs)) {}
+
+  // FNV-1a accumulation over key values — kept in one place so the
+  // evaluator's probe hashing and the index's row hashing cannot drift.
+  static size_t hashInit() { return 0xcbf29ce484222325ULL; }
+  static size_t hashStep(size_t h, const Value& v) {
+    return (h ^ v.hash()) * 1099511628211ULL;
+  }
+
+  const std::vector<size_t>& keyArgs() const { return keyArgs_; }
+  size_t builtUpTo() const { return builtUpTo_; }
+  size_t bucketCount() const { return buckets_.size(); }
+  size_t indexedRows() const { return indexedRows_; }
+  size_t wildCount() const { return wild_.size(); }
+
+  /// Rows hashing to `h` (ascending), or null when the bucket is empty.
+  const std::vector<size_t>* bucket(size_t h) const {
+    auto it = buckets_.find(h);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+  /// Rows with a c-variable in a key column (ascending).
+  const std::vector<size_t>& wildRows() const { return wild_; }
+
+  /// Covers rows [builtUpTo, rows.size()) — appends to buckets/wild in
+  /// ascending order. Called by CTable::ensureJoinIndex.
+  void extend(const std::vector<Row>& rows);
+
+  /// Row-compaction maintenance: `oldToNew[i]` is row i's new index, or
+  /// SIZE_MAX when row i was removed (the remap must be monotone over
+  /// survivors, which CTable::pruneIf guarantees). Bucket and wild lists
+  /// stay ascending; the watermark becomes the survivor count of the
+  /// covered prefix.
+  void remap(const std::vector<size_t>& oldToNew);
+
+ private:
+  std::vector<size_t> keyArgs_;
+  std::unordered_map<size_t, std::vector<size_t>> buckets_;
+  std::vector<size_t> wild_;
+  size_t indexedRows_ = 0;
+  size_t builtUpTo_ = 0;
 };
 
 /// One conditional tuple: the data part plus its condition.
@@ -134,6 +198,30 @@ class CTable {
   /// Collects all c-variables appearing in data parts or conditions.
   std::vector<CVarId> collectVars() const;
 
+  // ---- persistent join indexes (DESIGN.md §11) ----
+  //
+  // Secondary indexes are a by-value cache over rows(): they survive
+  // copies and moves (the incremental engine's epoch retention copies
+  // tables wholesale, carrying their indexes), are extended lazily by
+  // watermark under append/insert, remapped in place under pruneIf /
+  // eraseWithData, and dropped by a consolidating rebuild (the merge
+  // renumbers rows unpredictably; the next probe rebuilds). They never
+  // affect relation contents — every accessor is const.
+
+  /// The index keyed on `keyArgs` (attribute positions, ascending),
+  /// created on first use and extended to cover all current rows.
+  /// NOT thread-safe against concurrent CTable access: the evaluator
+  /// calls this only from its engine thread, before worker phases that
+  /// probe the returned (node-stable) reference.
+  const JoinIndex& ensureJoinIndex(const std::vector<size_t>& keyArgs) const;
+
+  /// The index keyed on `keyArgs` if it exists (possibly stale — check
+  /// builtUpTo()), else null. Never builds; safe for cost estimation.
+  const JoinIndex* findJoinIndex(const std::vector<size_t>& keyArgs) const;
+
+  /// Number of distinct key-sets currently indexed.
+  size_t joinIndexCount() const { return joinIndexes_.size(); }
+
   /// Multi-line rendering in the paper's layout: values then condition.
   std::string toString(const CVarRegistry* reg = nullptr) const;
 
@@ -144,6 +232,12 @@ class CTable {
   std::vector<Row> rows_;
   // data-part hash -> row indices (open chain), for O(1) merge on insert.
   std::unordered_map<size_t, std::vector<size_t>> index_;
+  // key-column set -> secondary index. Ordered map for deterministic
+  // iteration and node stability (worker threads hold JoinIndex
+  // references across a round while the engine thread may create other
+  // entries between rounds). Mutable: a cache over rows_, maintained
+  // from const accessors.
+  mutable std::map<std::vector<size_t>, JoinIndex> joinIndexes_;
 };
 
 }  // namespace faure::rel

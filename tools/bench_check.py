@@ -10,6 +10,12 @@ Two report families are understood (--family):
                `incremental[N].wall_seconds` (the full-recompute
                oracle) plus the `inc.` variant (delta propagation on),
                gated against bench/baseline_incremental.json.
+  join         BENCH_join.json from bench/join_planner:
+               `join[N].wall_seconds` (cost-based planning on) plus the
+               `noplan.` variant (pristine program-order joins), gated
+               against bench/baseline_join.json. A planner regression
+               shows up directly; a noplan-relative regression means
+               the speedup collapsed.
 
 Compares the fresh report against the committed baseline and fails
 when any measured wall time regressed beyond the tolerance. Because absolute seconds are
@@ -98,6 +104,12 @@ FAMILIES = {
         "variant": "inc",
         "example": "incremental[80].wall_seconds",
         "harness": "bench/whatif_incremental",
+    },
+    "join": {
+        "wall": re.compile(r"^join\[(\d+)\]\.(?:()(noplan)\.)?wall_seconds$"),
+        "variant": "noplan",
+        "example": "join[600].wall_seconds",
+        "harness": "bench/join_planner",
     },
 }
 

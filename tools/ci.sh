@@ -2,11 +2,12 @@
 # CI entry point: plain build + tests, an ASan/UBSan build running the
 # same suite, a TSan build with parallel evaluation forced on
 # (FAURE_THREADS=4), the seeded chaos suite, the incremental-evaluation
-# oracle gate (DESIGN.md §10), and the bench-regression gates against
-# the committed baselines. Mirrors .github/workflows/ci.yml so the jobs
-# can be reproduced locally with a single command. Set SKIP_TSAN=1 /
-# SKIP_ASAN=1 / SKIP_CHAOS=1 / SKIP_INCREMENTAL=1 / SKIP_BENCH_GATE=1
-# to drop a stage (e.g. TSan is slow on small boxes).
+# oracle gate (DESIGN.md §10), the join-planner transparency gate
+# (DESIGN.md §11), and the bench-regression gates against the committed
+# baselines. Mirrors .github/workflows/ci.yml so the jobs can be
+# reproduced locally with a single command. Set SKIP_TSAN=1 /
+# SKIP_ASAN=1 / SKIP_CHAOS=1 / SKIP_INCREMENTAL=1 / SKIP_PLAN=1 /
+# SKIP_BENCH_GATE=1 to drop a stage (e.g. TSan is slow on small boxes).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -68,6 +69,21 @@ if [[ "${SKIP_INCREMENTAL:-0}" != 1 ]]; then
   done
 fi
 
+if [[ "${SKIP_PLAN:-0}" != 1 ]]; then
+  echo "==> join-planner transparency gate (plan on/off byte-identity)"
+  # Cost-based planning is a physical layer only (DESIGN.md §11): the
+  # full determinism matrix, with a plan on/off sweep folded in, must
+  # stay byte-identical — for plain runs and across what-if epochs
+  # (persistent indexes are retained by the incremental engine).
+  python3 tools/determinism_check.py --faure build/tools/faure \
+    --threads 1,2,8 --plan \
+    data/figure1.fdb data/listing2.fl \
+    data/enterprise.fdb data/t2_constraint.fl
+  python3 tools/determinism_check.py --faure build/tools/faure \
+    --threads 1,2,8 --plan --edit-script data/whatif_edits.fl \
+    data/whatif_net.fdb data/whatif_reach.fl
+fi
+
 if [[ "${SKIP_BENCH_GATE:-0}" != 1 ]]; then
   echo "==> bench-regression gate (Table 4, serial + -j2)"
   (cd build && FAURE_TABLE4_SIZES=200,500 FAURE_TABLE4_THREADS=1,2 \
@@ -82,6 +98,12 @@ if [[ "${SKIP_BENCH_GATE:-0}" != 1 ]]; then
   python3 tools/bench_check.py --current build/BENCH_incremental.json \
     --baseline bench/baseline_incremental.json --family incremental \
     --tolerance 0.50 --diff-out build/bench_diff_incremental.json
+
+  echo "==> bench-regression gate (join planner)"
+  (cd build && FAURE_BENCH_JSON=BENCH_join.json ./bench/join_planner)
+  python3 tools/bench_check.py --current build/BENCH_join.json \
+    --baseline bench/baseline_join.json --family join \
+    --tolerance 0.50 --diff-out build/bench_diff_join.json
 fi
 
 echo "==> all green"

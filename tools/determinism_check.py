@@ -16,11 +16,14 @@ once per requested FAURE_THREADS value and fails if
     byte from the serial run, or the exit code differs, or
   * the logical counters of the run report differ. Physical metrics are
     normalized away first: `eval.par.*` (pool-side telemetry that only
-    exists in parallel runs), `solver.cache.*` (hit/miss traffic of the
-    verdict cache depends on which thread reaches a formula first), all
-    gauges/histograms (timings), span trees and wall clocks. Everything
-    logical — derivations, inserts, prunes, per-rule breakdowns,
-    solver.* checks/unsat/enumerations — must match exactly.
+    exists in parallel runs), `eval.plan.*` (join-planner telemetry —
+    when indexes are built/extended depends on scheduling, and the cost
+    estimates read those live index stats), `solver.cache.*` (hit/miss
+    traffic of the verdict cache depends on which thread reaches a
+    formula first), all gauges/histograms (timings), span trees and
+    wall clocks. Everything logical — derivations, inserts, prunes,
+    per-rule breakdowns, solver.* checks/unsat/enumerations — must
+    match exactly.
 
 Each (threads) variant is additionally run with the solver verdict
 cache disabled (FAURE_SOLVER_CACHE=0); cached and uncached runs must
@@ -75,11 +78,16 @@ import sys
 SECONDS = re.compile(r"\b(sql|solver|in) \d+\.\d+s|\b\d+\.\d+s\b")
 
 
-def run_cli(faure, args, threads, cache=True, chaos_seed=None):
+def run_cli(faure, args, threads, cache=True, chaos_seed=None, plan=None):
     env = dict(os.environ)
     env["FAURE_THREADS"] = str(threads)
     if not cache:
         env["FAURE_SOLVER_CACHE"] = "0"
+    # The plan sweep pins FAURE_PLAN per variant; an inherited value
+    # must not leak into the variants that rely on the CLI default.
+    env.pop("FAURE_PLAN", None)
+    if plan is not None:
+        env["FAURE_PLAN"] = plan
     # Fault-injection knobs would make charge clocks (and thus trip
     # points) schedule-dependent; determinism is only promised without
     # them (tests/faurelog/eval_budget_test.cpp pins those serial).
@@ -124,14 +132,14 @@ def normalize_report(text):
         name: value
         for name, value in report.get("metrics", {}).get("counters", {}).items()
         if not name.startswith(
-            ("eval.par.", "solver.cache.", "solver.supervise.",
-             "events.supervise.")
+            ("eval.par.", "eval.plan.", "solver.cache.",
+             "solver.supervise.", "events.supervise.")
         )
     }
     info = {
         key: value
         for key, value in report.get("info", {}).items()
-        if key not in ("threads", "supervision", "chaos_seed")
+        if key not in ("threads", "supervision", "chaos_seed", "plan")
     }
     # Events keep name + detail (budget trips and their machine-readable
     # reasons are part of the contract) but drop timestamps and span ids.
@@ -165,14 +173,20 @@ def diff(label, serial, other):
     return "".join(lines)
 
 
-def check_pair(faure, db, prog, thread_counts, chaos_seed=None):
+def check_pair(faure, db, prog, thread_counts, chaos_seed=None,
+               plan_sweep=False):
     # The baseline is serial + cache; every other (threads, cache)
     # combination must match it after normalization. Under --chaos-seed
     # the baseline additionally runs *without* injection while every
     # variant runs with it — so one sweep enforces both cross-thread
-    # determinism and the fault plan's output transparency.
-    variants = [(t, True) for t in thread_counts]
-    variants += [(t, False) for t in thread_counts]
+    # determinism and the fault plan's output transparency. Under --plan
+    # every (threads, cache) combination runs once with the join planner
+    # on and once with it off; the planner is a physical layer, so both
+    # must match the baseline byte for byte.
+    plans = ("on", "off") if plan_sweep else (None,)
+    variants = [
+        (t, c, p) for p in plans for c in (True, False) for t in thread_counts
+    ]
     failures = []
     for mode, args, normalize in (
         ("run --stats", [db, prog, "--stats"], normalize_stats),
@@ -183,11 +197,13 @@ def check_pair(faure, db, prog, thread_counts, chaos_seed=None):
             code, out = run_cli(faure, ["run"] + args, thread_counts[0])
             baseline = ("no-chaos baseline", code,
                         normalize(out) if normalize else out)
-        for threads, cache in variants:
+        for threads, cache, plan in variants:
             code, out = run_cli(faure, ["run"] + args, threads, cache,
-                                chaos_seed)
+                                chaos_seed, plan)
             view = normalize(out) if normalize else out
             label = f"threads={threads} cache={'on' if cache else 'off'}"
+            if plan is not None:
+                label += f" plan={plan}"
             if chaos_seed is not None:
                 label += f" chaos_seed={chaos_seed}"
             if baseline is None:
@@ -218,38 +234,48 @@ def inc_counters(report_text):
     }
 
 
-def check_whatif_pair(faure, db, prog, edits, thread_counts):
+def check_whatif_pair(faure, db, prog, edits, thread_counts,
+                      plan_sweep=False):
     """Oracle-contract sweep: every {mode, threads, cache} variant of
     `faure whatif` must print byte-identical epochs, and the metrics
-    reports must show the incremental mode actually skipping work."""
+    reports must show the incremental mode actually skipping work. With
+    plan_sweep the matrix additionally crosses FAURE_PLAN on/off — the
+    planner's persistent indexes survive across epochs, so this leg is
+    what proves their maintenance never changes an epoch's bytes."""
     failures = []
     args = [db, prog, edits]
+    plans = ("on", "off") if plan_sweep else (None,)
     baseline = None
     for mode_flag in ("--full-recompute", "--incremental"):
         for threads in thread_counts:
             for cache in (True, False):
-                code, out = run_cli(
-                    faure, ["whatif"] + args + [mode_flag], threads, cache
-                )
-                label = (
-                    f"{mode_flag} threads={threads} "
-                    f"cache={'on' if cache else 'off'}"
-                )
-                if baseline is None:
-                    baseline = (label, code, out)
-                    continue
-                base_label, base_code, base_out = baseline
-                if code != base_code:
-                    failures.append(
-                        f"{db} + {prog} + {edits} (whatif): exit "
-                        f"{base_code} at {base_label} but {code} at {label}"
+                for plan in plans:
+                    code, out = run_cli(
+                        faure, ["whatif"] + args + [mode_flag], threads,
+                        cache, None, plan
                     )
-                if out != base_out:
-                    failures.append(
-                        f"{db} + {prog} + {edits} (whatif): output "
-                        f"diverges at {label}\n"
-                        + diff(f"{prog} (whatif)", base_out, out)
+                    label = (
+                        f"{mode_flag} threads={threads} "
+                        f"cache={'on' if cache else 'off'}"
                     )
+                    if plan is not None:
+                        label += f" plan={plan}"
+                    if baseline is None:
+                        baseline = (label, code, out)
+                        continue
+                    base_label, base_code, base_out = baseline
+                    if code != base_code:
+                        failures.append(
+                            f"{db} + {prog} + {edits} (whatif): exit "
+                            f"{base_code} at {base_label} but {code} at "
+                            f"{label}"
+                        )
+                    if out != base_out:
+                        failures.append(
+                            f"{db} + {prog} + {edits} (whatif): output "
+                            f"diverges at {label}\n"
+                            + diff(f"{prog} (whatif)", base_out, out)
+                        )
 
     # Firings assertion (serial, cache on): eval.inc.* counters are
     # recorded in both modes, so the reports quantify the reuse.
@@ -322,6 +348,14 @@ def main():
         "incremental mode must re-fire strictly fewer rules",
     )
     parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="cross the matrix with FAURE_PLAN on/off: the cost-based "
+        "join planner (persistent indexes, literal reordering) must be "
+        "byte-invisible in the results at every thread count, in both "
+        "run and whatif modes",
+    )
+    parser.add_argument(
         "pairs",
         nargs="+",
         help="alternating database / program paths (db1 prog1 db2 prog2 ...)",
@@ -341,16 +375,20 @@ def main():
     chaos = (
         f" chaos_seed={opts.chaos_seed}" if opts.chaos_seed is not None else ""
     )
+    if opts.plan:
+        chaos += " x plan on/off"
     failures = []
     for i in range(0, len(opts.pairs), 2):
         db, prog = opts.pairs[i], opts.pairs[i + 1]
         if opts.edit_script is not None:
             pair_failures = check_whatif_pair(
-                opts.faure, db, prog, opts.edit_script, thread_counts
+                opts.faure, db, prog, opts.edit_script, thread_counts,
+                opts.plan
             )
         else:
             pair_failures = check_pair(
-                opts.faure, db, prog, thread_counts, opts.chaos_seed
+                opts.faure, db, prog, thread_counts, opts.chaos_seed,
+                opts.plan
             )
         failures += pair_failures
         status = "DIVERGED" if pair_failures else "identical"

@@ -22,6 +22,8 @@
 //   --simplify        semantically simplify result conditions
 //   --solver z3       use the Z3 backend (if built in)
 //   --stats           print evaluation + solver statistics
+//   --plan MODE       cost-based join planning: on | off | explain
+//                     (run and whatif; default FAURE_PLAN env, else on)
 //
 // Observability (run and check; see DESIGN.md "Observability"):
 //   --trace           human-readable span tree on stderr
@@ -104,11 +106,12 @@ int usage() {
       "usage:\n"
       "  faure run <db.fdb> <program.fl> [--relation NAME] [--simplify]\n"
       "            [--solver native|z3] [--stats] [--db-out FILE]\n"
-      "            [--threads N | -jN] [--solver-cache N]\n"
+      "            [--threads N | -jN] [--plan MODE] [--solver-cache N]\n"
       "            [observability options] [budget options]\n"
       "  faure whatif <db.fdb> <program.fl> <edits.fl> [--relation NAME]\n"
       "            [--incremental | --full-recompute] [--solver native|z3]\n"
-      "            [--stats] [--threads N | -jN] [--solver-cache N]\n"
+      "            [--stats] [--threads N | -jN] [--plan MODE]\n"
+      "            [--solver-cache N]\n"
       "            [observability options] [budget options]\n"
       "            (default mode: FAURE_INCREMENTAL env, on unless \"0\";\n"
       "             both modes print byte-identical epochs)\n"
@@ -120,6 +123,12 @@ int usage() {
       "  --threads N / -jN  evaluation threads; 0 = hardware concurrency.\n"
       "                     Default: FAURE_THREADS env, else serial.\n"
       "                     Results are identical for every N.\n"
+      "join planning (DESIGN.md \"Cost-based join planning\"):\n"
+      "  --plan MODE  on: reorder body literals by estimated selectivity\n"
+      "               and probe persistent c-table indexes; off: pristine\n"
+      "               program-order joins; explain: plan and dump each\n"
+      "               chosen plan to stderr. Default: FAURE_PLAN env,\n"
+      "               else on. Results are identical in every mode.\n"
       "solver verdict cache (DESIGN.md \"Condition performance\"):\n"
       "  --solver-cache N  memoized check()/implies() verdicts (LRU\n"
       "                    entries); 0 disables. Default: FAURE_SOLVER_CACHE\n"
@@ -201,6 +210,44 @@ bool parseSolverCacheFlag(int argc, char** argv, int& i, size_t& entries) {
     return false;
   }
   return true;
+}
+
+/// Parses `--plan MODE` / `--plan=MODE` (MODE: on|off|explain; the
+/// cost-based join planner, DESIGN.md §11) at argv[i], advancing i past
+/// any separate value; returns false when argv[i] is not the plan flag.
+bool parsePlanFlag(int argc, char** argv, int& i,
+                   std::optional<fl::PlanMode>& plan) {
+  const char* value = nullptr;
+  if (std::strncmp(argv[i], "--plan=", 7) == 0) {
+    value = argv[i] + 7;
+  } else if (std::strcmp(argv[i], "--plan") == 0) {
+    if (i + 1 >= argc) throw Error("missing value for --plan");
+    value = argv[++i];
+  } else {
+    return false;
+  }
+  if (std::strcmp(value, "off") == 0) {
+    plan = fl::PlanMode::Off;
+  } else if (std::strcmp(value, "on") == 0) {
+    plan = fl::PlanMode::On;
+  } else if (std::strcmp(value, "explain") == 0) {
+    plan = fl::PlanMode::Explain;
+  } else {
+    throw Error("--plan expects on, off or explain");
+  }
+  return true;
+}
+
+const char* planModeName(fl::PlanMode m) {
+  switch (m) {
+    case fl::PlanMode::Off:
+      return "off";
+    case fl::PlanMode::Explain:
+      return "explain";
+    case fl::PlanMode::On:
+      break;
+  }
+  return "on";
 }
 
 /// Parses one fault-tolerance flag at argv[i] (advancing i past its
@@ -403,6 +450,7 @@ int cmdRun(int argc, char** argv) {
   const char* dbOut = nullptr;
   bool simplify = false;
   std::optional<unsigned> threads;
+  std::optional<fl::PlanMode> plan;
   size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
   ObsFlags obsFlags;
   ResourceLimits limits = ResourceLimits::fromEnv();
@@ -417,6 +465,8 @@ int cmdRun(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--db-out") == 0 && i + 1 < argc) {
       dbOut = argv[++i];
     } else if (parseThreadsFlag(argc, argv, i, threads)) {
+      continue;
+    } else if (parsePlanFlag(argc, argv, i, plan)) {
       continue;
     } else if (parseSolverCacheFlag(argc, argv, i, cacheEntries)) {
       continue;
@@ -444,6 +494,7 @@ int cmdRun(int argc, char** argv) {
   fl::EvalOptions opts;
   opts.simplifyResults = simplify;
   opts.threads = threads;
+  opts.plan = plan;
   opts.tracer = tracer.get();
   if (guard.active()) {
     opts.guard = &guard;
@@ -489,6 +540,7 @@ int cmdRun(int argc, char** argv) {
     meta.add("program", argv[1]);
     meta.add("solver", solverName);
     meta.add("threads", std::to_string(fl::resolveThreads(opts)));
+    meta.add("plan", planModeName(fl::resolvePlanMode(opts.plan)));
     addSupervisionMeta(meta, sup);
     if (res.incomplete) meta.add("incomplete", res.degradeReason);
     exportObs(*tracer, obsFlags, meta);
@@ -523,6 +575,7 @@ int cmdWhatif(int argc, char** argv) {
   const char* relation = nullptr;
   const char* solverName = "native";
   std::optional<unsigned> threads;
+  std::optional<fl::PlanMode> plan;
   size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
   ObsFlags obsFlags;
   ResourceLimits limits = ResourceLimits::fromEnv();
@@ -538,6 +591,8 @@ int cmdWhatif(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--full-recompute") == 0) {
       mode = 0;
     } else if (parseThreadsFlag(argc, argv, i, threads)) {
+      continue;
+    } else if (parsePlanFlag(argc, argv, i, plan)) {
       continue;
     } else if (parseSolverCacheFlag(argc, argv, i, cacheEntries)) {
       continue;
@@ -565,6 +620,7 @@ int cmdWhatif(int argc, char** argv) {
   ResourceGuard guard(limits);
   fl::EvalOptions opts;
   opts.threads = threads;
+  opts.plan = plan;
   opts.tracer = tracer.get();
   if (guard.active()) {
     opts.guard = &guard;
@@ -638,6 +694,7 @@ int cmdWhatif(int argc, char** argv) {
     meta.add("edits", argv[2]);
     meta.add("solver", solverName);
     meta.add("threads", std::to_string(fl::resolveThreads(opts)));
+    meta.add("plan", planModeName(fl::resolvePlanMode(opts.plan)));
     meta.add("incremental", eng.incremental() ? "on" : "off");
     meta.add("epochs", std::to_string(epochsRun));
     addSupervisionMeta(meta, sup);
