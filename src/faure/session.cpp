@@ -109,6 +109,16 @@ fl::EvalResult Session::run(std::string_view programText) {
   return res;
 }
 
+fl::ScenarioSet Session::scenarios(std::string_view programText) {
+  dl::Program program = dl::parseProgram(programText, db_.cvars());
+  fl::ScenarioSetOptions sopts;
+  sopts.eval = opts_;
+  sopts.eval.tracer = tracer_;
+  sopts.limits = guard_.active() ? guard_.limits() : ResourceLimits{};
+  sopts.solverName = backend_ == Backend::Z3 ? "z3" : "native";
+  return fl::ScenarioSet(std::move(program), db_.clone(), std::move(sopts));
+}
+
 fl::EvalResult Session::watch(std::string_view programText) {
   dl::Program program = dl::parseProgram(programText, db_.cvars());
   fl::EvalOptions opts = opts_;

@@ -19,6 +19,7 @@
 
 #include "faurelog/eval.hpp"
 #include "faurelog/incremental.hpp"
+#include "faurelog/scenario.hpp"
 #include "smt/verdict_cache.hpp"
 #include "verify/verifier.hpp"
 
@@ -159,6 +160,16 @@ class Session {
 
   /// The active watch engine (stats, mode toggles), or null.
   fl::IncrementalEngine* incrementalEngine() { return inc_.get(); }
+
+  /// Forks the session state into a concurrent scenario service
+  /// (DESIGN.md §12): the returned ScenarioSet owns a deep copy of the
+  /// current database plus `programText` parsed against it, inherits
+  /// the session's evaluation defaults (options().threads becomes the
+  /// scenario fan-out width), tracer, backend choice and resource
+  /// limits (applied *per scenario*), and runs its own shared verdict
+  /// cache. The session itself is never touched by scenario evaluation,
+  /// so watches, runs and scenario batches compose freely.
+  fl::ScenarioSet scenarios(std::string_view programText);
 
   /// Category (i)/(ii) tests against this session's registry.
   verify::Verdict subsumed(const verify::Constraint& target,

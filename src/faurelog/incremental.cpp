@@ -190,6 +190,14 @@ void IncrementalEngine::apply(const Edit& edit) {
 
 void IncrementalEngine::invalidate() { state_.valid = false; }
 
+void IncrementalEngine::adoptState(const IncrementalState& state) {
+  state_.idb = state.idb;
+  state_.provenance = state.provenance;
+  state_.valid = state.valid;
+  // state_.bodyIndex stays as the constructor derived it: it is a
+  // property of the program, which adopt requires to be shared.
+}
+
 std::vector<char> IncrementalEngine::planStrata(
     const std::set<std::string>& affected) const {
   std::vector<char> run(strat_.ruleStrata.size(), 0);

@@ -128,6 +128,18 @@ class IncrementalEngine {
   /// Use after mutating the database outside the delta API.
   void invalidate();
 
+  /// Installs another engine's retained state (snapshot forking,
+  /// DESIGN.md §12): the adopted tables become this engine's "last
+  /// complete epoch", so the next reevaluate() reuses every stratum an
+  /// edit does not reach — without ever having run epoch 0 here. Both
+  /// engines must be built over the same program, and this engine's
+  /// database must currently equal the EDB the adopted state was
+  /// derived from (ScenarioSet guarantees both by construction: forks
+  /// clone the base database and share the base program). The delta
+  /// index is program-derived and kept; tables are copied, carrying
+  /// their persistent JoinIndexes.
+  void adoptState(const IncrementalState& state);
+
   const IncrementalState& state() const { return state_; }
   const IncStats& stats() const { return inc_; }
   /// Predicates edited since the last reevaluate().

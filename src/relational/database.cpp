@@ -4,6 +4,13 @@
 
 namespace faure::rel {
 
+Database Database::clone() const {
+  Database fork;
+  fork.cvars_ = cvars_;    // member-wise copy: CVarIds and domains survive
+  fork.tables_ = tables_;  // CTable copies carry their JoinIndexes
+  return fork;
+}
+
 CTable& Database::create(Schema schema) {
   std::string name = schema.name();
   auto [it, inserted] = tables_.emplace(name, CTable(std::move(schema)));

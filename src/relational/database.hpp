@@ -20,6 +20,14 @@ class Database {
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
+  /// Explicit deep copy for snapshot forking (scenario.hpp): the
+  /// registry copy preserves every CVarId and domain, table copies
+  /// carry their persistent JoinIndexes, and the shared-structure parts
+  /// of each row (interned formulas and symbols) stay shared. Forks are
+  /// fully independent for mutation — edits to a clone never touch the
+  /// original.
+  Database clone() const;
+
   CVarRegistry& cvars() { return cvars_; }
   const CVarRegistry& cvars() const { return cvars_; }
 

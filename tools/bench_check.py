@@ -111,6 +111,14 @@ FAMILIES = {
         "example": "join[600].wall_seconds",
         "harness": "bench/join_planner",
     },
+    "scenario": {
+        "wall": re.compile(
+            r"^scenario\[(\d+)\]\.(?:()(batch)\.)?wall_seconds$"
+        ),
+        "variant": "batch",
+        "example": "scenario[8].wall_seconds",
+        "harness": "bench/scenario_batch",
+    },
 }
 
 

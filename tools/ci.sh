@@ -1,25 +1,25 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + tests, an ASan/UBSan build running the
-# same suite, a TSan build with parallel evaluation forced on
-# (FAURE_THREADS=4), the seeded chaos suite, the incremental-evaluation
-# oracle gate (DESIGN.md §10), the join-planner transparency gate
-# (DESIGN.md §11), and the bench-regression gates against the committed
-# baselines. Mirrors .github/workflows/ci.yml so the jobs can be
-# reproduced locally with a single command. Set SKIP_TSAN=1 /
-# SKIP_ASAN=1 / SKIP_CHAOS=1 / SKIP_INCREMENTAL=1 / SKIP_PLAN=1 /
-# SKIP_BENCH_GATE=1 to drop a stage (e.g. TSan is slow on small boxes).
+# CI entry point. Stages mirror the jobs of .github/workflows/ci.yml
+# 1:1 — test, sanitize, tsan, chaos, serve, incremental, plan,
+# coverage, bench-gate — so every job can be reproduced locally with a
+# single command and "the serve stage failed" means the same thing in
+# both places. Set SKIP_ASAN=1 / SKIP_TSAN=1 / SKIP_CHAOS=1 /
+# SKIP_SERVE=1 / SKIP_INCREMENTAL=1 / SKIP_PLAN=1 / SKIP_BENCH_GATE=1
+# to drop a stage (e.g. TSan is slow on small boxes). The coverage
+# stage is the one exception: it defaults to *skipped* locally
+# (gcovr + a Debug rebuild); opt in with RUN_COVERAGE=1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 
-echo "==> plain build"
+echo "==> test (plain build + full suite)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "${SKIP_ASAN:-0}" != 1 ]]; then
-  echo "==> sanitizer build (address;undefined)"
+  echo "==> sanitize (address;undefined)"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     "-DFAURE_SANITIZE=address;undefined"
   cmake --build build-asan -j "$JOBS"
@@ -28,7 +28,7 @@ if [[ "${SKIP_ASAN:-0}" != 1 ]]; then
 fi
 
 if [[ "${SKIP_TSAN:-0}" != 1 ]]; then
-  echo "==> sanitizer build (thread), parallel evaluation forced"
+  echo "==> tsan (thread sanitizer, parallel evaluation forced)"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFAURE_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
@@ -37,7 +37,7 @@ if [[ "${SKIP_TSAN:-0}" != 1 ]]; then
 fi
 
 if [[ "${SKIP_CHAOS:-0}" != 1 ]]; then
-  echo "==> chaos suite (seeded solver fault injection, DESIGN.md §9)"
+  echo "==> chaos (seeded solver fault injection, DESIGN.md §9)"
   # FAURE_CHAOS_SEED activates supervision + failover everywhere the
   # environment path reaches (Session construction and the CLI): the
   # primary solver backend suffers deterministic crashes / timeouts /
@@ -48,7 +48,9 @@ if [[ "${SKIP_CHAOS:-0}" != 1 ]]; then
   #   1         smallest interesting seed (fault-dense schedule)
   #   20260807  date-stamped seed used by cli_chaos_* tests and docs
   #   64206     0xFACE — historical third opinion
-  # Keep this list in sync with .github/workflows/ci.yml (chaos job).
+  # Keep this list in sync with .github/workflows/ci.yml (chaos job);
+  # .github/workflows/nightly.yml additionally sweeps a fresh
+  # date-derived seed every night.
   for seed in 1 20260807 64206; do
     echo "==> chaos seed ${seed} (FAURE_THREADS=4)"
     FAURE_CHAOS_SEED=$seed FAURE_THREADS=4 \
@@ -56,8 +58,21 @@ if [[ "${SKIP_CHAOS:-0}" != 1 ]]; then
   done
 fi
 
+if [[ "${SKIP_SERVE:-0}" != 1 ]]; then
+  echo "==> serve (scenario service smoke + byte-identity gate)"
+  # The batch front-end, the stdin line protocol, and the unix-socket
+  # server (DESIGN.md §12), then the scenario gate: batch and serve
+  # frames byte-identical to single-scenario whatif runs at fan-out
+  # widths {1,2,8} x cache on/off. CI runs this stage under ASan; the
+  # plain build keeps the local loop fast.
+  python3 tools/serve_smoke.py --faure build/tools/faure
+  python3 tools/determinism_check.py --faure build/tools/faure \
+    --threads 1,2,8 --scenarios data/whatif_scenarios.fl \
+    data/whatif_net.fdb data/whatif_reach.fl
+fi
+
 if [[ "${SKIP_INCREMENTAL:-0}" != 1 ]]; then
-  echo "==> incremental oracle gate (whatif byte-identity + reuse)"
+  echo "==> incremental (whatif oracle byte-identity + reuse)"
   # The oracle contract: every {mode, threads, cache} whatif variant
   # prints byte-identical epochs, and the incremental mode re-fires
   # strictly fewer rules (keep the script list in sync with ci.yml's
@@ -70,7 +85,7 @@ if [[ "${SKIP_INCREMENTAL:-0}" != 1 ]]; then
 fi
 
 if [[ "${SKIP_PLAN:-0}" != 1 ]]; then
-  echo "==> join-planner transparency gate (plan on/off byte-identity)"
+  echo "==> plan (join-planner transparency, plan on/off byte-identity)"
   # Cost-based planning is a physical layer only (DESIGN.md §11): the
   # full determinism matrix, with a plan on/off sweep folded in, must
   # stay byte-identical — for plain runs and across what-if epochs
@@ -84,26 +99,41 @@ if [[ "${SKIP_PLAN:-0}" != 1 ]]; then
     data/whatif_net.fdb data/whatif_reach.fl
 fi
 
+if [[ "${RUN_COVERAGE:-0}" == 1 ]]; then
+  echo "==> coverage (gcovr line floor, Debug instrumented build)"
+  cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DFAURE_COVERAGE=ON
+  cmake --build build-cov -j "$JOBS"
+  ctest --test-dir build-cov --output-on-failure -j "$JOBS"
+  gcovr --root . --filter 'src/' --object-directory build-cov \
+    --exclude-throw-branches --print-summary --fail-under-line 88
+fi
+
 if [[ "${SKIP_BENCH_GATE:-0}" != 1 ]]; then
-  echo "==> bench-regression gate (Table 4, serial + -j2)"
+  echo "==> bench-gate (Table 4, serial + -j2)"
   (cd build && FAURE_TABLE4_SIZES=200,500 FAURE_TABLE4_THREADS=1,2 \
     FAURE_BENCH_JSON=BENCH_table4_gate.json ./bench/table4_reachability)
   python3 tools/bench_check.py --current build/BENCH_table4_gate.json \
     --baseline bench/baseline_table4.json --tolerance 0.30 \
     --diff-out build/bench_diff.json
 
-  echo "==> bench-regression gate (incremental what-if)"
+  echo "==> bench-gate (incremental what-if)"
   (cd build && FAURE_BENCH_JSON=BENCH_incremental.json \
     ./bench/whatif_incremental)
   python3 tools/bench_check.py --current build/BENCH_incremental.json \
     --baseline bench/baseline_incremental.json --family incremental \
     --tolerance 0.50 --diff-out build/bench_diff_incremental.json
 
-  echo "==> bench-regression gate (join planner)"
+  echo "==> bench-gate (join planner)"
   (cd build && FAURE_BENCH_JSON=BENCH_join.json ./bench/join_planner)
   python3 tools/bench_check.py --current build/BENCH_join.json \
     --baseline bench/baseline_join.json --family join \
     --tolerance 0.50 --diff-out build/bench_diff_join.json
+
+  echo "==> bench-gate (scenario batch)"
+  (cd build && FAURE_BENCH_JSON=BENCH_scenario.json ./bench/scenario_batch)
+  python3 tools/bench_check.py --current build/BENCH_scenario.json \
+    --baseline bench/baseline_scenario.json --family scenario \
+    --tolerance 0.50 --diff-out build/bench_diff_scenario.json
 fi
 
 echo "==> all green"

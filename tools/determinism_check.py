@@ -56,9 +56,23 @@ reused verbatim. --edit-script and --chaos-seed are mutually
 exclusive — chaos failover is supervised-run telemetry, while the
 oracle contract is about retained-state reuse.
 
+With --scenarios FILE the gate targets the concurrent scenario engine
+(DESIGN.md §12): the baseline is N single-scenario `faure whatif` runs,
+one per `---`-delimited block of FILE (serial, cache on, defaults), and
+every {--incremental, --full-recompute} x threads x cache (x plan with
+--plan) variant of `faure whatif --scenarios FILE` must reproduce each
+block's stdout byte for byte (and its exit code) inside its
+`=== scenario I: exit E ===` frame — the fan-out width (FAURE_THREADS)
+must be invisible in the bytes. One `faure serve` round-trip (EVAL/GO/
+QUIT over stdin at the widest thread count) must answer the same bytes
+through RESULT frames. --scenarios composes with --chaos-seed: the
+batch then runs under seeded fault injection while the baselines stay
+chaos-free, extending the supervision transparency contract to the
+scenario service.
+
 Usage:
     determinism_check.py --faure build/tools/faure [--threads 1,2,8] \
-        [--chaos-seed N | --edit-script edits.fl] \
+        [--chaos-seed N | --edit-script edits.fl] [--scenarios FILE] \
         db1.fdb prog1.fl [db2.fdb prog2.fl ...]
 
 Exit status: 0 when every pair is deterministic, 1 otherwise (with a
@@ -323,6 +337,188 @@ def check_whatif_pair(faure, db, prog, edits, thread_counts,
     return failures
 
 
+def split_scenarios(path):
+    """One block per `---` delimiter line; mirrors fl::parseScenarioFile
+    (src/faurelog/scenario.cpp): a leading or trailing whitespace-only
+    block is dropped, interior empty blocks are epoch-0-only scenarios."""
+    with open(path) as fh:
+        text = fh.read()
+    blocks, cur = [], []
+    for line in text.splitlines(keepends=True):
+        if line.strip() == "---":
+            blocks.append("".join(cur))
+            cur = []
+        else:
+            cur.append(line)
+    blocks.append("".join(cur))
+    if blocks and not blocks[0].strip():
+        blocks = blocks[1:]
+    if blocks and not blocks[-1].strip():
+        blocks = blocks[:-1]
+    return blocks
+
+
+FRAME = re.compile(r"^=== scenario (\S+): exit (\d+) ===$")
+
+
+def parse_batch_frames(stdout):
+    """-> [(id, exit, body)] from `whatif --scenarios` framed output."""
+    frames, cur, body = [], None, []
+    for line in stdout.splitlines(keepends=True):
+        m = FRAME.match(line.rstrip("\n"))
+        if m:
+            if cur is not None:
+                frames.append((cur[0], cur[1], "".join(body)))
+            cur, body = (m.group(1), int(m.group(2))), []
+        elif cur is not None:
+            body.append(line)
+    if cur is not None:
+        frames.append((cur[0], cur[1], "".join(body)))
+    return frames
+
+
+def run_serve(faure, db, prog, blocks, threads, chaos_seed=None):
+    """Pipes an EVAL/GO/QUIT conversation through `faure serve` on
+    stdin/stdout; -> [(id, exit, body)] parsed from the RESULT frames."""
+    lines = []
+    for i, block in enumerate(blocks):
+        # The wire format translates ';' back into newlines, so comment
+        # lines (which may themselves contain ';') cannot ride along.
+        script = ";".join(
+            ln for ln in block.splitlines()
+            if ln.strip() and not ln.lstrip().startswith("%")
+        )
+        lines.append(f"EVAL {i + 1} {script}")
+    lines += ["GO", "QUIT", ""]
+    env = dict(os.environ)
+    env["FAURE_THREADS"] = str(threads)
+    for knob in ("FAURE_CHAOS_SEED", "FAURE_RETRIES",
+                 "FAURE_SOLVER_TIMEOUT_MS", "FAURE_FAILOVER",
+                 "FAURE_INCREMENTAL", "FAURE_PLAN", "FAURE_FAIL_AFTER"):
+        env.pop(knob, None)
+    if chaos_seed is not None:
+        env["FAURE_CHAOS_SEED"] = str(chaos_seed)
+    proc = subprocess.run(
+        [faure, "serve", db, prog],
+        input="\n".join(lines).encode(),
+        env=env, capture_output=True, timeout=600,
+    )
+    out = proc.stdout
+    if proc.returncode != 0 or not out.startswith(b"READY\n"):
+        raise RuntimeError(
+            f"serve exited {proc.returncode}; stdout head "
+            f"{out[:80]!r}, stderr {proc.stderr[:200]!r}"
+        )
+    pos = len(b"READY\n")
+    results = []
+    header = re.compile(rb"^RESULT (\S+) (\d+) (\d+)(?: [^\n]*)?\n")
+    while pos < len(out):
+        m = header.match(out[pos:])
+        if m is None:
+            raise RuntimeError(f"unparseable serve frame at {out[pos:pos+60]!r}")
+        nbytes = int(m.group(3))
+        pos += m.end()
+        results.append(
+            (m.group(1).decode(), int(m.group(2)),
+             out[pos:pos + nbytes].decode())
+        )
+        pos += nbytes
+    return results
+
+
+def check_scenarios_pair(faure, db, prog, scenarios, thread_counts,
+                         chaos_seed=None, plan_sweep=False):
+    """Scenario-service sweep (DESIGN.md §12): batch and serve output
+    must be byte-identical to N single-scenario whatif runs at every
+    fan-out width, mode, cache and plan setting — and, with chaos_seed,
+    under seeded fault injection against chaos-free baselines."""
+    failures = []
+    blocks = split_scenarios(scenarios)
+    if not blocks:
+        return [f"{scenarios}: no scenario blocks found"]
+
+    # Baseline: one single-scenario whatif run per block — serial,
+    # cache on, CLI defaults, never under chaos.
+    singles = []
+    for i, block in enumerate(blocks):
+        # PID-qualified so concurrent checkers (e.g. two ctest trees
+        # sharing one source checkout) never collide on the temp file.
+        tmp = f"{scenarios}.tmp_scenario_{os.getpid()}_{i + 1}"
+        with open(tmp, "w") as fh:
+            fh.write(block)
+        try:
+            code, out = run_cli(faure, ["whatif", db, prog, tmp],
+                                thread_counts[0])
+        finally:
+            os.unlink(tmp)
+        singles.append((code, out))
+    agg = (1 if any(c == 1 for c, _ in singles)
+           else 2 if any(c == 2 for c, _ in singles) else 0)
+
+    def compare(frames, label, batch_code=None):
+        if len(frames) != len(singles):
+            failures.append(
+                f"{db} + {prog} + {scenarios} ({label}): {len(frames)} "
+                f"frames for {len(singles)} scenarios"
+            )
+            return
+        if batch_code is not None and batch_code != agg:
+            failures.append(
+                f"{db} + {prog} + {scenarios} ({label}): process exit "
+                f"{batch_code}, expected aggregate {agg}"
+            )
+        for i, ((sid, ex, body), (scode, sout)) in enumerate(
+                zip(frames, singles)):
+            if sid != str(i + 1):
+                failures.append(
+                    f"{db} + {prog} + {scenarios} ({label}): frame {i} "
+                    f"carries id {sid!r}, expected {i + 1}"
+                )
+            if ex != scode:
+                failures.append(
+                    f"{db} + {prog} + {scenarios} ({label}): scenario "
+                    f"{i + 1} exit {ex}, single run exits {scode}"
+                )
+            if body != sout:
+                failures.append(
+                    f"{db} + {prog} + {scenarios} ({label}): scenario "
+                    f"{i + 1} output diverges from its single run\n"
+                    + diff(f"scenario {i + 1}", sout, body)
+                )
+
+    plans = ("on", "off") if plan_sweep else (None,)
+    for mode_flag in ("--full-recompute", "--incremental"):
+        for threads in thread_counts:
+            for cache in (True, False):
+                for plan in plans:
+                    code, out = run_cli(
+                        faure,
+                        ["whatif", db, prog, "--scenarios", scenarios,
+                         mode_flag],
+                        threads, cache, chaos_seed, plan,
+                    )
+                    label = (
+                        f"batch {mode_flag} threads={threads} "
+                        f"cache={'on' if cache else 'off'}"
+                    )
+                    if plan is not None:
+                        label += f" plan={plan}"
+                    if chaos_seed is not None:
+                        label += f" chaos_seed={chaos_seed}"
+                    compare(parse_batch_frames(out), label, code)
+
+    # Serve round-trip at the widest fan-out: the line protocol must
+    # answer the same bytes the batch (and hence each single run) prints.
+    try:
+        frames = run_serve(faure, db, prog, blocks, thread_counts[-1],
+                           chaos_seed)
+    except RuntimeError as e:
+        failures.append(f"{db} + {prog} + {scenarios} (serve): {e}")
+    else:
+        compare(frames, f"serve threads={thread_counts[-1]}")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--faure", required=True, help="path to the faure CLI")
@@ -348,6 +544,15 @@ def main():
         "incremental mode must re-fire strictly fewer rules",
     )
     parser.add_argument(
+        "--scenarios",
+        default=None,
+        metavar="FILE",
+        help="gate the concurrent scenario engine with this ---"
+        "-delimited scenarios file: `whatif --scenarios` batches and a "
+        "`serve` round-trip must be byte-identical, scenario by "
+        "scenario, to N single whatif runs across the whole matrix",
+    )
+    parser.add_argument(
         "--plan",
         action="store_true",
         help="cross the matrix with FAURE_PLAN on/off: the cost-based "
@@ -368,6 +573,11 @@ def main():
             "--edit-script and --chaos-seed are mutually exclusive "
             "(see module doc)"
         )
+    if opts.edit_script is not None and opts.scenarios is not None:
+        parser.error(
+            "--edit-script and --scenarios are mutually exclusive "
+            "(each selects a different whatif gate)"
+        )
     thread_counts = [int(t) for t in opts.threads.split(",") if t]
     if len(thread_counts) < 2:
         parser.error("need at least two thread counts to compare")
@@ -380,7 +590,12 @@ def main():
     failures = []
     for i in range(0, len(opts.pairs), 2):
         db, prog = opts.pairs[i], opts.pairs[i + 1]
-        if opts.edit_script is not None:
+        if opts.scenarios is not None:
+            pair_failures = check_scenarios_pair(
+                opts.faure, db, prog, opts.scenarios, thread_counts,
+                opts.chaos_seed, opts.plan
+            )
+        elif opts.edit_script is not None:
             pair_failures = check_whatif_pair(
                 opts.faure, db, prog, opts.edit_script, thread_counts,
                 opts.plan
@@ -392,11 +607,12 @@ def main():
             )
         failures += pair_failures
         status = "DIVERGED" if pair_failures else "identical"
-        tag = (
-            f" + {os.path.basename(opts.edit_script)}"
-            if opts.edit_script is not None
-            else ""
-        )
+        if opts.scenarios is not None:
+            tag = f" + {os.path.basename(opts.scenarios)}"
+        elif opts.edit_script is not None:
+            tag = f" + {os.path.basename(opts.edit_script)}"
+        else:
+            tag = ""
         print(
             f"{os.path.basename(db)} + {os.path.basename(prog)}{tag}: "
             f"threads {opts.threads}{chaos} -> {status}"
@@ -405,7 +621,12 @@ def main():
     if failures:
         print("\n".join(failures), file=sys.stderr)
         return 1
-    if opts.edit_script is not None:
+    if opts.scenarios is not None:
+        print(
+            f"scenario determinism holds across threads {opts.threads}"
+            f"{chaos} (batch + serve vs single-scenario runs)"
+        )
+    elif opts.edit_script is not None:
         print(
             f"incremental determinism holds across threads {opts.threads}"
         )

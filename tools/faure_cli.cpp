@@ -6,6 +6,10 @@
 //                                               evaluate, then replay a
 //                                               +Fact/-Fact edit script
 //                                               incrementally (§10)
+//   faure serve <db.fdb> <program.fl>           concurrent scenario
+//                                               service (§12): EVAL/GO
+//                                               line protocol on stdin
+//                                               or a unix socket
 //   faure check <db.fdb> <constraint.fl>        state-level constraint
 //                                               verdict (§5 level iii)
 //   faure worlds <db.fdb> [cap]                 enumerate possible worlds
@@ -16,6 +20,19 @@
 // incremental engine re-fires only strata affected by each edit;
 // FAURE_INCREMENTAL=0 or --full-recompute selects the full-recompute
 // oracle, whose output is byte-identical (DESIGN.md §10).
+//
+// `whatif --scenarios FILE` evaluates N independent edit scripts (one
+// per `---`-delimited block of FILE) concurrently against one shared
+// base snapshot (DESIGN.md §12), printing each scenario's epochs —
+// byte-identical to N single whatif runs — under
+// `=== scenario I: exit E ===` frames in input order. `serve` exposes
+// the same engine as a long-lived service: `EVAL <id> <script>` queues
+// a scenario (`;` separates edits), an empty line or `GO` evaluates
+// the queued batch concurrently and answers
+// `RESULT <id> <exit> <nbytes> [reason]` + nbytes payload per request
+// in queue order, `PING` answers `PONG`, `QUIT`/EOF drains the queue
+// and closes, `SHUTDOWN` additionally stops a socket server
+// (--socket PATH listens on a unix socket instead of stdin/stdout).
 //
 // Options for `run`:
 //   --relation NAME   print only this derived relation
@@ -67,6 +84,11 @@
 //
 // Database files use the textio format (see src/faurelog/textio.hpp);
 // programs are fauré-log text (see src/datalog/lexer.hpp).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +98,7 @@
 #include "datalog/parser.hpp"
 #include "faurelog/eval.hpp"
 #include "faurelog/incremental.hpp"
+#include "faurelog/scenario.hpp"
 #include "faurelog/textio.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -115,6 +138,14 @@ int usage() {
       "            [observability options] [budget options]\n"
       "            (default mode: FAURE_INCREMENTAL env, on unless \"0\";\n"
       "             both modes print byte-identical epochs)\n"
+      "  faure whatif <db.fdb> <program.fl> --scenarios FILE [...]\n"
+      "            evaluate one scenario per ----delimited block of FILE\n"
+      "            concurrently against a shared base snapshot; -jN sets\n"
+      "            the fan-out width, output is byte-identical to N\n"
+      "            single whatif runs (framed per scenario, input order)\n"
+      "  faure serve <db.fdb> <program.fl> [--socket PATH] [whatif flags]\n"
+      "            scenario service: EVAL/GO/PING/QUIT/SHUTDOWN line\n"
+      "            protocol on stdin/stdout, or on a unix socket\n"
       "  faure check <db.fdb> <constraint.fl> [--stats] [--solver-cache N]\n"
       "            [observability options] [budget options]\n"
       "  faure worlds <db.fdb> [cap]\n"
@@ -570,7 +601,17 @@ void printIncStats(const fl::IncStats& inc) {
       static_cast<unsigned long long>(inc.deltaRetracts));
 }
 
+int cmdWhatifBatch(int argc, char** argv);
+
 int cmdWhatif(int argc, char** argv) {
+  // `--scenarios FILE` anywhere switches to batch mode: no positional
+  // edit script, one scenario per `---`-delimited block of FILE.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenarios") == 0 ||
+        std::strncmp(argv[i], "--scenarios=", 12) == 0) {
+      return cmdWhatifBatch(argc, argv);
+    }
+  }
   if (argc < 3) return usage();
   const char* relation = nullptr;
   const char* solverName = "native";
@@ -711,6 +752,287 @@ int cmdWhatif(int argc, char** argv) {
   return exitCode;
 }
 
+/// Flags shared by `whatif --scenarios` and `serve` (the scenario
+/// engine takes the same knobs as single-scenario whatif).
+struct ScenarioCliFlags {
+  const char* relation = nullptr;
+  const char* solverName = "native";
+  std::optional<unsigned> threads;
+  std::optional<fl::PlanMode> plan;
+  size_t cacheEntries = smt::VerdictCache::capacityFromEnv();
+  ObsFlags obs;
+  ResourceLimits limits = ResourceLimits::fromEnv();
+  smt::SupervisionOptions sup = smt::SupervisionOptions::fromEnv();
+  int mode = -1;  // -1: FAURE_INCREMENTAL env; 0: oracle; 1: incremental
+};
+
+bool parseScenarioCommonFlag(int argc, char** argv, int& i,
+                             ScenarioCliFlags& f) {
+  if (std::strcmp(argv[i], "--relation") == 0 && i + 1 < argc) {
+    f.relation = argv[++i];
+  } else if (std::strcmp(argv[i], "--solver") == 0 && i + 1 < argc) {
+    f.solverName = argv[++i];
+  } else if (std::strcmp(argv[i], "--incremental") == 0) {
+    f.mode = 1;
+  } else if (std::strcmp(argv[i], "--full-recompute") == 0) {
+    f.mode = 0;
+  } else if (parseThreadsFlag(argc, argv, i, f.threads)) {
+  } else if (parsePlanFlag(argc, argv, i, f.plan)) {
+  } else if (parseSolverCacheFlag(argc, argv, i, f.cacheEntries)) {
+  } else if (parseObsFlag(argv[i], f.obs)) {
+  } else if (parseBudgetFlag(argc, argv, i, f.limits)) {
+  } else if (parseSupervisionFlag(argc, argv, i, f.sup)) {
+  } else {
+    return false;
+  }
+  return true;
+}
+
+fl::ScenarioSetOptions buildScenarioOptions(const ScenarioCliFlags& f,
+                                            obs::Tracer* tracer) {
+  fl::ScenarioSetOptions sopts;
+  sopts.eval.threads = f.threads;  // reinterpreted as the fan-out width
+  sopts.eval.plan = f.plan;
+  sopts.eval.tracer = tracer;
+  sopts.limits = f.limits;
+  sopts.supervision = f.sup;
+  sopts.mode = f.mode;
+  if (f.relation != nullptr) sopts.relation = f.relation;
+  sopts.cacheEntries = f.cacheEntries;
+  sopts.solverName = f.solverName;
+  return sopts;
+}
+
+void printServeStats(const obs::MetricsSnapshot& snap) {
+  std::printf(
+      "serve: %llu scenarios, %llu epochs, %llu degraded, %llu errors\n",
+      static_cast<unsigned long long>(snap.counter("serve.scenarios")),
+      static_cast<unsigned long long>(snap.counter("serve.epochs")),
+      static_cast<unsigned long long>(snap.counter("serve.degraded")),
+      static_cast<unsigned long long>(snap.counter("serve.errors")));
+}
+
+/// `faure whatif <db> <prog> --scenarios FILE`: batch front end over
+/// fl::ScenarioSet. Exit code aggregates the per-scenario contract:
+/// 1 if any scenario hard-errored, else 2 if any degraded, else 0.
+int cmdWhatifBatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* scenariosFile = nullptr;
+  ScenarioCliFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      scenariosFile = argv[++i];
+    } else if (std::strncmp(argv[i], "--scenarios=", 12) == 0) {
+      scenariosFile = argv[i] + 12;
+    } else if (parseScenarioCommonFlag(argc, argv, i, flags)) {
+      continue;
+    } else {
+      return usage();
+    }
+  }
+  if (scenariosFile == nullptr) return usage();
+  rel::Database db = fl::parseDatabase(readFile(argv[0]));
+  dl::Program program = dl::parseProgram(readFile(argv[1]), db.cvars());
+  std::vector<fl::Scenario> scenarios =
+      fl::parseScenarioFile(readFile(scenariosFile));
+  std::unique_ptr<obs::Tracer> tracer = makeTracer(flags.obs);
+  fl::ScenarioSet set(std::move(program), std::move(db),
+                      buildScenarioOptions(flags, tracer.get()));
+  std::vector<fl::ScenarioOutcome> results;
+  {
+    obs::Span top(tracer.get(), "whatif.batch");
+    if (top) {
+      top.note("database", argv[0]);
+      top.note("program", argv[1]);
+      top.note("scenarios", scenariosFile);
+    }
+    results = set.evaluate(scenarios);
+  }
+  int exitCode = 0;
+  for (const fl::ScenarioOutcome& r : results) {
+    if (!flags.obs.quietStdout()) {
+      std::printf("=== scenario %s: exit %d ===\n", r.id.c_str(),
+                  r.exitCode);
+      std::fwrite(r.output.data(), 1, r.output.size(), stdout);
+    }
+    if (!r.message.empty()) {
+      std::fprintf(stderr, "scenario %s: %s\n", r.id.c_str(),
+                   r.message.c_str());
+    }
+    if (r.exitCode == 1) {
+      exitCode = 1;
+    } else if (r.exitCode == 2 && exitCode == 0) {
+      exitCode = 2;
+    }
+  }
+  if (flags.obs.stats && !flags.obs.quietStdout()) {
+    obs::MetricsSnapshot snap = tracer->metrics().snapshot();
+    printEvalStats(snap);
+    printSolverStats(snap);
+    printServeStats(snap);
+    if (flags.sup.enabled) printSuperviseStats(snap);
+  }
+  if (tracer != nullptr) {
+    fl::EvalOptions fanout;
+    fanout.threads = flags.threads;
+    obs::ReportMeta meta;
+    meta.command = "whatif";
+    meta.add("database", argv[0]);
+    meta.add("program", argv[1]);
+    meta.add("scenarios", scenariosFile);
+    meta.add("scenario_count", std::to_string(results.size()));
+    meta.add("solver", flags.solverName);
+    meta.add("threads", std::to_string(fl::resolveThreads(fanout)));
+    meta.add("plan", planModeName(fl::resolvePlanMode(flags.plan)));
+    addSupervisionMeta(meta, flags.sup);
+    exportObs(*tracer, flags.obs, meta);
+  }
+  return exitCode;
+}
+
+/// One client conversation over the serve line protocol (see the file
+/// header). Returns true when the client asked for SHUTDOWN. Queued
+/// requests are always drained before returning — graceful shutdown
+/// never drops accepted work.
+bool serveLoop(fl::ScenarioSet& set, FILE* in, FILE* out) {
+  std::vector<fl::Scenario> queue;
+  bool shutdown = false;
+  auto flush = [&] {
+    if (queue.empty()) return;
+    std::vector<fl::ScenarioOutcome> results = set.evaluate(queue);
+    for (const fl::ScenarioOutcome& r : results) {
+      std::string reason = r.message;
+      for (char& c : reason) {  // RESULT is line-framed
+        if (c == '\n' || c == '\r') c = ' ';
+      }
+      std::fprintf(out, "RESULT %s %d %zu%s%s\n", r.id.c_str(), r.exitCode,
+                   r.output.size(), reason.empty() ? "" : " ",
+                   reason.c_str());
+      std::fwrite(r.output.data(), 1, r.output.size(), out);
+    }
+    std::fflush(out);
+    queue.clear();
+  };
+  char* line = nullptr;
+  size_t cap = 0;
+  ssize_t len;
+  while ((len = ::getline(&line, &cap, in)) != -1) {
+    std::string_view cmd(line, static_cast<size_t>(len));
+    while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == '\r')) {
+      cmd.remove_suffix(1);
+    }
+    if (cmd.empty() || cmd == "GO") {
+      flush();
+    } else if (cmd == "PING") {
+      std::fputs("PONG\n", out);
+      std::fflush(out);
+    } else if (cmd == "QUIT") {
+      break;
+    } else if (cmd == "SHUTDOWN") {
+      shutdown = true;
+      break;
+    } else if (cmd.rfind("EVAL ", 0) == 0) {
+      std::string_view rest = cmd.substr(5);
+      size_t sp = rest.find(' ');
+      std::string id(rest.substr(0, sp));
+      std::string script(sp == std::string_view::npos
+                             ? std::string_view()
+                             : rest.substr(sp + 1));
+      for (char& c : script) {  // `;` separates edits on the wire
+        if (c == ';') c = '\n';
+      }
+      if (id.empty()) {
+        std::fputs("ERR EVAL needs an id\n", out);
+        std::fflush(out);
+      } else {
+        queue.push_back({std::move(id), std::move(script)});
+      }
+    } else {
+      std::fprintf(out, "ERR unknown command: %.*s\n",
+                   static_cast<int>(cmd.size()), cmd.data());
+      std::fflush(out);
+    }
+  }
+  std::free(line);
+  flush();
+  return shutdown;
+}
+
+/// Accept loop for `serve --socket PATH`: one client at a time (each
+/// batch already fans out internally), until a client sends SHUTDOWN.
+int serveOnSocket(fl::ScenarioSet& set, const char* path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (std::strlen(path) >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw Error(std::string("--socket path too long: ") + path);
+  }
+  std::strncpy(addr.sun_path, path, sizeof(addr.sun_path) - 1);
+  ::unlink(path);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot listen on '" + std::string(path) + "': " + err);
+  }
+  // Handshake on stdout so scripts can wait for the socket to exist.
+  std::printf("READY %s\n", path);
+  std::fflush(stdout);
+  bool shutdown = false;
+  while (!shutdown) {
+    int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) break;
+    FILE* cin = ::fdopen(client, "r");
+    FILE* cout = cin != nullptr ? ::fdopen(::dup(client), "w") : nullptr;
+    if (cout == nullptr) {
+      if (cin != nullptr) {
+        std::fclose(cin);
+      } else {
+        ::close(client);
+      }
+      continue;
+    }
+    shutdown = serveLoop(set, cin, cout);
+    std::fclose(cout);
+    std::fclose(cin);
+  }
+  ::close(fd);
+  ::unlink(path);
+  return 0;
+}
+
+int cmdServe(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* socketPath = nullptr;
+  ScenarioCliFlags flags;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socketPath = argv[++i];
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socketPath = argv[i] + 9;
+    } else if (parseScenarioCommonFlag(argc, argv, i, flags)) {
+      continue;
+    } else {
+      return usage();
+    }
+  }
+  rel::Database db = fl::parseDatabase(readFile(argv[0]));
+  dl::Program program = dl::parseProgram(readFile(argv[1]), db.cvars());
+  std::unique_ptr<obs::Tracer> tracer = makeTracer(flags.obs);
+  fl::ScenarioSet set(std::move(program), std::move(db),
+                      buildScenarioOptions(flags, tracer.get()));
+  // Front-load the shared epoch 0 so the first request pays only its
+  // own marginal cost.
+  set.prepare();
+  if (socketPath != nullptr) return serveOnSocket(set, socketPath);
+  std::printf("READY\n");
+  std::fflush(stdout);
+  serveLoop(set, stdin, stdout);
+  return 0;
+}
+
 int cmdCheck(int argc, char** argv) {
   if (argc < 2) return usage();
   ObsFlags obsFlags;
@@ -843,6 +1165,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "run") == 0) return cmdRun(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "whatif") == 0) {
       return cmdWhatif(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "serve") == 0) {
+      return cmdServe(argc - 2, argv + 2);
     }
     if (std::strcmp(argv[1], "check") == 0) {
       return cmdCheck(argc - 2, argv + 2);
